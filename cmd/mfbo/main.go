@@ -1,0 +1,130 @@
+// Command mfbo runs one optimizer on one built-in problem and reports the
+// outcome — the interactive entry point to the library.
+//
+//	mfbo -problem poweramp -algo mfbo -budget 50
+//	mfbo -problem chargepump -algo weibo -budget 60 -seed 7
+//	mfbo -problem constrained -algo de -budget 200 -v
+//
+// Problems: poweramp, chargepump, opamp, pedagogical, forrester, branin,
+// currin, park, borehole, hartmann3, constrained. Algorithms: mfbo (ours),
+// weibo, gaspad, de.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/optimize"
+	"repro/internal/problem"
+	"repro/internal/testbench"
+	"repro/internal/testfunc"
+)
+
+func main() {
+	log.SetFlags(0)
+	probName := flag.String("problem", "forrester", "problem name")
+	algo := flag.String("algo", "mfbo", "algorithm: mfbo | weibo | gaspad | de")
+	budget := flag.Float64("budget", 30, "simulation budget in equivalent high-fidelity sims")
+	seed := flag.Int64("seed", 1, "random seed")
+	verbose := flag.Bool("v", false, "print every simulation")
+	initLow := flag.Int("init-low", 0, "low-fidelity initialization size (mfbo; 0 = default)")
+	initHigh := flag.Int("init-high", 0, "high-fidelity initialization size (mfbo; 0 = default)")
+	gamma := flag.Float64("gamma", 0.01, "fidelity-selection threshold γ (mfbo)")
+	flag.Parse()
+
+	p := lookupProblem(*probName)
+	rng := rand.New(rand.NewSource(*seed))
+	start := time.Now()
+
+	var cb func(core.Observation)
+	if *verbose {
+		cb = func(ob core.Observation) {
+			fmt.Printf("  [%6.2f sims] %-4s obj=%.4f feasible=%v\n",
+				ob.CumCost, ob.Fid, ob.Eval.Objective, ob.Eval.Feasible())
+		}
+	}
+
+	var res *core.Result
+	var err error
+	msp := optimize.MSPConfig{Starts: 10, LocalIter: 30}
+	switch *algo {
+	case "mfbo":
+		res, err = core.Optimize(p, core.Config{
+			Budget: *budget, InitLow: *initLow, InitHigh: *initHigh,
+			Gamma: *gamma, MSP: msp, Callback: cb,
+		}, rng)
+	case "weibo":
+		res, err = baselines.WEIBO(p, baselines.WEIBOConfig{
+			Budget: int(*budget), Init: max(4, int(*budget)/4), MSP: msp, Callback: cb,
+		}, rng)
+	case "gaspad":
+		res, err = baselines.GASPAD(p, baselines.GASPADConfig{
+			Budget: int(*budget), Init: max(4, int(*budget)/4), Callback: cb,
+		}, rng)
+	case "de":
+		res, err = baselines.DE(p, baselines.DEConfig{Budget: int(*budget), Callback: cb}, rng)
+	default:
+		log.Fatalf("mfbo: unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		log.Fatalf("mfbo: %v", err)
+	}
+
+	fmt.Printf("problem:   %s (d=%d, %d constraints)\n", p.Name(), p.Dim(), p.NumConstraints())
+	fmt.Printf("algorithm: %s, seed %d\n", *algo, *seed)
+	fmt.Printf("result:    objective %.6f, feasible %v\n", res.Best.Objective, res.Feasible)
+	if len(res.Best.Constraints) > 0 {
+		fmt.Printf("constraints: %v\n", fmtSlice(res.Best.Constraints))
+	}
+	fmt.Printf("best x:    %v\n", fmtSlice(res.BestX))
+	fmt.Printf("cost:      %d low + %d high sims = %.1f equivalent (found best at %.1f)\n",
+		res.NumLow, res.NumHigh, res.EquivalentSims, experiments.SimsToBest(res))
+	fmt.Printf("elapsed:   %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func lookupProblem(name string) problem.Problem {
+	switch name {
+	case "poweramp":
+		return testbench.NewPowerAmp()
+	case "chargepump":
+		return testbench.NewChargePump()
+	case "opamp":
+		return testbench.NewOpAmp()
+	case "pedagogical":
+		return testfunc.Pedagogical()
+	case "forrester":
+		return testfunc.Forrester()
+	case "branin":
+		return testfunc.BraninMF()
+	case "currin":
+		return testfunc.CurrinMF()
+	case "park":
+		return testfunc.ParkMF()
+	case "borehole":
+		return testfunc.BoreholeMF()
+	case "hartmann3":
+		return testfunc.Hartmann3()
+	case "constrained":
+		return testfunc.ConstrainedSynthetic()
+	default:
+		log.Fatalf("mfbo: unknown problem %q", name)
+		return nil
+	}
+}
+
+func fmtSlice(v []float64) string {
+	out := "["
+	for i, x := range v {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.4g", x)
+	}
+	return out + "]"
+}

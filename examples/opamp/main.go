@@ -1,0 +1,59 @@
+// Two-stage op-amp sizing: minimize static power subject to gain, bandwidth
+// and stability specs, fusing the textbook hand-analysis model (cheap
+// fidelity) with full small-signal AC simulation (expensive fidelity).
+//
+// This is the third circuit workload beyond the paper's two, built on the
+// simulator's AC path; it demonstrates the "equation-based model as low
+// fidelity" pattern the paper's introduction contrasts with
+// simulation-based sizing.
+//
+//	go run ./examples/opamp
+//	go run ./examples/opamp -budget 60 -seed 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/optimize"
+	"repro/internal/problem"
+	"repro/internal/testbench"
+)
+
+func main() {
+	budget := flag.Float64("budget", 30, "equivalent high-fidelity simulation budget")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	oa := testbench.NewOpAmp()
+	rng := rand.New(rand.NewSource(*seed))
+	start := time.Now()
+
+	fmt.Printf("optimizing %s: %d vars, %d constraints, budget %.0f equiv sims\n",
+		oa.Name(), oa.Dim(), oa.NumConstraints(), *budget)
+	fmt.Printf("spec: gain > %.0f dB, UGF > %.0f MHz, PM > %.0f°, minimize power\n",
+		oa.GainMinDB, oa.UGFMinMHz, oa.PMMinDeg)
+
+	res, err := core.Optimize(oa, core.Config{
+		Budget:   *budget,
+		InitLow:  12,
+		InitHigh: 5,
+		MSP:      optimize.MSPConfig{Starts: 10, LocalIter: 30},
+	}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	r := oa.Simulate(res.BestX, problem.High)
+	fmt.Printf("\nbest design: %v\n", r)
+	fmt.Printf("  W1=%.1f W3=%.1f W5=%.1f W6=%.1f W7=%.1f µm, L=%.2f µm, Cc=%.2f pF, Ib=%.1f µA\n",
+		res.BestX[0], res.BestX[1], res.BestX[2], res.BestX[3], res.BestX[4],
+		res.BestX[5], res.BestX[6], res.BestX[7])
+	fmt.Printf("feasible: %v\n", res.Feasible)
+	fmt.Printf("cost: %d hand-model + %d AC-sweep evals = %.1f equivalent sims in %s\n",
+		res.NumLow, res.NumHigh, res.EquivalentSims, time.Since(start).Round(time.Millisecond))
+}

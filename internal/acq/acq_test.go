@@ -1,0 +1,194 @@
+package acq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEIKnownValue(t *testing.T) {
+	// µ = τ, σ = 1 → λ = 0 → EI = φ(0) = 1/√(2π).
+	want := 1 / math.Sqrt(2*math.Pi)
+	if got := EI(0, 1, 0); math.Abs(got-want) > 1e-14 {
+		t.Fatalf("EI = %v, want %v", got, want)
+	}
+}
+
+func TestEIDeterministicLimit(t *testing.T) {
+	if got := EI(1, 0, 3); got != 2 {
+		t.Fatalf("EI(σ=0) = %v, want 2", got)
+	}
+	if got := EI(5, 0, 3); got != 0 {
+		t.Fatalf("EI(σ=0, worse) = %v, want 0", got)
+	}
+}
+
+func TestEINonNegativeProperty(t *testing.T) {
+	f := func(mu, logv, tau float64) bool {
+		v := math.Exp(math.Mod(logv, 10))
+		e := EI(mu, v, tau)
+		return e >= 0 && !math.IsNaN(e)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEIMonotoneInIncumbent(t *testing.T) {
+	// A worse (larger) incumbent means more room to improve.
+	if EI(0, 1, 1) <= EI(0, 1, 0.5) {
+		t.Fatal("EI should increase with tau")
+	}
+}
+
+func TestEIMonotoneInSigmaAtMean(t *testing.T) {
+	// At µ = τ, EI grows with uncertainty (exploration).
+	if EI(0, 4, 0) <= EI(0, 1, 0) {
+		t.Fatal("EI should grow with variance at λ=0")
+	}
+}
+
+func TestLogEIMatchesLogOfEI(t *testing.T) {
+	for _, c := range []struct{ mu, v, tau float64 }{
+		{0, 1, 0}, {1, 2, 0.5}, {-1, 0.3, -0.5}, {2, 1, 1.5},
+	} {
+		want := math.Log(EI(c.mu, c.v, c.tau))
+		got := LogEI(c.mu, c.v, c.tau)
+		if math.Abs(got-want) > 1e-8 {
+			t.Fatalf("LogEI(%v,%v,%v) = %v, want %v", c.mu, c.v, c.tau, got, want)
+		}
+	}
+}
+
+func TestLogEIStableInTail(t *testing.T) {
+	// Far above the incumbent, EI underflows but LogEI must stay finite and
+	// monotone decreasing in µ.
+	a := LogEI(50, 1, 0)
+	b := LogEI(60, 1, 0)
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		t.Fatalf("tail LogEI not finite: %v %v", a, b)
+	}
+	if b >= a {
+		t.Fatalf("LogEI should decrease with µ: %v vs %v", a, b)
+	}
+}
+
+func TestPF(t *testing.T) {
+	if got := PF(0, 1); math.Abs(got-0.5) > 1e-14 {
+		t.Fatalf("PF(0,1) = %v, want 0.5", got)
+	}
+	if PF(-3, 1) <= PF(3, 1) {
+		t.Fatal("PF should favor negative (feasible) means")
+	}
+	if got := PF(-1, 0); got != 1 {
+		t.Fatalf("deterministic feasible PF = %v", got)
+	}
+	if got := PF(1, 0); got != 0 {
+		t.Fatalf("deterministic infeasible PF = %v", got)
+	}
+}
+
+func TestPFBounds(t *testing.T) {
+	f := func(mu, logv float64) bool {
+		v := math.Exp(math.Mod(logv, 10))
+		p := PF(mu, v)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func constPosterior(mu, v float64) Posterior {
+	return func([]float64) (float64, float64) { return mu, v }
+}
+
+func TestWEIReducesToEIWithoutConstraints(t *testing.T) {
+	w := WEI(constPosterior(0.2, 0.5), nil, 1)
+	if got, want := w([]float64{0}), EI(0.2, 0.5, 1); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("wEI = %v, want EI %v", got, want)
+	}
+}
+
+func TestWEIPenalizesInfeasibleRegions(t *testing.T) {
+	obj := constPosterior(0, 1)
+	feasible := WEI(obj, []Posterior{constPosterior(-2, 0.5)}, 1)
+	infeasible := WEI(obj, []Posterior{constPosterior(+2, 0.5)}, 1)
+	x := []float64{0}
+	if feasible(x) <= infeasible(x) {
+		t.Fatal("wEI should favor likely-feasible regions")
+	}
+}
+
+func TestWEIMultipleConstraintsMultiply(t *testing.T) {
+	obj := constPosterior(0, 1)
+	c := constPosterior(0, 1) // PF = 0.5 each
+	one := WEI(obj, []Posterior{c}, 1)
+	two := WEI(obj, []Posterior{c, c}, 1)
+	x := []float64{0}
+	if math.Abs(two(x)-0.5*one(x)) > 1e-12 {
+		t.Fatalf("two constraints %v, want half of %v", two(x), one(x))
+	}
+}
+
+func TestPFOnly(t *testing.T) {
+	a := PFOnly([]Posterior{constPosterior(0, 1), constPosterior(0, 1)})
+	if got := a([]float64{0}); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("PFOnly = %v, want 0.25", got)
+	}
+	if got := PFOnly(nil)([]float64{0}); got != 1 {
+		t.Fatalf("PFOnly(nil) = %v, want 1", got)
+	}
+}
+
+func TestLCBUCB(t *testing.T) {
+	if got := LCB(1, 4, 2); got != 1-4 {
+		t.Fatalf("LCB = %v, want -3", got)
+	}
+	if got := UCB(1, 4, 2); got != 1+4 {
+		t.Fatalf("UCB = %v, want 5", got)
+	}
+	if LCB(1, 4, 2) > UCB(1, 4, 2) {
+		t.Fatal("LCB must not exceed UCB")
+	}
+}
+
+func TestFeasibilityObjective(t *testing.T) {
+	cons := []Posterior{constPosterior(2, 1), constPosterior(-3, 1), constPosterior(0.5, 1)}
+	f := FeasibilityObjective(cons)
+	if got := f([]float64{0}); math.Abs(got-2.5) > 1e-14 {
+		t.Fatalf("violation sum = %v, want 2.5", got)
+	}
+	// All-feasible means zero violation.
+	g := FeasibilityObjective([]Posterior{constPosterior(-1, 1)})
+	if got := g([]float64{0}); got != 0 {
+		t.Fatalf("feasible violation = %v, want 0", got)
+	}
+}
+
+func TestEIGradientSignNearIncumbent(t *testing.T) {
+	// The paper's Figure 2 observation: EI is flat (≈0 gradient) in a
+	// confident region at the incumbent value, motivating incumbent-local
+	// MSP seeding. Verify EI at the incumbent with tiny variance is ≈0.
+	eps := 1e-10
+	if got := EI(0, eps, 0); got > 1e-5 {
+		t.Fatalf("EI at confident incumbent = %v, want ≈0", got)
+	}
+}
+
+func TestRandomizedWEIConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		mu := rng.NormFloat64()
+		v := math.Abs(rng.NormFloat64()) + 0.1
+		tau := rng.NormFloat64()
+		cm := rng.NormFloat64()
+		cv := math.Abs(rng.NormFloat64()) + 0.1
+		w := WEI(constPosterior(mu, v), []Posterior{constPosterior(cm, cv)}, tau)([]float64{0})
+		want := EI(mu, v, tau) * PF(cm, cv)
+		if math.Abs(w-want) > 1e-12 {
+			t.Fatalf("wEI composition mismatch: %v vs %v", w, want)
+		}
+	}
+}

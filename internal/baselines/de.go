@@ -1,0 +1,82 @@
+package baselines
+
+import (
+	"errors"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/optimize"
+	"repro/internal/problem"
+)
+
+// DEConfig tunes the plain differential-evolution baseline.
+type DEConfig struct {
+	// Budget is the total number of high-fidelity simulations (> 0).
+	Budget int
+	// PopSize is the DE population (default 10·d capped at 100, min 8).
+	PopSize int
+	// F / CR are the DE parameters (defaults 0.7 / 0.9).
+	F, CR float64
+	// Callback observes every simulation.
+	Callback func(core.Observation)
+}
+
+// penaltyWeight converts constraint violation into the scalar DE fitness.
+// It implements a static-penalty version of Deb's feasibility rule: any
+// violation dominates objective differences of realistic magnitude.
+const penaltyWeight = 1e6
+
+// DE runs the evolutionary baseline: DE/rand/1/bin on a penalized scalar
+// fitness, evaluating every candidate at high fidelity.
+func DE(p problem.Problem, cfg DEConfig, rng *rand.Rand) (*core.Result, error) {
+	if cfg.Budget <= 0 {
+		return nil, errors.New("baselines: DE Budget must be positive")
+	}
+	d := p.Dim()
+	if cfg.PopSize <= 0 {
+		cfg.PopSize = 10 * d
+		if cfg.PopSize > 100 {
+			cfg.PopSize = 100
+		}
+		if cfg.PopSize < 8 {
+			cfg.PopSize = 8
+		}
+	}
+	lo, hi := p.Bounds()
+	box := optimize.NewBox(lo, hi)
+
+	res := &core.Result{}
+	var bestX []float64
+	var bestEval problem.Evaluation
+	haveBest := false
+	iter := 0
+	fitness := func(x []float64) float64 {
+		e := p.Evaluate(x, problem.High)
+		res.NumHigh++
+		ob := core.Observation{Iter: iter, X: append([]float64(nil), x...),
+			Fid: problem.High, Eval: e, CumCost: float64(res.NumHigh)}
+		res.History = append(res.History, ob)
+		if cfg.Callback != nil {
+			cfg.Callback(ob)
+		}
+		iter++
+		if !haveBest || problem.Better(e, bestEval) {
+			haveBest = true
+			bestEval = e
+			bestX = append([]float64(nil), x...)
+		}
+		return e.Objective + penaltyWeight*e.Violation()
+	}
+	optimize.DE(rng, fitness, box, optimize.DEConfig{
+		PopSize:  cfg.PopSize,
+		F:        cfg.F,
+		CR:       cfg.CR,
+		MaxGen:   1 << 30, // budget-bound, not generation-bound
+		MaxEvals: cfg.Budget,
+	})
+	res.BestX = bestX
+	res.Best = bestEval
+	res.Feasible = bestEval.Feasible()
+	res.EquivalentSims = float64(res.NumHigh)
+	return res, nil
+}

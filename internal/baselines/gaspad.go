@@ -1,0 +1,251 @@
+package baselines
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/acq"
+	"repro/internal/core"
+	"repro/internal/gp"
+	"repro/internal/kernel"
+	"repro/internal/problem"
+	"repro/internal/stats"
+)
+
+// GASPADConfig tunes the surrogate-assisted evolutionary optimizer.
+type GASPADConfig struct {
+	// Budget is the total number of high-fidelity simulations (> 0).
+	Budget int
+	// Init is the Latin-hypercube initialization size (default 40).
+	Init int
+	// PoolSize is the number of evolutionary children prescreened per
+	// iteration (default 50).
+	PoolSize int
+	// ParentPool is how many of the best current points breed (default 20).
+	ParentPool int
+	// Beta is the LCB exploration weight µ − β·σ (default 2).
+	Beta float64
+	// F / CR are the DE mutation weight and crossover rate (defaults 0.8 / 0.8).
+	F, CR float64
+	// GPRestarts / GPMaxIter / RefitEvery tune surrogate training.
+	GPRestarts, GPMaxIter, RefitEvery int
+	// FixedNoise pins GP observation noise.
+	FixedNoise *float64
+	// Callback observes every simulation.
+	Callback func(core.Observation)
+}
+
+func (c *GASPADConfig) defaults() error {
+	if c.Budget <= 0 {
+		return errors.New("baselines: GASPAD Budget must be positive")
+	}
+	if c.Init <= 0 {
+		c.Init = 40
+	}
+	if c.Init >= c.Budget {
+		return fmt.Errorf("baselines: GASPAD Init %d must be below Budget %d", c.Init, c.Budget)
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = 50
+	}
+	if c.ParentPool <= 1 {
+		c.ParentPool = 20
+	}
+	if c.Beta <= 0 {
+		c.Beta = 2
+	}
+	if c.F <= 0 {
+		c.F = 0.8
+	}
+	if c.CR <= 0 {
+		c.CR = 0.8
+	}
+	if c.GPRestarts <= 0 {
+		c.GPRestarts = 1
+	}
+	if c.GPMaxIter <= 0 {
+		c.GPMaxIter = 60
+	}
+	if c.RefitEvery <= 0 {
+		c.RefitEvery = 1
+	}
+	if c.FixedNoise == nil {
+		v := 1e-4
+		c.FixedNoise = &v
+	}
+	return nil
+}
+
+// GASPAD runs the surrogate-model-assisted evolutionary algorithm: each
+// iteration breeds a pool of DE children from the best evaluated points,
+// ranks them by a constrained lower-confidence-bound criterion on GP
+// surrogates, and simulates only the top-ranked child.
+func GASPAD(p problem.Problem, cfg GASPADConfig, rng *rand.Rand) (*core.Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	d := p.Dim()
+	nc := p.NumConstraints()
+	nOut := 1 + nc
+	lo, hi := p.Bounds()
+
+	res := &core.Result{}
+	var X [][]float64
+	var Y [][]float64
+	record := func(iter int, x []float64) {
+		e := p.Evaluate(x, problem.High)
+		X = append(X, append([]float64(nil), x...))
+		Y = append(Y, e.Outputs())
+		res.NumHigh++
+		ob := core.Observation{Iter: iter, X: append([]float64(nil), x...),
+			Fid: problem.High, Eval: e, CumCost: float64(res.NumHigh)}
+		res.History = append(res.History, ob)
+		if cfg.Callback != nil {
+			cfg.Callback(ob)
+		}
+	}
+	for _, x := range stats.LatinHypercube(rng, lo, hi, cfg.Init) {
+		record(-1, x)
+	}
+
+	warm := make([][]float64, nOut)
+	column := func(k int) []float64 {
+		col := make([]float64, len(Y))
+		for i, row := range Y {
+			col[i] = row[k]
+		}
+		return col
+	}
+
+	for iter := 0; res.NumHigh < cfg.Budget; iter++ {
+		fullRefit := iter%cfg.RefitEvery == 0
+		models := make([]*gp.Model, nOut)
+		for k := 0; k < nOut; k++ {
+			m, err := gp.Fit(X, column(k), gp.Config{
+				Kernel:       kernel.NewSEARD(d),
+				Restarts:     cfg.GPRestarts,
+				MaxIter:      cfg.GPMaxIter,
+				FixedNoise:   cfg.FixedNoise,
+				WarmStart:    warm[k],
+				SkipTraining: !fullRefit && warm[k] != nil,
+			}, rng)
+			if err != nil {
+				return nil, fmt.Errorf("baselines: GASPAD iter %d output %d: %w", iter, k, err)
+			}
+			warm[k] = m.Hyper()
+			models[k] = m
+		}
+
+		parents := topParents(X, Y, cfg.ParentPool)
+		children := breed(rng, parents, lo, hi, cfg)
+		best := pickByConstrainedLCB(models, children, cfg.Beta, nc)
+		if duplicateIn(X, best) {
+			best = stats.UniformInBox(rng, lo, hi, 1)[0]
+		}
+		record(iter, best)
+	}
+
+	bx, be, feas := bestObservation(X, Y)
+	res.BestX = bx
+	res.Best = be
+	res.Feasible = feas
+	res.EquivalentSims = float64(res.NumHigh)
+	return res, nil
+}
+
+// topParents returns the ParentPool best evaluated points under the
+// constrained ordering.
+func topParents(X [][]float64, Y [][]float64, n int) [][]float64 {
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	evalOf := func(i int) problem.Evaluation {
+		return problem.Evaluation{Objective: Y[i][0], Constraints: Y[i][1:]}
+	}
+	sort.Slice(idx, func(a, b int) bool { return problem.Better(evalOf(idx[a]), evalOf(idx[b])) })
+	if n > len(idx) {
+		n = len(idx)
+	}
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = X[idx[i]]
+	}
+	return out
+}
+
+// breed produces PoolSize children by DE/rand/1/bin over the parent pool,
+// reflected into the box.
+func breed(rng *rand.Rand, parents [][]float64, lo, hi []float64, cfg GASPADConfig) [][]float64 {
+	d := len(lo)
+	np := len(parents)
+	children := make([][]float64, cfg.PoolSize)
+	for c := range children {
+		child := make([]float64, d)
+		base := parents[rng.Intn(np)]
+		a := parents[rng.Intn(np)]
+		b := parents[rng.Intn(np)]
+		jRand := rng.Intn(d)
+		for j := 0; j < d; j++ {
+			if j == jRand || rng.Float64() < cfg.CR {
+				child[j] = base[j] + cfg.F*(a[j]-b[j])
+			} else {
+				child[j] = base[j]
+			}
+			if child[j] < lo[j] {
+				child[j] = lo[j] + rng.Float64()*(hi[j]-lo[j])*0.1
+			} else if child[j] > hi[j] {
+				child[j] = hi[j] - rng.Float64()*(hi[j]-lo[j])*0.1
+			}
+		}
+		children[c] = child
+	}
+	return children
+}
+
+// pickByConstrainedLCB ranks children by the feasibility rule applied to
+// LCB values: a child whose constraint LCBs are all negative (optimistically
+// feasible) beats any optimistically-infeasible child; ties break on the
+// objective LCB, then on predicted violation.
+func pickByConstrainedLCB(models []*gp.Model, children [][]float64, beta float64, nc int) []float64 {
+	type scored struct {
+		x         []float64
+		feasible  bool
+		objLCB    float64
+		violation float64
+	}
+	best := scored{objLCB: 0, violation: 0}
+	first := true
+	for _, c := range children {
+		mu, va := models[0].PredictLatent(c)
+		s := scored{x: c, feasible: true, objLCB: acq.LCB(mu, va, beta)}
+		for i := 0; i < nc; i++ {
+			cm, cv := models[1+i].PredictLatent(c)
+			l := acq.LCB(cm, cv, beta)
+			if l >= 0 {
+				s.feasible = false
+				s.violation += l
+			}
+		}
+		if first || betterScored(s.feasible, s.objLCB, s.violation, best.feasible, best.objLCB, best.violation) {
+			best = s
+			first = false
+		}
+	}
+	return best.x
+}
+
+func betterScored(aFeas bool, aObj, aViol float64, bFeas bool, bObj, bViol float64) bool {
+	switch {
+	case aFeas && !bFeas:
+		return true
+	case !aFeas && bFeas:
+		return false
+	case aFeas:
+		return aObj < bObj
+	default:
+		return aViol < bViol
+	}
+}

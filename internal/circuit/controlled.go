@@ -1,0 +1,106 @@
+package circuit
+
+import "fmt"
+
+// VCVS is a voltage-controlled voltage source (SPICE "E" element):
+// v(a) − v(b) = Gain·(v(cp) − v(cn)), with a branch-current unknown.
+type VCVS struct {
+	name         string
+	a, b, cp, cn int
+	Gain         float64
+	branch       int
+}
+
+// AddVCVS adds a voltage-controlled voltage source.
+func (c *Circuit) AddVCVS(name, a, b, ctrlPos, ctrlNeg string, gain float64) *VCVS {
+	d := &VCVS{name: name, a: c.node(a), b: c.node(b),
+		cp: c.node(ctrlPos), cn: c.node(ctrlNeg), Gain: gain}
+	c.addDevice(d)
+	return d
+}
+
+// DeviceName implements Device.
+func (d *VCVS) DeviceName() string { return d.name }
+
+// Describe implements Device.
+func (d *VCVS) Describe(c *Circuit) string {
+	return fmt.Sprintf("E %-8s %-6s %-6s %-6s %-6s %.6g", d.name,
+		c.nodeName(d.a), c.nodeName(d.b), c.nodeName(d.cp), c.nodeName(d.cn), d.Gain)
+}
+
+func (d *VCVS) numBranches() int       { return 1 }
+func (d *VCVS) setBranchBase(base int) { d.branch = base }
+
+// Stamp implements Device.
+func (d *VCVS) Stamp(a *Asm) {
+	br := d.branch
+	a.addA(d.a, br, 1)
+	a.addA(d.b, br, -1)
+	// Branch equation: v(a) − v(b) − Gain·(v(cp) − v(cn)) = 0.
+	a.addA(br, d.a, 1)
+	a.addA(br, d.b, -1)
+	a.addA(br, d.cp, -d.Gain)
+	a.addA(br, d.cn, d.Gain)
+}
+
+// StampAC implements acStamper (the element is linear; stamps are
+// identical in the complex domain).
+func (d *VCVS) StampAC(a *ACAsm) {
+	br := d.branch
+	a.addA(d.a, br, 1)
+	a.addA(d.b, br, -1)
+	a.addA(br, d.a, 1)
+	a.addA(br, d.b, -1)
+	a.addA(br, d.cp, complex(-d.Gain, 0))
+	a.addA(br, d.cn, complex(d.Gain, 0))
+}
+
+// Current returns the source branch current at solution x.
+func (d *VCVS) Current(x []float64) float64 { return x[d.branch] }
+
+// VCCS is a voltage-controlled current source (SPICE "G" element):
+// i(a→b) = Gm·(v(cp) − v(cn)).
+type VCCS struct {
+	name         string
+	a, b, cp, cn int
+	Gm           float64
+}
+
+// AddVCCS adds a voltage-controlled current source.
+func (c *Circuit) AddVCCS(name, a, b, ctrlPos, ctrlNeg string, gm float64) *VCCS {
+	d := &VCCS{name: name, a: c.node(a), b: c.node(b),
+		cp: c.node(ctrlPos), cn: c.node(ctrlNeg), Gm: gm}
+	c.addDevice(d)
+	return d
+}
+
+// DeviceName implements Device.
+func (d *VCCS) DeviceName() string { return d.name }
+
+// Describe implements Device.
+func (d *VCCS) Describe(c *Circuit) string {
+	return fmt.Sprintf("G %-8s %-6s %-6s %-6s %-6s %.6g", d.name,
+		c.nodeName(d.a), c.nodeName(d.b), c.nodeName(d.cp), c.nodeName(d.cn), d.Gm)
+}
+
+// Stamp implements Device: current Gm·v_ctrl leaves node a, enters node b.
+func (d *VCCS) Stamp(a *Asm) {
+	a.addA(d.a, d.cp, d.Gm)
+	a.addA(d.a, d.cn, -d.Gm)
+	a.addA(d.b, d.cp, -d.Gm)
+	a.addA(d.b, d.cn, d.Gm)
+}
+
+// StampAC implements acStamper.
+func (d *VCCS) StampAC(a *ACAsm) {
+	g := complex(d.Gm, 0)
+	a.addA(d.a, d.cp, g)
+	a.addA(d.a, d.cn, -g)
+	a.addA(d.b, d.cp, -g)
+	a.addA(d.b, d.cn, g)
+}
+
+// Current returns the controlled current (a→b) at solution x.
+func (d *VCCS) Current(x []float64) float64 {
+	return d.Gm * (nodeVoltage(x, d.cp) - nodeVoltage(x, d.cn))
+}

@@ -1,0 +1,115 @@
+package circuit
+
+import (
+	"math"
+	"math/cmplx"
+	"strings"
+	"testing"
+)
+
+func TestVCVSGain(t *testing.T) {
+	// Ideal amplifier: out = 10·in, loaded with a resistor.
+	c := New()
+	c.AddVSource("VIN", "in", Ground, DC(0.5))
+	c.AddVCVS("E1", "out", Ground, "in", Ground, 10)
+	c.AddResistor("RL", "out", Ground, 1e3)
+	sol, err := NewSim(c).DC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol.V("out"); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("VCVS out = %v, want 5", got)
+	}
+}
+
+func TestVCVSDifferentialControl(t *testing.T) {
+	c := New()
+	c.AddVSource("VP", "p", Ground, DC(1.2))
+	c.AddVSource("VN", "n", Ground, DC(1.0))
+	c.AddVCVS("E1", "out", Ground, "p", "n", 4)
+	c.AddResistor("RL", "out", Ground, 1e3)
+	sol, err := NewSim(c).DC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol.V("out"); math.Abs(got-0.8) > 1e-9 {
+		t.Fatalf("differential VCVS out = %v, want 0.8", got)
+	}
+}
+
+func TestVCCSCurrent(t *testing.T) {
+	// G = 1 mS controlled by 2 V source → 2 mA into a 1 kΩ load = 2 V.
+	c := New()
+	c.AddVSource("VIN", "in", Ground, DC(2))
+	g := c.AddVCCS("G1", Ground, "out", "in", Ground, 1e-3)
+	c.AddResistor("RL", "out", Ground, 1e3)
+	sim := NewSim(c)
+	sol, err := sim.DC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol.V("out"); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("VCCS load voltage = %v, want 2", got)
+	}
+	if got := g.Current(sol.X); math.Abs(got-2e-3) > 1e-12 {
+		t.Fatalf("VCCS current = %v, want 2e-3", got)
+	}
+}
+
+func TestVCCSBehavioralAmplifierAC(t *testing.T) {
+	// Behavioral single-pole amplifier: gm into R∥C. DC gain −gm·R; pole at
+	// 1/(2πRC).
+	gm, R, C := 2e-3, 5e3, 1e-9
+	c := New()
+	c.AddVSource("VIN", "in", Ground, DC(0)).SetAC(1, 0)
+	c.AddVCCS("G1", "out", Ground, "in", Ground, gm) // current out of 'out' node: inverting
+	c.AddResistor("RO", "out", Ground, R)
+	c.AddCapacitor("CO", "out", Ground, C)
+	fp := 1 / (2 * math.Pi * R * C)
+	res, err := NewSim(c).AC([]float64{fp / 1000, fp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcGain := cmplx.Abs(res.V("out", 0))
+	if math.Abs(dcGain-gm*R) > 1e-6*gm*R {
+		t.Fatalf("behavioral DC gain %v, want %v", dcGain, gm*R)
+	}
+	atPole := cmplx.Abs(res.V("out", 1))
+	if math.Abs(atPole-gm*R/math.Sqrt2) > 0.01*gm*R {
+		t.Fatalf("gain at pole %v, want %v", atPole, gm*R/math.Sqrt2)
+	}
+	// The current direction (into out) makes the stage inverting: phase at
+	// DC should be 180°.
+	if ph := math.Abs(res.PhaseDeg("out", 0)); math.Abs(ph-180) > 0.1 {
+		t.Fatalf("behavioral stage phase %v, want ±180", ph)
+	}
+}
+
+func TestVCVSInACLoop(t *testing.T) {
+	// Unity-feedback VCVS: out = A·(in − out) → out/in = A/(1+A).
+	A := 1000.0
+	c := New()
+	c.AddVSource("VIN", "in", Ground, DC(0)).SetAC(1, 0)
+	c.AddVCVS("E1", "out", Ground, "in", "out", A)
+	c.AddResistor("RL", "out", Ground, 1e3)
+	res, err := NewSim(c).AC([]float64{1e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := A / (1 + A)
+	if got := cmplx.Abs(res.V("out", 0)); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("closed-loop gain %v, want %v", got, want)
+	}
+}
+
+func TestControlledSourceDescribe(t *testing.T) {
+	c := New()
+	c.AddVCVS("E1", "a", "b", "c", "d", 2)
+	c.AddVCCS("G1", "a", "b", "c", "d", 1e-3)
+	s := c.String()
+	for _, want := range []string{"E1", "G1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("netlist missing %s:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package circuit
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func sineSamples(n int, dt, f, amp, phase float64) []float64 {
+	out := make([]float64, n)
+	for k := range out {
+		out[k] = amp * math.Sin(2*math.Pi*f*float64(k)*dt+phase)
+	}
+	return out
+}
+
+func TestFFTImpulse(t *testing.T) {
+	x := make([]complex128, 8)
+	x[0] = 1
+	FFT(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse FFT bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	n := 64
+	x := make([]complex128, n)
+	for k := range x {
+		x[k] = complex(math.Cos(2*math.Pi*5*float64(k)/float64(n)), 0)
+	}
+	FFT(x)
+	// A real cosine at bin 5 concentrates in bins 5 and n−5 with value n/2.
+	if cmplx.Abs(x[5]-complex(float64(n)/2, 0)) > 1e-9 {
+		t.Fatalf("bin 5 = %v", x[5])
+	}
+	if cmplx.Abs(x[n-5]-complex(float64(n)/2, 0)) > 1e-9 {
+		t.Fatalf("bin n-5 = %v", x[n-5])
+	}
+	for i, v := range x {
+		if i != 5 && i != n-5 && cmplx.Abs(v) > 1e-9 {
+			t.Fatalf("leakage at bin %d: %v", i, v)
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 128
+	x := make([]complex128, n)
+	timeE := 0.0
+	for k := range x {
+		v := rng.NormFloat64()
+		x[k] = complex(v, 0)
+		timeE += v * v
+	}
+	FFT(x)
+	freqE := 0.0
+	for _, v := range x {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(freqE/float64(n)-timeE) > 1e-9*timeE {
+		t.Fatalf("Parseval violated: %v vs %v", freqE/float64(n), timeE)
+	}
+}
+
+func TestFFTPanicsOnNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FFT(make([]complex128, 12))
+}
+
+func TestGoertzelMatchesAmplitude(t *testing.T) {
+	f0 := 1e6
+	dt := 1 / (f0 * 100)
+	n := 400 // 4 periods
+	for _, amp := range []float64{0.1, 1, 7} {
+		s := sineSamples(n, dt, f0, amp, 0.3)
+		got := HarmonicAmplitude(s, dt, f0, 1)
+		if math.Abs(got-amp) > 1e-9*amp+1e-12 {
+			t.Fatalf("amplitude %v measured as %v", amp, got)
+		}
+	}
+}
+
+func TestHarmonicSeparation(t *testing.T) {
+	f0 := 1e3
+	dt := 1 / (f0 * 128)
+	n := 512 // 4 periods
+	s := make([]float64, n)
+	for k := range s {
+		tt := float64(k) * dt
+		s[k] = 2*math.Sin(2*math.Pi*f0*tt) + 0.5*math.Sin(2*math.Pi*3*f0*tt)
+	}
+	if got := HarmonicAmplitude(s, dt, f0, 1); math.Abs(got-2) > 1e-6 {
+		t.Fatalf("fundamental = %v, want 2", got)
+	}
+	if got := HarmonicAmplitude(s, dt, f0, 2); got > 1e-6 {
+		t.Fatalf("2nd harmonic leakage %v", got)
+	}
+	if got := HarmonicAmplitude(s, dt, f0, 3); math.Abs(got-0.5) > 1e-6 {
+		t.Fatalf("3rd harmonic = %v, want 0.5", got)
+	}
+}
+
+func TestTHDPureToneIsZero(t *testing.T) {
+	f0 := 1e3
+	dt := 1 / (f0 * 100)
+	s := sineSamples(500, dt, f0, 1, 0)
+	if got := THD(s, dt, f0, 7); got > 1e-9 {
+		t.Fatalf("pure-tone THD = %v", got)
+	}
+}
+
+func TestTHDKnownMix(t *testing.T) {
+	// Fundamental 1, 2nd harmonic 0.1, 3rd 0.05 → THD = √(0.01+0.0025).
+	f0 := 1e3
+	dt := 1 / (f0 * 128)
+	n := 512
+	s := make([]float64, n)
+	for k := range s {
+		tt := float64(k) * dt
+		s[k] = math.Sin(2*math.Pi*f0*tt) + 0.1*math.Sin(2*math.Pi*2*f0*tt) + 0.05*math.Sin(2*math.Pi*3*f0*tt)
+	}
+	want := math.Sqrt(0.01 + 0.0025)
+	if got := THD(s, dt, f0, 5); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("THD = %v, want %v", got, want)
+	}
+	wantDB := 20 * math.Log10(want)
+	if got := THDdB(s, dt, f0, 5); math.Abs(got-wantDB) > 1e-4 {
+		t.Fatalf("THDdB = %v, want %v", got, wantDB)
+	}
+}
+
+func TestRMSAndMean(t *testing.T) {
+	s := sineSamples(1000, 1e-6, 1e3, 2, 0)
+	if got := RMS(s); math.Abs(got-2/math.Sqrt2) > 1e-3 {
+		t.Fatalf("RMS = %v, want %v", got, 2/math.Sqrt2)
+	}
+	if got := Mean(s); math.Abs(got) > 1e-3 {
+		t.Fatalf("Mean = %v, want 0", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestAveragePowerResistive(t *testing.T) {
+	// v = 2·sin, i = v/R with R = 4 → P = Vrms²/R = 2/4 = 0.5.
+	v := sineSamples(1000, 1e-6, 1e3, 2, 0)
+	i := make([]float64, len(v))
+	for k := range v {
+		i[k] = v[k] / 4
+	}
+	if got := AveragePower(v, i); math.Abs(got-0.5) > 1e-3 {
+		t.Fatalf("P = %v, want 0.5", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 4, 1, 5, -9})
+	if lo != -9 || hi != 5 {
+		t.Fatalf("MinMax = %v, %v", lo, hi)
+	}
+}
+
+func TestDBm(t *testing.T) {
+	if got := DBm(1e-3); math.Abs(got) > 1e-12 {
+		t.Fatalf("1 mW = %v dBm, want 0", got)
+	}
+	if got := DBm(0.2); math.Abs(got-23.0103) > 1e-3 {
+		t.Fatalf("200 mW = %v dBm, want ≈23", got)
+	}
+}
+
+func TestWaveformsWindow(t *testing.T) {
+	w := &Waveforms{Times: []float64{0, 1, 2, 3, 4, 5}}
+	s, e := w.Window(1.5, 4.5)
+	if s != 2 || e != 5 {
+		t.Fatalf("Window = [%d, %d), want [2, 5)", s, e)
+	}
+	s, e = w.Window(0, 5)
+	if s != 0 || e != 6 {
+		t.Fatalf("full Window = [%d, %d)", s, e)
+	}
+}
+
+func TestWaveformShapes(t *testing.T) {
+	p := Pulse{V1: 0, V2: 1, Delay: 1, Rise: 0.5, Fall: 0.5, Width: 2, Period: 5}
+	cases := []struct{ t, want float64 }{
+		{0, 0}, {1, 0}, {1.25, 0.5}, {1.5, 1}, {3, 1}, {3.75, 0.5}, {4.5, 0},
+		{6.25, 0.5}, // periodic repeat
+	}
+	for _, c := range cases {
+		if got := p.At(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("pulse(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	s := Sine{Offset: 1, Amplitude: 2, Freq: 1, Delay: 0.5}
+	if got := s.At(0.25); got != 1 {
+		t.Fatalf("sine before delay = %v, want offset", got)
+	}
+	if got := s.At(0.75); math.Abs(got-(1+2*math.Sin(2*math.Pi*0.25))) > 1e-12 {
+		t.Fatalf("sine(0.75) = %v", got)
+	}
+	pwl := PWL{Times: []float64{0, 1, 2}, Values: []float64{0, 10, 0}}
+	if got := pwl.At(0.5); got != 5 {
+		t.Fatalf("pwl(0.5) = %v, want 5", got)
+	}
+	if got := pwl.At(-1); got != 0 {
+		t.Fatalf("pwl(-1) = %v, want 0", got)
+	}
+	if got := pwl.At(3); got != 0 {
+		t.Fatalf("pwl(3) = %v, want 0", got)
+	}
+}

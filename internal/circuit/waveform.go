@@ -1,0 +1,95 @@
+package circuit
+
+import "math"
+
+// Waveform is a time-dependent source value. DC analysis evaluates it at
+// t = 0.
+type Waveform interface {
+	At(t float64) float64
+}
+
+// DCValue is a constant source value.
+type DCValue float64
+
+// At implements Waveform.
+func (v DCValue) At(float64) float64 { return float64(v) }
+
+// DC returns a constant waveform.
+func DC(v float64) Waveform { return DCValue(v) }
+
+// Sine is the SPICE SIN source: offset + amplitude·sin(2πf(t−delay)) for
+// t ≥ delay, offset before.
+type Sine struct {
+	Offset, Amplitude, Freq, Delay float64
+}
+
+// At implements Waveform.
+func (s Sine) At(t float64) float64 {
+	if t < s.Delay {
+		return s.Offset
+	}
+	return s.Offset + s.Amplitude*math.Sin(2*math.Pi*s.Freq*(t-s.Delay))
+}
+
+// Pulse is the SPICE PULSE source: V1 → V2 with delay, linear rise/fall,
+// pulse width and period.
+type Pulse struct {
+	V1, V2                   float64
+	Delay, Rise, Fall, Width float64
+	Period                   float64
+}
+
+// At implements Waveform.
+func (p Pulse) At(t float64) float64 {
+	if t < p.Delay {
+		return p.V1
+	}
+	tt := t - p.Delay
+	if p.Period > 0 {
+		tt = math.Mod(tt, p.Period)
+	}
+	switch {
+	case tt < p.Rise:
+		if p.Rise == 0 {
+			return p.V2
+		}
+		return p.V1 + (p.V2-p.V1)*tt/p.Rise
+	case tt < p.Rise+p.Width:
+		return p.V2
+	case tt < p.Rise+p.Width+p.Fall:
+		if p.Fall == 0 {
+			return p.V1
+		}
+		return p.V2 + (p.V1-p.V2)*(tt-p.Rise-p.Width)/p.Fall
+	default:
+		return p.V1
+	}
+}
+
+// PWL is a piecewise-linear waveform defined by (time, value) breakpoints in
+// ascending time order; it holds the boundary values outside the range.
+type PWL struct {
+	Times, Values []float64
+}
+
+// At implements Waveform.
+func (p PWL) At(t float64) float64 {
+	n := len(p.Times)
+	if n == 0 {
+		return 0
+	}
+	if t <= p.Times[0] {
+		return p.Values[0]
+	}
+	if t >= p.Times[n-1] {
+		return p.Values[n-1]
+	}
+	// Linear scan is fine: sources have few breakpoints.
+	for i := 1; i < n; i++ {
+		if t <= p.Times[i] {
+			f := (t - p.Times[i-1]) / (p.Times[i] - p.Times[i-1])
+			return p.Values[i-1] + f*(p.Values[i]-p.Values[i-1])
+		}
+	}
+	return p.Values[n-1]
+}

@@ -1,0 +1,404 @@
+// Package core implements the paper's primary contribution: the
+// multi-fidelity Bayesian optimization algorithm of §3 (Algorithm 1).
+//
+// Each iteration
+//
+//  1. fits one low-fidelity GP per output (objective + constraints) on the
+//     cheap data and one fused NARGP model per output on top of it,
+//  2. maximizes the low-fidelity wEI acquisition to obtain x*_l,
+//  3. maximizes the high-fidelity (fused) wEI acquisition with the §4.1
+//     multiple-starting-point strategy — 40 % of starts near the
+//     high-fidelity incumbent, 10 % near the low-fidelity incumbent, and
+//     x*_l injected as an extra start,
+//  4. chooses the evaluation fidelity by the §3.4 criterion: the point is
+//     simulated at HIGH fidelity only when every low-fidelity posterior
+//     variance is already below the threshold (eqs. 11–12),
+//  5. runs the simulation, charges its cost, and updates the training set.
+//
+// While no feasible high-fidelity point is known, the §4.2 bootstrap
+// objective (eq. 13) replaces wEI to force the search into the feasible
+// region.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/acq"
+	"repro/internal/gp"
+	"repro/internal/kernel"
+	"repro/internal/mfgp"
+	"repro/internal/optimize"
+	"repro/internal/problem"
+	"repro/internal/stats"
+)
+
+// Config tunes the optimizer. Zero values select the paper's settings where
+// the paper specifies them (γ = 0.01, MSP fractions 40 %/10 %).
+type Config struct {
+	// Budget is the total simulation budget in equivalent high-fidelity
+	// simulations (required, > 0). Initialization cost counts against it.
+	Budget float64
+	// InitLow / InitHigh are the Latin-hypercube initialization sizes
+	// (defaults 10 and 5, the paper's power-amplifier setting).
+	InitLow, InitHigh int
+	// Gamma is the fidelity-selection threshold of eq. (11) on standardized
+	// posterior variance (default 0.01).
+	Gamma float64
+	// MSP configures acquisition maximization (§4.1).
+	MSP optimize.MSPConfig
+	// GPRestarts / GPMaxIter tune surrogate training (defaults 1 / 60).
+	GPRestarts, GPMaxIter int
+	// RefitEvery controls how often hyperparameters are re-optimized; in
+	// between, models are re-factorized with warm hyperparameters
+	// (default 1 = every iteration).
+	RefitEvery int
+	// Propagation and NumSamples configure the fused posterior (§3.2);
+	// defaults: MonteCarlo with 30 common-random-number samples.
+	Propagation mfgp.Propagation
+	NumSamples  int
+	// FixedNoise pins the GP observation noise (standardized units);
+	// deterministic simulators should use a small value (default 1e-4).
+	FixedNoise *float64
+	// DisableIncumbentSeeding turns off the §4.1 τ_l/τ_h-local start points
+	// (ablation).
+	DisableIncumbentSeeding bool
+	// ForceHighFidelity disables the §3.4 criterion and evaluates every
+	// query at high fidelity (ablation; degenerates toward WEIBO with a
+	// fused model).
+	ForceHighFidelity bool
+	// MaxLowData, when positive, caps the low-fidelity training window for
+	// surrogate fitting: the newest MaxLowData cheap observations are used
+	// (all are still recorded in History). Exact GP training is O(n³), so
+	// high-dimensional problems whose cost ratio admits hundreds of cheap
+	// simulations need this to stay tractable.
+	MaxLowData int
+	// MaxIterations, when positive, bounds the number of adaptive
+	// iterations regardless of remaining budget — a wall-clock guard for
+	// problems whose low fidelity is so cheap that the budget admits
+	// thousands of iterations.
+	MaxIterations int
+	// Callback, when non-nil, observes every simulation as it happens.
+	Callback func(Observation)
+	// InitSampler generates the initialization designs (default
+	// stats.LatinHypercube; doe.SobolInBox / doe.HaltonInBox / doe.Auto are
+	// drop-in alternatives).
+	InitSampler func(rng *rand.Rand, lo, hi []float64, n int) [][]float64
+}
+
+func (c *Config) defaults() error {
+	if c.Budget <= 0 {
+		return errors.New("core: Config.Budget must be positive")
+	}
+	if c.InitLow <= 0 {
+		c.InitLow = 10
+	}
+	if c.InitHigh <= 0 {
+		c.InitHigh = 5
+	}
+	if c.Gamma <= 0 {
+		c.Gamma = 0.01
+	}
+	if c.GPRestarts <= 0 {
+		c.GPRestarts = 1
+	}
+	if c.GPMaxIter <= 0 {
+		c.GPMaxIter = 60
+	}
+	if c.RefitEvery <= 0 {
+		c.RefitEvery = 1
+	}
+	if c.NumSamples <= 0 {
+		c.NumSamples = 30
+	}
+	if c.FixedNoise == nil {
+		v := 1e-4
+		c.FixedNoise = &v
+	}
+	if c.InitSampler == nil {
+		c.InitSampler = stats.LatinHypercube
+	}
+	return nil
+}
+
+// Observation records one simulation performed by the optimizer.
+type Observation struct {
+	Iter    int // 0-based; initialization points share iteration −1
+	X       []float64
+	Fid     problem.Fidelity
+	Eval    problem.Evaluation
+	CumCost float64 // equivalent high-fidelity simulations spent so far
+}
+
+// Result summarizes an optimization run.
+type Result struct {
+	// BestX / Best are the best feasible HIGH-fidelity observation (or, if
+	// none is feasible, the least-violating one). Feasible tells which.
+	BestX    []float64
+	Best     problem.Evaluation
+	Feasible bool
+	// NumLow / NumHigh count simulations at each fidelity.
+	NumLow, NumHigh int
+	// EquivalentSims is the paper's cost metric: total cost divided by the
+	// cost of one high-fidelity simulation.
+	EquivalentSims float64
+	// History lists every simulation in order.
+	History []Observation
+}
+
+// dataset is the growing training set at one fidelity.
+type dataset struct {
+	X [][]float64
+	Y [][]float64 // per point: [objective, constraints...]
+}
+
+func (d *dataset) add(x []float64, e problem.Evaluation) {
+	d.X = append(d.X, append([]float64(nil), x...))
+	d.Y = append(d.Y, e.Outputs())
+}
+
+func (d *dataset) column(k int) []float64 {
+	col := make([]float64, len(d.Y))
+	for i, row := range d.Y {
+		col[i] = row[k]
+	}
+	return col
+}
+
+// window returns the newest max points (all of them when max <= 0) as a
+// training view. The returned dataset shares backing storage with d.
+func (d *dataset) window(max int) ([][]float64, *dataset) {
+	if max <= 0 || len(d.X) <= max {
+		return d.X, d
+	}
+	start := len(d.X) - max
+	view := &dataset{X: d.X[start:], Y: d.Y[start:]}
+	return view.X, view
+}
+
+// Optimize runs Algorithm 1 on p until the simulation budget is exhausted.
+func Optimize(p problem.Problem, cfg Config, rng *rand.Rand) (*Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	d := p.Dim()
+	nc := p.NumConstraints()
+	nOut := 1 + nc
+	lo, hi := p.Bounds()
+	box := optimize.NewBox(lo, hi)
+
+	res := &Result{}
+	low, high := &dataset{}, &dataset{}
+	cost := 0.0
+	costLow := p.Cost(problem.Low) / p.Cost(problem.High)
+	record := func(iter int, x []float64, fid problem.Fidelity) problem.Evaluation {
+		e := p.Evaluate(x, fid)
+		if fid == problem.Low {
+			low.add(x, e)
+			res.NumLow++
+			cost += costLow
+		} else {
+			high.add(x, e)
+			res.NumHigh++
+			cost += 1
+		}
+		ob := Observation{Iter: iter, X: append([]float64(nil), x...), Fid: fid, Eval: e, CumCost: cost}
+		res.History = append(res.History, ob)
+		if cfg.Callback != nil {
+			cfg.Callback(ob)
+		}
+		return e
+	}
+
+	// Initialization designs at both fidelities.
+	for _, x := range cfg.InitSampler(rng, lo, hi, cfg.InitLow) {
+		record(-1, x, problem.Low)
+	}
+	for _, x := range cfg.InitSampler(rng, lo, hi, cfg.InitHigh) {
+		record(-1, x, problem.High)
+	}
+
+	// Warm-start stores per output model.
+	warmLow := make([][]float64, nOut)
+	warmHigh := make([][]float64, nOut)
+
+	for iter := 0; cost < cfg.Budget; iter++ {
+		if cfg.MaxIterations > 0 && iter >= cfg.MaxIterations {
+			break
+		}
+		lowX, lowYs := low.window(cfg.MaxLowData)
+		fullRefit := iter%cfg.RefitEvery == 0
+		lowGPs := make([]*gp.Model, nOut)
+		fused := make([]*mfgp.Model, nOut)
+		for k := 0; k < nOut; k++ {
+			lm, err := gp.Fit(lowX, lowYs.column(k), gp.Config{
+				Kernel:       kernel.NewSEARD(d),
+				Restarts:     cfg.GPRestarts,
+				MaxIter:      cfg.GPMaxIter,
+				FixedNoise:   cfg.FixedNoise,
+				WarmStart:    warmLow[k],
+				SkipTraining: !fullRefit && warmLow[k] != nil,
+			}, rng)
+			if err != nil {
+				return nil, fmt.Errorf("core: iter %d output %d low fit: %w", iter, k, err)
+			}
+			warmLow[k] = lm.Hyper()
+			lowGPs[k] = lm
+			fm, err := mfgp.FitWithLow(lm, d, high.X, high.column(k), mfgp.Config{
+				Restarts:      cfg.GPRestarts,
+				MaxIter:       cfg.GPMaxIter,
+				FixedNoise:    cfg.FixedNoise,
+				Propagation:   cfg.Propagation,
+				NumSamples:    cfg.NumSamples,
+				WarmStartHigh: warmHigh[k],
+			}, rng)
+			if err != nil {
+				return nil, fmt.Errorf("core: iter %d output %d fusion fit: %w", iter, k, err)
+			}
+			warmHigh[k] = fm.High().Hyper()
+			fused[k] = fm
+		}
+
+		// Incumbents.
+		tauLowX, tauLowEval, hasLowFeasible := bestOf(low)
+		tauHighX, tauHighEval, hasHighFeasible := bestOf(high)
+
+		// Posterior adapters.
+		lowObj := func(x []float64) (float64, float64) { return lowGPs[0].PredictLatent(x) }
+		lowCons := make([]acq.Posterior, nc)
+		for i := 0; i < nc; i++ {
+			m := lowGPs[1+i]
+			lowCons[i] = func(x []float64) (float64, float64) { return m.PredictLatent(x) }
+		}
+		fusedObj := func(x []float64) (float64, float64) { return fused[0].Predict(x) }
+		fusedCons := make([]acq.Posterior, nc)
+		for i := 0; i < nc; i++ {
+			m := fused[1+i]
+			fusedCons[i] = func(x []float64) (float64, float64) { return m.Predict(x) }
+		}
+
+		mspCfg := cfg.MSP
+		var incHigh, incLow []float64
+		if !cfg.DisableIncumbentSeeding {
+			if hasHighFeasible {
+				incHigh = tauHighX
+			}
+			if hasLowFeasible {
+				incLow = tauLowX
+			}
+		}
+
+		// Step 5: low-fidelity acquisition → x*_l.
+		var acqLow func([]float64) float64
+		switch {
+		case hasLowFeasible:
+			acqLow = acq.WEI(lowObj, lowCons, tauLowEval.Objective)
+		case nc > 0:
+			fo := acq.FeasibilityObjective(lowCons)
+			acqLow = func(x []float64) float64 { return -fo(x) }
+		default:
+			acqLow = acq.WEI(lowObj, nil, math.Inf(1))
+		}
+		xStarLow, _ := optimize.MaximizeMSP(rng, acqLow, box, incHigh, incLow, mspCfg)
+
+		// Step 6: high-fidelity acquisition seeded with x*_l.
+		var acqHigh func([]float64) float64
+		switch {
+		case hasHighFeasible:
+			acqHigh = acq.WEI(fusedObj, fusedCons, tauHighEval.Objective)
+		case nc > 0:
+			// §4.2: no feasible point yet — chase predicted feasibility.
+			fo := acq.FeasibilityObjective(fusedCons)
+			acqHigh = func(x []float64) float64 { return -fo(x) }
+		default:
+			acqHigh = acq.WEI(fusedObj, nil, math.Inf(1))
+		}
+		mspCfg.Extra = append(append([][]float64(nil), cfg.MSP.Extra...), xStarLow)
+		xt, _ := optimize.MaximizeMSP(rng, acqHigh, box, incHigh, incLow, mspCfg)
+
+		// Degenerate-query guard: re-sampling an existing point adds no
+		// information; fall back to a random exploration point.
+		fid := cfg.selectFidelity(lowGPs, xt, nc)
+		if isDuplicate(xt, low, high, fid) {
+			xt = stats.UniformInBox(rng, lo, hi, 1)[0]
+			fid = cfg.selectFidelity(lowGPs, xt, nc)
+		}
+		record(iter, xt, fid)
+	}
+
+	bx, be, feas := bestOf(high)
+	if bx == nil {
+		return nil, errors.New("core: no high-fidelity observations recorded")
+	}
+	res.BestX = bx
+	res.Best = be
+	res.Feasible = feas
+	res.EquivalentSims = cost
+	return res, nil
+}
+
+// selectFidelity applies the §3.4 criterion (eqs. 11–12): evaluate at HIGH
+// fidelity when every low-fidelity posterior variance (standardized) is
+// below (1+Nc)·γ — i.e. when more cheap data would not improve the
+// low-fidelity models around xt.
+func (c *Config) selectFidelity(lowGPs []*gp.Model, x []float64, nc int) problem.Fidelity {
+	if c.ForceHighFidelity {
+		return problem.High
+	}
+	maxVar := 0.0
+	for _, m := range lowGPs {
+		_, va := m.PredictLatent(x)
+		std := m.OutputStd()
+		if v := va / (std * std); v > maxVar {
+			maxVar = v
+		}
+	}
+	threshold := (1 + float64(nc)) * c.Gamma
+	if maxVar < threshold {
+		return problem.High
+	}
+	return problem.Low
+}
+
+// bestOf returns the best observation of a dataset under the constrained
+// ordering (feasible-first). The boolean reports whether it is feasible.
+func bestOf(d *dataset) ([]float64, problem.Evaluation, bool) {
+	if len(d.X) == 0 {
+		return nil, problem.Evaluation{}, false
+	}
+	bi := 0
+	be := rowEval(d.Y[0])
+	for i := 1; i < len(d.X); i++ {
+		e := rowEval(d.Y[i])
+		if problem.Better(e, be) {
+			bi, be = i, e
+		}
+	}
+	return d.X[bi], be, be.Feasible()
+}
+
+func rowEval(row []float64) problem.Evaluation {
+	return problem.Evaluation{Objective: row[0], Constraints: row[1:]}
+}
+
+// isDuplicate reports whether xt coincides (to numerical precision) with a
+// point already evaluated at the target fidelity.
+func isDuplicate(xt []float64, low, high *dataset, fid problem.Fidelity) bool {
+	ds := low
+	if fid == problem.High {
+		ds = high
+	}
+	for _, x := range ds.X {
+		d2 := 0.0
+		for j := range x {
+			dd := x[j] - xt[j]
+			d2 += dd * dd
+		}
+		if d2 < 1e-16 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,221 @@
+// Package doe provides low-discrepancy designs of experiments used to
+// initialize Bayesian-optimization runs and to seed multi-start acquisition
+// maximization: the base-2 radical inverse (van der Corput), Sobol'
+// sequences (with the classic Bratley–Fox direction numbers, dimensions up
+// to 18), and Halton sequences with Cranley–Patterson rotation for arbitrary
+// dimension. All samplers expose the same signature as
+// stats.LatinHypercube so the optimizer accepts any of them.
+package doe
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// VanDerCorput returns the base-2 radical inverse of i — the first Sobol'
+// dimension.
+func VanDerCorput(i uint32) float64 {
+	i = (i << 16) | (i >> 16)
+	i = ((i & 0x00ff00ff) << 8) | ((i & 0xff00ff00) >> 8)
+	i = ((i & 0x0f0f0f0f) << 4) | ((i & 0xf0f0f0f0) >> 4)
+	i = ((i & 0x33333333) << 2) | ((i & 0xcccccccc) >> 2)
+	i = ((i & 0x55555555) << 1) | ((i & 0xaaaaaaaa) >> 1)
+	return float64(i) / (1 << 32)
+}
+
+// sobolPoly lists primitive polynomials over GF(2) in the Bratley–Fox
+// encoding: Degree s and interior coefficients packed into A (the polynomial
+// is x^s + a₁x^{s−1} + … + a_{s−1}x + 1 with a-bits read from the most
+// significant side). Dimensions beyond the first use successive entries.
+var sobolPoly = []struct {
+	Degree int
+	A      uint32
+}{
+	{1, 0},
+	{2, 1},
+	{3, 1}, {3, 2},
+	{4, 1}, {4, 4},
+	{5, 2}, {5, 4}, {5, 7}, {5, 11}, {5, 13}, {5, 14},
+	{6, 1}, {6, 13}, {6, 16}, {6, 19}, {6, 22}, {6, 25},
+}
+
+// MaxSobolDim is the largest dimensionality NewSobol accepts (first
+// dimension = van der Corput plus one per table entry).
+var MaxSobolDim = 1 + len(sobolPoly)
+
+const sobolBits = 31
+
+// Sobol generates a Sobol' low-discrepancy sequence.
+type Sobol struct {
+	dim int
+	v   [][]uint32 // v[d][bit] direction numbers scaled to sobolBits
+	x   []uint32   // current Gray-code state
+	n   uint32
+}
+
+// NewSobol returns a Sobol' sequence generator for dim ≤ MaxSobolDim
+// dimensions.
+func NewSobol(dim int) *Sobol {
+	if dim < 1 || dim > MaxSobolDim {
+		panic(fmt.Sprintf("doe: Sobol dimension %d outside [1, %d]", dim, MaxSobolDim))
+	}
+	s := &Sobol{dim: dim, x: make([]uint32, dim)}
+	s.v = make([][]uint32, dim)
+	for d := 0; d < dim; d++ {
+		v := make([]uint32, sobolBits)
+		if d == 0 {
+			for i := 0; i < sobolBits; i++ {
+				v[i] = 1 << (sobolBits - 1 - i)
+			}
+		} else {
+			p := sobolPoly[d-1]
+			deg := p.Degree
+			// Initial direction numbers m_i = 1 (odd, < 2^i): the original
+			// Sobol' choice.
+			m := make([]uint32, sobolBits)
+			for i := 0; i < deg && i < sobolBits; i++ {
+				m[i] = 1
+			}
+			// Recurrence: m_i = a₁·2·m_{i−1} ⊕ … ⊕ 2^s·m_{i−s} ⊕ m_{i−s}.
+			for i := deg; i < sobolBits; i++ {
+				mi := m[i-deg] ^ (m[i-deg] << deg)
+				for k := 1; k < deg; k++ {
+					if (p.A>>(deg-1-k))&1 == 1 {
+						mi ^= m[i-k] << k
+					}
+				}
+				m[i] = mi
+			}
+			for i := 0; i < sobolBits; i++ {
+				v[i] = m[i] << (sobolBits - 1 - i)
+			}
+		}
+		s.v[d] = v
+	}
+	return s
+}
+
+// Dim returns the sequence dimensionality.
+func (s *Sobol) Dim() int { return s.dim }
+
+// Next returns the next point in [0,1)^dim (Gray-code order; the first call
+// returns the point after the origin).
+func (s *Sobol) Next() []float64 {
+	s.n++
+	// Index of the lowest zero bit of n−1 (Gray-code step).
+	c := 0
+	for v := s.n - 1; v&1 == 1; v >>= 1 {
+		c++
+	}
+	out := make([]float64, s.dim)
+	for d := 0; d < s.dim; d++ {
+		s.x[d] ^= s.v[d][c]
+		out[d] = float64(s.x[d]) / (1 << sobolBits)
+	}
+	return out
+}
+
+// SobolInBox draws n Sobol' points mapped into [lo, hi]^d. The rng applies a
+// random Cranley–Patterson shift so repeated designs differ across seeds;
+// pass nil for the raw sequence.
+func SobolInBox(rng *rand.Rand, lo, hi []float64, n int) [][]float64 {
+	d := len(lo)
+	s := NewSobol(d)
+	shift := make([]float64, d)
+	if rng != nil {
+		for j := range shift {
+			shift[j] = rng.Float64()
+		}
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		u := s.Next()
+		p := make([]float64, d)
+		for j := 0; j < d; j++ {
+			uj := u[j] + shift[j]
+			if uj >= 1 {
+				uj -= 1
+			}
+			p[j] = lo[j] + uj*(hi[j]-lo[j])
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// Primes returns the first n primes by trial division (n is small in DOE
+// use: one prime per dimension).
+func Primes(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	primes := make([]int, 0, n)
+	for candidate := 2; len(primes) < n; candidate++ {
+		isPrime := true
+		for _, p := range primes {
+			if p*p > candidate {
+				break
+			}
+			if candidate%p == 0 {
+				isPrime = false
+				break
+			}
+		}
+		if isPrime {
+			primes = append(primes, candidate)
+		}
+	}
+	return primes
+}
+
+// RadicalInverse returns the base-b radical inverse of i.
+func RadicalInverse(i uint64, b int) float64 {
+	inv := 1.0 / float64(b)
+	f := inv
+	v := 0.0
+	for ; i > 0; i /= uint64(b) {
+		v += float64(i%uint64(b)) * f
+		f *= inv
+	}
+	return v
+}
+
+// HaltonInBox draws n Halton points (one prime base per dimension) mapped
+// into [lo, hi]^d, with a Cranley–Patterson rotation from rng (nil for the
+// raw sequence). Works for any dimension; preferred over Sobol beyond
+// MaxSobolDim.
+func HaltonInBox(rng *rand.Rand, lo, hi []float64, n int) [][]float64 {
+	d := len(lo)
+	bases := Primes(d)
+	shift := make([]float64, d)
+	if rng != nil {
+		for j := range shift {
+			shift[j] = rng.Float64()
+		}
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		p := make([]float64, d)
+		for j := 0; j < d; j++ {
+			u := RadicalInverse(uint64(i+1), bases[j]) + shift[j]
+			if u >= 1 {
+				u -= 1
+			}
+			p[j] = lo[j] + u*(hi[j]-lo[j])
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// Sampler is the shared signature of all initialization designs
+// (LatinHypercube, SobolInBox, HaltonInBox).
+type Sampler func(rng *rand.Rand, lo, hi []float64, n int) [][]float64
+
+// Auto picks Sobol for dimensions it supports and Halton above that.
+func Auto(rng *rand.Rand, lo, hi []float64, n int) [][]float64 {
+	if len(lo) <= MaxSobolDim {
+		return SobolInBox(rng, lo, hi, n)
+	}
+	return HaltonInBox(rng, lo, hi, n)
+}

@@ -1,0 +1,245 @@
+package doe
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVanDerCorputFirstValues(t *testing.T) {
+	// 1 → 0.5, 2 → 0.25, 3 → 0.75, 4 → 0.125 …
+	cases := []struct {
+		i    uint32
+		want float64
+	}{
+		{0, 0}, {1, 0.5}, {2, 0.25}, {3, 0.75}, {4, 0.125}, {5, 0.625}, {6, 0.375}, {7, 0.875},
+	}
+	for _, c := range cases {
+		if got := VanDerCorput(c.i); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("VdC(%d) = %v, want %v", c.i, got, c.want)
+		}
+	}
+}
+
+func TestVanDerCorputRange(t *testing.T) {
+	f := func(i uint32) bool {
+		v := VanDerCorput(i)
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSobolFirstDimensionIsVdC(t *testing.T) {
+	s := NewSobol(1)
+	// Gray-code order visits the same set of points as VdC over a full
+	// power-of-two block; check the visited set for n = 8.
+	seen := map[float64]bool{}
+	for i := 0; i < 8; i++ {
+		seen[s.Next()[0]] = true
+	}
+	for _, want := range []float64{0.5, 0.25, 0.75, 0.125, 0.625, 0.375, 0.875} {
+		if !seen[want] {
+			t.Fatalf("VdC value %v missing from first Sobol dimension: %v", want, seen)
+		}
+	}
+}
+
+func TestSobolStratification(t *testing.T) {
+	// Any 2^k consecutive-from-start block of a Sobol dimension places
+	// exactly one point in each dyadic interval of width 2^−k.
+	for dim := 1; dim <= MaxSobolDim; dim++ {
+		s := NewSobol(dim)
+		const k = 4
+		n := 1 << k
+		counts := make([][]int, dim)
+		for d := range counts {
+			counts[d] = make([]int, n)
+			counts[d][0]++ // the generator skips the origin point
+		}
+		for i := 0; i < n-1; i++ {
+			p := s.Next()
+			for d, v := range p {
+				if v < 0 || v >= 1 {
+					t.Fatalf("dim %d point %v outside [0,1)", d, v)
+				}
+				counts[d][int(v*float64(n))]++
+			}
+		}
+		for d := range counts {
+			for bin, c := range counts[d] {
+				if c != 1 {
+					t.Fatalf("sobol dim %d/%d: bin %d has %d points", d, dim, bin, c)
+				}
+			}
+		}
+	}
+}
+
+func TestSobolDistinctDimensions(t *testing.T) {
+	s := NewSobol(MaxSobolDim)
+	n := 64
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = s.Next()
+	}
+	// No two dimensions should be identical.
+	for a := 0; a < MaxSobolDim; a++ {
+		for b := a + 1; b < MaxSobolDim; b++ {
+			same := true
+			for i := 0; i < n; i++ {
+				if pts[i][a] != pts[i][b] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatalf("sobol dims %d and %d identical", a, b)
+			}
+		}
+	}
+}
+
+func TestSobolDimensionBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic above MaxSobolDim")
+		}
+	}()
+	NewSobol(MaxSobolDim + 1)
+}
+
+func TestSobolInBoxMapsAndShifts(t *testing.T) {
+	lo, hi := []float64{-1, 10}, []float64{1, 20}
+	raw := SobolInBox(nil, lo, hi, 32)
+	for _, p := range raw {
+		if p[0] < -1 || p[0] >= 1 || p[1] < 10 || p[1] >= 20 {
+			t.Fatalf("point %v outside box", p)
+		}
+	}
+	shifted := SobolInBox(rand.New(rand.NewSource(1)), lo, hi, 32)
+	diff := false
+	for i := range raw {
+		if raw[i][0] != shifted[i][0] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("Cranley–Patterson shift had no effect")
+	}
+}
+
+func TestPrimes(t *testing.T) {
+	want := []int{2, 3, 5, 7, 11, 13, 17, 19, 23, 29}
+	got := Primes(10)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Primes(10) = %v", got)
+		}
+	}
+	if Primes(0) != nil {
+		t.Fatal("Primes(0) should be nil")
+	}
+}
+
+func TestRadicalInverseBase3(t *testing.T) {
+	// 1 → 1/3, 2 → 2/3, 3 → 1/9, 4 → 4/9 (digits reversed).
+	cases := []struct {
+		i    uint64
+		want float64
+	}{
+		{1, 1.0 / 3}, {2, 2.0 / 3}, {3, 1.0 / 9}, {4, 4.0 / 9}, {5, 7.0 / 9},
+	}
+	for _, c := range cases {
+		if got := RadicalInverse(c.i, 3); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("RadicalInverse(%d, 3) = %v, want %v", c.i, got, c.want)
+		}
+	}
+}
+
+func TestHaltonInBoxHighDimension(t *testing.T) {
+	// 36 dimensions (the charge pump) must work and stay in the box.
+	d := 36
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for i := range hi {
+		hi[i] = float64(i + 1)
+	}
+	pts := HaltonInBox(rand.New(rand.NewSource(2)), lo, hi, 50)
+	if len(pts) != 50 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		for j := range p {
+			if p[j] < lo[j] || p[j] >= hi[j] {
+				t.Fatalf("coordinate %d = %v outside [%v, %v)", j, p[j], lo[j], hi[j])
+			}
+		}
+	}
+}
+
+func TestHaltonUniformityBeatsClumping(t *testing.T) {
+	// In 1-d, the Halton (= VdC base 2) prefix should have discrepancy far
+	// below random sampling: check max gap between sorted points.
+	lo, hi := []float64{0}, []float64{1}
+	pts := HaltonInBox(nil, lo, hi, 64)
+	vals := make([]float64, len(pts))
+	for i, p := range pts {
+		vals[i] = p[0]
+	}
+	maxGap := maxSortedGap(vals)
+	if maxGap > 3.0/64 {
+		t.Fatalf("Halton max gap %v too large", maxGap)
+	}
+}
+
+func maxSortedGap(vals []float64) float64 {
+	sorted := append([]float64(nil), vals...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	maxGap := sorted[0]
+	for i := 1; i < len(sorted); i++ {
+		if g := sorted[i] - sorted[i-1]; g > maxGap {
+			maxGap = g
+		}
+	}
+	if g := 1 - sorted[len(sorted)-1]; g > maxGap {
+		maxGap = g
+	}
+	return maxGap
+}
+
+func TestAutoSwitchesSampler(t *testing.T) {
+	// Low dim uses Sobol, high dim Halton; both must produce in-box points.
+	rng := rand.New(rand.NewSource(3))
+	low := Auto(rng, []float64{0, 0}, []float64{1, 1}, 8)
+	if len(low) != 8 {
+		t.Fatal("auto low-dim failed")
+	}
+	d := MaxSobolDim + 5
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for i := range hi {
+		hi[i] = 1
+	}
+	high := Auto(rng, lo, hi, 8)
+	if len(high) != 8 {
+		t.Fatal("auto high-dim failed")
+	}
+}
+
+func TestSamplerSignatureCompatibility(t *testing.T) {
+	// All three designs satisfy the shared Sampler type.
+	for _, s := range []Sampler{SobolInBox, HaltonInBox, Auto} {
+		pts := s(rand.New(rand.NewSource(4)), []float64{0}, []float64{1}, 4)
+		if len(pts) != 4 {
+			t.Fatal("sampler did not produce requested count")
+		}
+	}
+}

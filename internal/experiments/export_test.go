@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/problem"
+)
+
+func TestCompareSignificance(t *testing.T) {
+	mk := func(objs ...float64) *AlgoStats {
+		a := &AlgoStats{Name: "x"}
+		for _, o := range objs {
+			a.Results = append(a.Results, fakeResult(o, true, 1))
+		}
+		return a
+	}
+	same := mk(1, 2, 3, 4, 5, 6, 7, 8)
+	if p := CompareSignificance(same, same); p < 0.9 {
+		t.Fatalf("identical distributions p = %v", p)
+	}
+	better := mk(1, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7)
+	worse := mk(9, 9.1, 9.2, 9.3, 9.4, 9.5, 9.6, 9.7)
+	if p := CompareSignificance(better, worse); p > 0.01 {
+		t.Fatalf("separated distributions p = %v", p)
+	}
+}
+
+func TestCompareSignificanceInfeasibleRanksWorst(t *testing.T) {
+	feas := &AlgoStats{Name: "a", Results: []*core.Result{
+		fakeResult(1, true, 1), fakeResult(2, true, 1), fakeResult(3, true, 1),
+		fakeResult(1.5, true, 1), fakeResult(2.5, true, 1), fakeResult(1.2, true, 1),
+	}}
+	infeas := &AlgoStats{Name: "b", Results: []*core.Result{
+		fakeResult(0.1, false, 1), fakeResult(0.2, false, 1), fakeResult(0.3, false, 1),
+		fakeResult(0.4, false, 1), fakeResult(0.5, false, 1), fakeResult(0.6, false, 1),
+	}}
+	if p := CompareSignificance(feas, infeas); p > 0.05 {
+		t.Fatalf("all-infeasible arm should rank strictly worse: p = %v", p)
+	}
+}
+
+func TestWriteHistoryCSV(t *testing.T) {
+	r := &core.Result{History: []core.Observation{
+		{Iter: -1, X: []float64{0.1, 0.2}, Fid: problem.Low,
+			Eval: problem.Evaluation{Objective: 3, Constraints: []float64{-1}}, CumCost: 0.05},
+		{Iter: 0, X: []float64{0.3, 0.4}, Fid: problem.High,
+			Eval: problem.Evaluation{Objective: 2, Constraints: []float64{1}}, CumCost: 1.05},
+	}}
+	var buf bytes.Buffer
+	if err := WriteHistoryCSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected header + 2 rows, got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "iter,fidelity,cum_equiv_sims,objective,feasible,x0,x1") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "low") || !strings.Contains(lines[1], "true") {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "high") || !strings.Contains(lines[2], "false") {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+}
+
+func TestWriteTraceCSV(t *testing.T) {
+	feas := func(v float64) problem.Evaluation {
+		return problem.Evaluation{Objective: v, Constraints: []float64{-1}}
+	}
+	r := historyResult(
+		[]problem.Evaluation{feas(5), feas(3)},
+		[]problem.Fidelity{problem.High, problem.High},
+		[]float64{1, 2},
+	)
+	statsByAlgo := map[string]*AlgoStats{}
+	for _, name := range AlgoOrder {
+		statsByAlgo[name] = &AlgoStats{Name: name, Results: []*core.Result{r}}
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceCSV(&buf, statsByAlgo, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected header + 2 rows:\n%s", buf.String())
+	}
+	if !strings.Contains(lines[1], "5") || !strings.Contains(lines[2], "3") {
+		t.Fatalf("trace values missing:\n%s", buf.String())
+	}
+}

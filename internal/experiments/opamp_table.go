@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"repro/internal/stats"
+	"repro/internal/testbench"
+)
+
+// QuickScaleOpAmp sizes the op-amp extension experiment (Table 3 in
+// EXPERIMENTS.md — not in the paper) for interactive runs.
+func QuickScaleOpAmp() Scale {
+	return Scale{
+		Runs:       3,
+		MFBOBudget: 25, MFBOInitLow: 12, MFBOInitHigh: 5,
+		WEIBOBudget: 25, WEIBOInit: 10,
+		GASPADBudget: 50, GASPADInit: 15,
+		DEBudget:  50,
+		MSPStarts: 8, LocalIter: 25,
+		GPRestarts: 1, GPMaxIter: 40, RefitEvery: 3,
+		MCSamples: 20,
+	}
+}
+
+// RunTableOpAmp runs the four algorithms on the op-amp workload and renders
+// the extension table: spec metrics of the best design, power statistics
+// across replications, and the cost rows.
+func RunTableOpAmp(oa *testbench.OpAmp, sc Scale, baseSeed int64) (*Table, map[string]*AlgoStats, error) {
+	statsByAlgo, err := runAllProblem(oa, sc, baseSeed)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := NewTable("Table 3 (extension): two-stage op-amp sizing", AlgoOrder...)
+	row := func(label, format string, get func(a *AlgoStats) float64) {
+		vals := make([]float64, len(AlgoOrder))
+		for i, name := range AlgoOrder {
+			vals[i] = get(statsByAlgo[name])
+		}
+		t.AddRow(label, format, vals...)
+	}
+	// Constraint packing: c₁ = gainMin − gain, c₂ = ugfMin − ugf,
+	// c₃ = pmMin − pm.
+	row("gain/dB", "%.1f", func(a *AlgoStats) float64 {
+		return oa.GainMinDB - a.BestRun().Best.Constraints[0]
+	})
+	row("UGF/MHz", "%.1f", func(a *AlgoStats) float64 {
+		return oa.UGFMinMHz - a.BestRun().Best.Constraints[1]
+	})
+	row("PM/deg", "%.1f", func(a *AlgoStats) float64 {
+		return oa.PMMinDeg - a.BestRun().Best.Constraints[2]
+	})
+	powerStat := func(pick func(stats.Summary) float64) func(a *AlgoStats) float64 {
+		return func(a *AlgoStats) float64 {
+			s, ok := a.ObjectiveSummary()
+			if !ok {
+				return nan()
+			}
+			return pick(s)
+		}
+	}
+	row("P(mean)/µW", "%.1f", powerStat(func(s stats.Summary) float64 { return s.Mean }))
+	row("P(median)/µW", "%.1f", powerStat(func(s stats.Summary) float64 { return s.Median }))
+	row("P(best)/µW", "%.1f", powerStat(func(s stats.Summary) float64 { return s.Min }))
+	row("P(worst)/µW", "%.1f", powerStat(func(s stats.Summary) float64 { return s.Max }))
+	row("Avg. # Sim", "%.0f", func(a *AlgoStats) float64 { return a.AvgSims() })
+	succ := make([]string, len(AlgoOrder))
+	for i, name := range AlgoOrder {
+		succ[i] = successString(statsByAlgo[name], sc.Runs)
+	}
+	t.AddTextRow("# Success", succ...)
+	return t, statsByAlgo, nil
+}

@@ -1,0 +1,480 @@
+// Package gp implements exact Gaussian-process regression (§2.3 of the
+// paper): zero-mean GPs with trainable kernels, observation-noise estimation,
+// negative-log-marginal-likelihood training with analytic gradients and
+// multi-restart L-BFGS, and posterior mean/variance prediction (eq. 4).
+//
+// Inputs and outputs are standardized internally (zero mean, unit variance
+// per coordinate) so that the default hyperparameter bounds are meaningful
+// for any problem scaling; predictions are mapped back automatically.
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/kernel"
+	"repro/internal/linalg"
+	"repro/internal/optimize"
+)
+
+// Config controls model training. The zero value of optional fields selects
+// sensible defaults.
+type Config struct {
+	// Kernel is the covariance function (required). The model owns the
+	// kernel after Fit; pass a Clone if the caller needs to keep it.
+	Kernel kernel.Kernel
+	// Restarts is the number of random restarts for hyperparameter training
+	// in addition to the default initialization (default 2).
+	Restarts int
+	// MaxIter bounds L-BFGS iterations per restart (default 100).
+	MaxIter int
+	// NoiseBounds are log-space bounds for log σ_n (default [-8, 1]).
+	NoiseBounds [2]float64
+	// FixedNoise, when non-nil, pins σ_n to the given value (in standardized
+	// output units) instead of training it. Use a small value such as 1e-4
+	// for noiseless computer experiments.
+	FixedNoise *float64
+	// NoStandardizeX disables input standardization (used by tests).
+	NoStandardizeX bool
+	// WarmStart, when non-nil, is used as the primary training start instead
+	// of the default initialization — pass a previous fit's Hyper() to speed
+	// up incremental refits. Its length must be NumHyper()+1 (kernel hypers
+	// plus log-noise); the noise entry is ignored under FixedNoise.
+	WarmStart []float64
+	// SkipTraining keeps the WarmStart hyperparameters (or the kernel's
+	// current ones when WarmStart is nil) without optimizing the NLML. The
+	// BO loop uses it between periodic full refits: the covariance is
+	// re-factorized with the new data but hyperparameters stay put.
+	SkipTraining bool
+}
+
+func (c *Config) defaults() error {
+	if c.Kernel == nil {
+		return errors.New("gp: Config.Kernel is required")
+	}
+	if c.Restarts < 0 {
+		return fmt.Errorf("gp: negative restarts %d", c.Restarts)
+	}
+	if c.Restarts == 0 {
+		c.Restarts = 2
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 100
+	}
+	if c.NoiseBounds == [2]float64{} {
+		c.NoiseBounds = [2]float64{-8, 1}
+	}
+	return nil
+}
+
+// Model is a trained Gaussian-process regressor.
+type Model struct {
+	cfg  Config
+	kern kernel.Kernel
+
+	// Standardization parameters.
+	xMean, xStd []float64
+	yMean, yStd float64
+
+	// Standardized training data.
+	xs [][]float64
+	ys []float64
+
+	logNoise float64 // log σ_n in standardized output units
+
+	chol  *linalg.Cholesky
+	alpha []float64 // K⁻¹ y (standardized)
+	nlml  float64
+}
+
+// Fit trains a GP on the dataset (X, y). Hyperparameters are obtained by
+// minimizing the NLML (eq. 3) with analytic gradients, multi-restarted from
+// random initializations drawn with rng.
+func Fit(X [][]float64, y []float64, cfg Config, rng *rand.Rand) (*Model, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	n := len(X)
+	if n == 0 {
+		return nil, errors.New("gp: empty training set")
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("gp: %d inputs but %d observations", n, len(y))
+	}
+	d := len(X[0])
+	if cfg.Kernel.Dim() != d {
+		return nil, fmt.Errorf("gp: kernel dim %d != input dim %d", cfg.Kernel.Dim(), d)
+	}
+	m := &Model{cfg: cfg, kern: cfg.Kernel}
+	m.standardize(X, y)
+
+	nk := m.kern.NumHyper()
+	nTotal := nk
+	trainNoise := cfg.FixedNoise == nil
+	if trainNoise {
+		nTotal++
+	} else {
+		m.logNoise = math.Log(math.Max(*cfg.FixedNoise, 1e-10))
+	}
+
+	if cfg.SkipTraining {
+		if trainNoise {
+			m.logNoise = math.Log(1e-2)
+		}
+		if len(cfg.WarmStart) >= nk {
+			m.kern.SetHyper(cfg.WarmStart[:nk])
+			if trainNoise && len(cfg.WarmStart) > nk {
+				m.logNoise = clamp(cfg.WarmStart[nk], cfg.NoiseBounds[0], cfg.NoiseBounds[1])
+			}
+		}
+		if err := m.factorize(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+
+	// Objective over the packed hyper vector [kernel hypers..., logNoise?].
+	obj := func(theta, grad []float64) float64 {
+		m.kern.SetHyper(theta[:nk])
+		if trainNoise {
+			m.logNoise = clamp(theta[nk], cfg.NoiseBounds[0], cfg.NoiseBounds[1])
+		}
+		v, g, err := m.nlmlGrad()
+		if err != nil {
+			for i := range grad {
+				grad[i] = 0
+			}
+			return math.Inf(1)
+		}
+		copy(grad, g[:len(grad)])
+		return v
+	}
+
+	loK, hiK := kernel.BoundsVectors(m.kern)
+	bestTheta := make([]float64, nTotal)
+	bestNLML := math.Inf(1)
+	tryFrom := func(theta0 []float64) {
+		r := optimize.LBFGS(obj, theta0, optimize.LBFGSConfig{MaxIter: cfg.MaxIter})
+		if r.F < bestNLML && !math.IsNaN(r.F) {
+			bestNLML = r.F
+			copy(bestTheta, r.X)
+		}
+	}
+	// Default start: zeros (unit amplitude/length scales), modest noise —
+	// or the caller's warm start.
+	start := make([]float64, nTotal)
+	if trainNoise {
+		start[nk] = math.Log(1e-2)
+	}
+	if len(cfg.WarmStart) >= nk {
+		copy(start[:nk], cfg.WarmStart[:nk])
+		if trainNoise && len(cfg.WarmStart) > nk {
+			start[nk] = clamp(cfg.WarmStart[nk], cfg.NoiseBounds[0], cfg.NoiseBounds[1])
+		}
+	}
+	tryFrom(start)
+	for r := 0; r < cfg.Restarts; r++ {
+		theta0 := make([]float64, nTotal)
+		for j := 0; j < nk; j++ {
+			theta0[j] = loK[j] + rng.Float64()*(hiK[j]-loK[j])*0.5 + 0.25*(hiK[j]-loK[j])
+		}
+		if trainNoise {
+			lo, hi := cfg.NoiseBounds[0], cfg.NoiseBounds[1]
+			theta0[nk] = lo + rng.Float64()*(hi-lo)
+		}
+		tryFrom(theta0)
+	}
+	if math.IsInf(bestNLML, 1) {
+		return nil, errors.New("gp: training failed from every restart")
+	}
+	m.kern.SetHyper(bestTheta[:nk])
+	if trainNoise {
+		m.logNoise = clamp(bestTheta[nk], cfg.NoiseBounds[0], cfg.NoiseBounds[1])
+	}
+	if err := m.factorize(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// standardize stores standardization parameters and the transformed data.
+func (m *Model) standardize(X [][]float64, y []float64) {
+	n, d := len(X), len(X[0])
+	m.xMean = make([]float64, d)
+	m.xStd = make([]float64, d)
+	for j := 0; j < d; j++ {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += X[i][j]
+		}
+		mu := s / float64(n)
+		ss := 0.0
+		for i := 0; i < n; i++ {
+			dv := X[i][j] - mu
+			ss += dv * dv
+		}
+		sd := math.Sqrt(ss / float64(n))
+		if sd < 1e-12 || m.cfg.NoStandardizeX {
+			mu, sd = 0, 1
+		}
+		m.xMean[j], m.xStd[j] = mu, sd
+	}
+	sy := 0.0
+	for _, v := range y {
+		sy += v
+	}
+	m.yMean = sy / float64(n)
+	ssy := 0.0
+	for _, v := range y {
+		dv := v - m.yMean
+		ssy += dv * dv
+	}
+	m.yStd = math.Sqrt(ssy / float64(n))
+	if m.yStd < 1e-12 {
+		m.yStd = 1
+	}
+	m.xs = make([][]float64, n)
+	for i := range X {
+		m.xs[i] = m.toStdX(X[i])
+	}
+	m.ys = make([]float64, n)
+	for i, v := range y {
+		m.ys[i] = (v - m.yMean) / m.yStd
+	}
+}
+
+func (m *Model) toStdX(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j := range x {
+		out[j] = (x[j] - m.xMean[j]) / m.xStd[j]
+	}
+	return out
+}
+
+// factorize builds the Cholesky of K + σ_n²I and the alpha vector for the
+// current hyperparameters.
+func (m *Model) factorize() error {
+	n := len(m.xs)
+	K := linalg.NewMatrix(n, n)
+	noise2 := math.Exp(2 * m.logNoise)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := m.kern.Eval(m.xs[i], m.xs[j])
+			K.Set(i, j, v)
+			K.Set(j, i, v)
+		}
+		K.Add(i, i, noise2)
+	}
+	chol, err := linalg.NewCholesky(K)
+	if err != nil {
+		return fmt.Errorf("gp: covariance factorization: %w", err)
+	}
+	m.chol = chol
+	m.alpha = chol.SolveVec(m.ys)
+	m.nlml = 0.5*linalg.Dot(m.ys, m.alpha) + 0.5*chol.LogDet() + 0.5*float64(n)*math.Log(2*math.Pi)
+	return nil
+}
+
+// nlmlGrad returns the NLML and its gradient with respect to the packed
+// hyper vector [kernel hypers..., logNoise].
+func (m *Model) nlmlGrad() (float64, []float64, error) {
+	n := len(m.xs)
+	nk := m.kern.NumHyper()
+	K := linalg.NewMatrix(n, n)
+	// dK[j] stacked as n×n matrices in one slice to limit allocations.
+	dK := make([]*linalg.Matrix, nk)
+	for j := range dK {
+		dK[j] = linalg.NewMatrix(n, n)
+	}
+	grad := make([]float64, nk)
+	noise2 := math.Exp(2 * m.logNoise)
+	gbuf := make([]float64, nk)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := m.kern.EvalGrad(m.xs[i], m.xs[j], gbuf)
+			K.Set(i, j, v)
+			K.Set(j, i, v)
+			for h := 0; h < nk; h++ {
+				dK[h].Set(i, j, gbuf[h])
+				dK[h].Set(j, i, gbuf[h])
+			}
+		}
+		K.Add(i, i, noise2)
+	}
+	chol, err := linalg.NewCholesky(K)
+	if err != nil {
+		return 0, nil, err
+	}
+	alpha := chol.SolveVec(m.ys)
+	nlml := 0.5*linalg.Dot(m.ys, alpha) + 0.5*chol.LogDet() + 0.5*float64(n)*math.Log(2*math.Pi)
+
+	// W = K⁻¹ − α·αᵀ ; grad_j = ½ tr(W · dK_j).
+	Kinv := chol.Inverse()
+	out := make([]float64, nk+1)
+	for h := 0; h < nk; h++ {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			wi := Kinv.Row(i)
+			di := dK[h].Row(i)
+			ai := alpha[i]
+			for j := 0; j < n; j++ {
+				s += (wi[j] - ai*alpha[j]) * di[j]
+			}
+		}
+		out[h] = 0.5 * s
+	}
+	// Noise gradient: dK/dlogσ_n = 2σ_n² I.
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += Kinv.At(i, i) - alpha[i]*alpha[i]
+	}
+	out[nk] = 0.5 * s * 2 * noise2
+	copy(grad, out[:nk])
+	return nlml, out, nil
+}
+
+// Predict returns the posterior predictive mean and variance at x, including
+// observation noise (first line of eq. 4 plus σ_n², matching the paper).
+func (m *Model) Predict(x []float64) (mean, variance float64) {
+	mean, variance = m.PredictLatent(x)
+	variance += math.Exp(2*m.logNoise) * m.yStd * m.yStd
+	return mean, variance
+}
+
+// PredictLatent returns the posterior mean and variance of the latent
+// function value f(x), excluding observation noise.
+func (m *Model) PredictLatent(x []float64) (mean, variance float64) {
+	xs := m.toStdX(x)
+	n := len(m.xs)
+	ks := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ks[i] = m.kern.Eval(xs, m.xs[i])
+	}
+	mu := linalg.Dot(ks, m.alpha)
+	v := m.chol.ForwardSolve(ks)
+	kss := m.kern.Eval(xs, xs)
+	va := kss - linalg.Dot(v, v)
+	if va < 0 {
+		va = 0
+	}
+	return m.yMean + m.yStd*mu, va * m.yStd * m.yStd
+}
+
+// PredictBatch evaluates PredictLatent over many points.
+func (m *Model) PredictBatch(xs [][]float64) (means, variances []float64) {
+	means = make([]float64, len(xs))
+	variances = make([]float64, len(xs))
+	for i, x := range xs {
+		means[i], variances[i] = m.PredictLatent(x)
+	}
+	return means, variances
+}
+
+// SampleJoint draws one realization of the latent function at the given
+// points from the joint posterior — the primitive behind Thompson-sampling
+// acquisition (§2.4 lists it among the alternatives to wEI). The joint
+// covariance is Σ = K** − K*ᵀ(K+σ²I)⁻¹K*, factorized with jitter.
+func (m *Model) SampleJoint(xs [][]float64, rng *rand.Rand) ([]float64, error) {
+	q := len(xs)
+	std := make([][]float64, q)
+	for i, x := range xs {
+		std[i] = m.toStdX(x)
+	}
+	n := len(m.xs)
+	// Cross-covariances and posterior mean.
+	mean := make([]float64, q)
+	vcols := make([][]float64, q) // L⁻¹ k*_i
+	for i := 0; i < q; i++ {
+		ks := make([]float64, n)
+		for j := 0; j < n; j++ {
+			ks[j] = m.kern.Eval(std[i], m.xs[j])
+		}
+		mean[i] = m.yMean + m.yStd*linalg.Dot(ks, m.alpha)
+		vcols[i] = m.chol.ForwardSolve(ks)
+	}
+	cov := linalg.NewMatrix(q, q)
+	for i := 0; i < q; i++ {
+		for j := i; j < q; j++ {
+			v := m.kern.Eval(std[i], std[j]) - linalg.Dot(vcols[i], vcols[j])
+			cov.Set(i, j, v)
+			cov.Set(j, i, v)
+		}
+	}
+	cv, err := linalg.NewCholesky(cov)
+	if err != nil {
+		return nil, fmt.Errorf("gp: joint posterior covariance: %w", err)
+	}
+	z := make([]float64, q)
+	for i := range z {
+		z[i] = rng.NormFloat64()
+	}
+	sample := make([]float64, q)
+	for i := 0; i < q; i++ {
+		s := 0.0
+		for j := 0; j <= i; j++ {
+			s += cv.L.At(i, j) * z[j]
+		}
+		sample[i] = mean[i] + m.yStd*s
+	}
+	return sample, nil
+}
+
+// NLML returns the trained model's negative log marginal likelihood.
+func (m *Model) NLML() float64 { return m.nlml }
+
+// OutputStd returns the output standardization scale. Dividing a predictive
+// variance by OutputStd()² expresses it in standardized units — the scale on
+// which the paper's fidelity-selection threshold γ = 0.01 is meaningful
+// across problems.
+func (m *Model) OutputStd() float64 { return m.yStd }
+
+// LOO computes analytic leave-one-out residuals from the trained model
+// (Rasmussen & Williams eq. 5.10-5.12): for each training point i, the
+// prediction error y_i − µ_{−i}(x_i) and the LOO predictive variance, both
+// in original output units, without refitting n models:
+//
+//	µ_i − y_i = α_i / [K⁻¹]_ii,   σ²_i = 1 / [K⁻¹]_ii.
+//
+// Large standardized residuals flag model misspecification; the experiment
+// harness uses them as a surrogate-health diagnostic.
+func (m *Model) LOO() (residuals, variances []float64) {
+	n := len(m.xs)
+	Kinv := m.chol.Inverse()
+	residuals = make([]float64, n)
+	variances = make([]float64, n)
+	for i := 0; i < n; i++ {
+		kii := Kinv.At(i, i)
+		residuals[i] = -m.alpha[i] / kii * m.yStd
+		variances[i] = 1 / kii * m.yStd * m.yStd
+	}
+	return residuals, variances
+}
+
+// Noise returns the trained observation-noise standard deviation in original
+// output units.
+func (m *Model) Noise() float64 { return math.Exp(m.logNoise) * m.yStd }
+
+// Kernel exposes the trained kernel (owned by the model; treat as read-only).
+func (m *Model) Kernel() kernel.Kernel { return m.kern }
+
+// TrainingSize returns the number of training points.
+func (m *Model) TrainingSize() int { return len(m.xs) }
+
+// Hyper returns the packed trained hyperparameters (kernel log-hypers
+// followed by log-noise) — useful for warm-starting refits.
+func (m *Model) Hyper() []float64 {
+	h := kernel.HyperVector(m.kern)
+	return append(h, m.logNoise)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

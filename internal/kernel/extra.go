@@ -1,0 +1,208 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+)
+
+// RationalQuadratic is the RQ kernel with ARD length scales — a scale
+// mixture of SE kernels that models multi-scale variation:
+//
+//	k(x, x') = σ_f²·(1 + r²/(2α))^{−α},  r² = Σ_i (x_i−x'_i)²/l_i².
+//
+// Hyperparameters (log-space): [log σ_f, log α, log l_1, …, log l_d].
+// As α → ∞ it converges to the SE kernel.
+type RationalQuadratic struct {
+	dim      int
+	logAmp   float64
+	logAlpha float64
+	logScale []float64
+}
+
+// NewRationalQuadratic returns an RQ kernel with unit amplitude, α = 1 and
+// unit length scales.
+func NewRationalQuadratic(d int) *RationalQuadratic {
+	if d < 1 {
+		panic(fmt.Sprintf("kernel: RQ dimension %d < 1", d))
+	}
+	return &RationalQuadratic{dim: d, logScale: make([]float64, d)}
+}
+
+// Dim implements Kernel.
+func (k *RationalQuadratic) Dim() int { return k.dim }
+
+// NumHyper implements Kernel.
+func (k *RationalQuadratic) NumHyper() int { return 2 + k.dim }
+
+// Hyper implements Kernel.
+func (k *RationalQuadratic) Hyper(dst []float64) []float64 {
+	dst = append(dst, k.logAmp, k.logAlpha)
+	return append(dst, k.logScale...)
+}
+
+// SetHyper implements Kernel.
+func (k *RationalQuadratic) SetHyper(src []float64) int {
+	k.logAmp = src[0]
+	k.logAlpha = src[1]
+	copy(k.logScale, src[2:2+k.dim])
+	return 2 + k.dim
+}
+
+func (k *RationalQuadratic) parts(x1, x2 []float64, scaled []float64) (q float64) {
+	for i := 0; i < k.dim; i++ {
+		d := (x1[i] - x2[i]) * math.Exp(-k.logScale[i])
+		s := d * d
+		if scaled != nil {
+			scaled[i] = s
+		}
+		q += s
+	}
+	return q
+}
+
+// Eval implements Kernel.
+func (k *RationalQuadratic) Eval(x1, x2 []float64) float64 {
+	q := k.parts(x1, x2, nil)
+	alpha := math.Exp(k.logAlpha)
+	u := 1 + q/(2*alpha)
+	return math.Exp(2*k.logAmp) * math.Pow(u, -alpha)
+}
+
+// EvalGrad implements Kernel.
+func (k *RationalQuadratic) EvalGrad(x1, x2 []float64, grad []float64) float64 {
+	scaled := make([]float64, k.dim)
+	q := k.parts(x1, x2, scaled)
+	alpha := math.Exp(k.logAlpha)
+	amp2 := math.Exp(2 * k.logAmp)
+	u := 1 + q/(2*alpha)
+	v := amp2 * math.Pow(u, -alpha)
+	grad[0] = 2 * v
+	// ∂k/∂log α = α·k·(−ln u + q/(2αu)).
+	grad[1] = alpha * v * (-math.Log(u) + q/(2*alpha*u))
+	// ∂k/∂log l_i = σ_f²·u^{−α−1}·scaled_i.
+	base := amp2 * math.Pow(u, -alpha-1)
+	for i := 0; i < k.dim; i++ {
+		grad[2+i] = base * scaled[i]
+	}
+	return v
+}
+
+// Bounds implements Kernel.
+func (k *RationalQuadratic) Bounds(lo, hi []float64) ([]float64, []float64) {
+	lo = append(lo, -6, -3)
+	hi = append(hi, 6, 5)
+	for i := 0; i < k.dim; i++ {
+		lo = append(lo, -5)
+		hi = append(hi, 5)
+	}
+	return lo, hi
+}
+
+// Clone implements Kernel.
+func (k *RationalQuadratic) Clone() Kernel {
+	return &RationalQuadratic{dim: k.dim, logAmp: k.logAmp, logAlpha: k.logAlpha,
+		logScale: append([]float64(nil), k.logScale...)}
+}
+
+// Periodic is the exp-sine-squared kernel with per-dimension period and
+// length scale, for strictly periodic structure:
+//
+//	k(x, x') = σ_f²·exp(−Σ_i 2·sin²(π(x_i−x'_i)/p_i)/l_i²).
+//
+// Hyperparameters (log-space): [log σ_f, log p_1, …, log p_d, log l_1, …,
+// log l_d].
+type Periodic struct {
+	dim       int
+	logAmp    float64
+	logPeriod []float64
+	logScale  []float64
+}
+
+// NewPeriodic returns a periodic kernel with unit amplitude, periods and
+// length scales.
+func NewPeriodic(d int) *Periodic {
+	if d < 1 {
+		panic(fmt.Sprintf("kernel: periodic dimension %d < 1", d))
+	}
+	return &Periodic{dim: d, logPeriod: make([]float64, d), logScale: make([]float64, d)}
+}
+
+// Dim implements Kernel.
+func (k *Periodic) Dim() int { return k.dim }
+
+// NumHyper implements Kernel.
+func (k *Periodic) NumHyper() int { return 1 + 2*k.dim }
+
+// Hyper implements Kernel.
+func (k *Periodic) Hyper(dst []float64) []float64 {
+	dst = append(dst, k.logAmp)
+	dst = append(dst, k.logPeriod...)
+	return append(dst, k.logScale...)
+}
+
+// SetHyper implements Kernel.
+func (k *Periodic) SetHyper(src []float64) int {
+	k.logAmp = src[0]
+	copy(k.logPeriod, src[1:1+k.dim])
+	copy(k.logScale, src[1+k.dim:1+2*k.dim])
+	return 1 + 2*k.dim
+}
+
+// Eval implements Kernel.
+func (k *Periodic) Eval(x1, x2 []float64) float64 {
+	sum := 0.0
+	for i := 0; i < k.dim; i++ {
+		p := math.Exp(k.logPeriod[i])
+		l2 := math.Exp(2 * k.logScale[i])
+		s := math.Sin(math.Pi * (x1[i] - x2[i]) / p)
+		sum += 2 * s * s / l2
+	}
+	return math.Exp(2*k.logAmp - sum)
+}
+
+// EvalGrad implements Kernel.
+func (k *Periodic) EvalGrad(x1, x2 []float64, grad []float64) float64 {
+	sum := 0.0
+	terms := make([]float64, k.dim)
+	dPeriod := make([]float64, k.dim)
+	for i := 0; i < k.dim; i++ {
+		p := math.Exp(k.logPeriod[i])
+		l2 := math.Exp(2 * k.logScale[i])
+		delta := x1[i] - x2[i]
+		arg := math.Pi * delta / p
+		s := math.Sin(arg)
+		terms[i] = 2 * s * s / l2
+		sum += terms[i]
+		// ∂term/∂log p = −(2πΔ/(p·l²))·sin(2πΔ/p).
+		dPeriod[i] = -(2 * math.Pi * delta / (p * l2)) * math.Sin(2*arg)
+	}
+	v := math.Exp(2*k.logAmp - sum)
+	grad[0] = 2 * v
+	for i := 0; i < k.dim; i++ {
+		grad[1+i] = -v * dPeriod[i]
+		grad[1+k.dim+i] = 2 * v * terms[i] // ∂term/∂log l = −2·term
+	}
+	return v
+}
+
+// Bounds implements Kernel.
+func (k *Periodic) Bounds(lo, hi []float64) ([]float64, []float64) {
+	lo = append(lo, -6)
+	hi = append(hi, 6)
+	for i := 0; i < k.dim; i++ {
+		lo = append(lo, -4)
+		hi = append(hi, 4)
+	}
+	for i := 0; i < k.dim; i++ {
+		lo = append(lo, -5)
+		hi = append(hi, 5)
+	}
+	return lo, hi
+}
+
+// Clone implements Kernel.
+func (k *Periodic) Clone() Kernel {
+	return &Periodic{dim: k.dim, logAmp: k.logAmp,
+		logPeriod: append([]float64(nil), k.logPeriod...),
+		logScale:  append([]float64(nil), k.logScale...)}
+}

@@ -1,0 +1,129 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func TestRQValueAtZeroDistance(t *testing.T) {
+	k := NewRationalQuadratic(2)
+	x := []float64{0.3, -0.2}
+	if got := k.Eval(x, x); math.Abs(got-1) > 1e-15 {
+		t.Fatalf("k(x,x) = %v, want 1", got)
+	}
+}
+
+func TestRQApproachesSEForLargeAlpha(t *testing.T) {
+	rq := NewRationalQuadratic(1)
+	se := NewSEARD(1)
+	SetHyperVector(rq, []float64{0, 12, 0}) // α = e¹² → SE limit
+	x1, x2 := []float64{0}, []float64{0.7}
+	if math.Abs(rq.Eval(x1, x2)-se.Eval(x1, x2)) > 1e-4 {
+		t.Fatalf("RQ with huge α %v != SE %v", rq.Eval(x1, x2), se.Eval(x1, x2))
+	}
+}
+
+func TestRQHeavierTailsThanSE(t *testing.T) {
+	// With small α the RQ mixture has heavier tails than SE.
+	rq := NewRationalQuadratic(1)
+	SetHyperVector(rq, []float64{0, math.Log(0.5), 0})
+	se := NewSEARD(1)
+	x1, x2 := []float64{0}, []float64{3}
+	if rq.Eval(x1, x2) <= se.Eval(x1, x2) {
+		t.Fatal("small-α RQ should decay slower than SE")
+	}
+}
+
+func TestRQGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	k := NewRationalQuadratic(3)
+	randHyper(rng, k)
+	checkGradFD(t, k, randVec(rng, 3), randVec(rng, 3), 1e-5)
+}
+
+func TestPeriodicExactPeriodicity(t *testing.T) {
+	k := NewPeriodic(1)
+	SetHyperVector(k, []float64{0, math.Log(0.5), 0}) // period 0.5
+	x := []float64{0.13}
+	for _, shift := range []float64{0.5, 1, 2.5} {
+		y := []float64{0.13 + shift}
+		if got := k.Eval(x, y); math.Abs(got-1) > 1e-12 {
+			t.Fatalf("shift %v: k = %v, want 1 (periodic)", shift, got)
+		}
+	}
+	// Half a period away: maximal decorrelation.
+	far := k.Eval([]float64{0}, []float64{0.25})
+	near := k.Eval([]float64{0}, []float64{0.01})
+	if far >= near {
+		t.Fatal("half-period distance should decorrelate")
+	}
+}
+
+func TestPeriodicGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	k := NewPeriodic(2)
+	randHyper(rng, k)
+	checkGradFD(t, k, randVec(rng, 2), randVec(rng, 2), 1e-5)
+}
+
+func TestExtraKernelsGramPSD(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range []Kernel{NewRationalQuadratic(2), NewPeriodic(2)} {
+		randHyper(rng, k)
+		n := 7
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = randVec(rng, 2)
+		}
+		g := linalg.NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				g.Set(i, j, k.Eval(pts[i], pts[j]))
+			}
+		}
+		vals, _, err := linalg.SymEigen(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range vals {
+			if v < -1e-8 {
+				t.Fatalf("%T gram has negative eigenvalue %v", k, v)
+			}
+		}
+	}
+}
+
+func TestExtraKernelsRoundTripAndClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, k := range []Kernel{NewRationalQuadratic(3), NewPeriodic(3)} {
+		randHyper(rng, k)
+		h := HyperVector(k)
+		if len(h) != k.NumHyper() {
+			t.Fatalf("%T hyper length %d != %d", k, len(h), k.NumHyper())
+		}
+		c := k.Clone()
+		zero := make([]float64, k.NumHyper())
+		SetHyperVector(c, zero)
+		h2 := HyperVector(k)
+		for i := range h {
+			if h[i] != h2[i] {
+				t.Fatalf("%T clone shares storage", k)
+			}
+		}
+		lo, hi := BoundsVectors(k)
+		if len(lo) != k.NumHyper() || len(hi) != k.NumHyper() {
+			t.Fatalf("%T bounds lengths wrong", k)
+		}
+	}
+}
+
+func TestExtraKernelsComposable(t *testing.T) {
+	// RQ + Periodic·SE trains as a composite without issue (value check).
+	rng := rand.New(rand.NewSource(5))
+	comp := NewSum(NewRationalQuadratic(2), NewProduct(NewPeriodic(2), NewSEARD(2)))
+	randHyper(rng, comp)
+	checkGradFD(t, comp, randVec(rng, 2), randVec(rng, 2), 1e-5)
+}

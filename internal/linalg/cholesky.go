@@ -1,0 +1,156 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned when a Cholesky factorization fails even
+// after the maximum jitter escalation.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L of A = L·Lᵀ together with the
+// jitter that had to be added to the diagonal to make the factorization
+// succeed (zero when A was numerically SPD as given).
+type Cholesky struct {
+	L      *Matrix
+	N      int
+	Jitter float64
+}
+
+// NewCholesky factorizes the symmetric matrix a (only the lower triangle is
+// read). If the plain factorization fails, an escalating diagonal jitter
+// starting at 1e-10·mean(diag) is added, up to maxTries doublings by 10×.
+// a is not modified.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: cholesky of non-square %d×%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	meanDiag := 0.0
+	for i := 0; i < n; i++ {
+		meanDiag += math.Abs(a.At(i, i))
+	}
+	if n > 0 {
+		meanDiag /= float64(n)
+	}
+	if meanDiag == 0 {
+		meanDiag = 1
+	}
+	const maxTries = 8
+	jitter := 0.0
+	for try := 0; try <= maxTries; try++ {
+		L, ok := tryCholesky(a, jitter)
+		if ok {
+			return &Cholesky{L: L, N: n, Jitter: jitter}, nil
+		}
+		if jitter == 0 {
+			jitter = 1e-10 * meanDiag
+		} else {
+			jitter *= 10
+		}
+	}
+	return nil, ErrNotPositiveDefinite
+}
+
+func tryCholesky(a *Matrix, jitter float64) (*Matrix, bool) {
+	n := a.Rows
+	L := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j) + jitter
+		lj := L.Data[j*n : j*n+j]
+		for _, v := range lj {
+			d -= v * v
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, false
+		}
+		ljj := math.Sqrt(d)
+		L.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			li := L.Data[i*n : i*n+j]
+			for k, v := range lj {
+				s -= li[k] * v
+			}
+			L.Set(i, j, s/ljj)
+		}
+	}
+	return L, true
+}
+
+// SolveVec solves A·x = b, returning x as a new vector.
+func (c *Cholesky) SolveVec(b []float64) []float64 {
+	y := c.ForwardSolve(b)
+	return c.BackwardSolve(y)
+}
+
+// ForwardSolve solves L·y = b.
+func (c *Cholesky) ForwardSolve(b []float64) []float64 {
+	if len(b) != c.N {
+		panic(fmt.Sprintf("linalg: forward solve length %d != %d", len(b), c.N))
+	}
+	n := c.N
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := c.L.Data[i*n : i*n+i]
+		for k, v := range row {
+			s -= v * y[k]
+		}
+		y[i] = s / c.L.Data[i*n+i]
+	}
+	return y
+}
+
+// BackwardSolve solves Lᵀ·x = y.
+func (c *Cholesky) BackwardSolve(y []float64) []float64 {
+	n := c.N
+	if len(y) != n {
+		panic(fmt.Sprintf("linalg: backward solve length %d != %d", len(y), n))
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.L.Data[k*n+i] * x[k]
+		}
+		x[i] = s / c.L.Data[i*n+i]
+	}
+	return x
+}
+
+// SolveMat solves A·X = B column by column, returning X.
+func (c *Cholesky) SolveMat(b *Matrix) *Matrix {
+	if b.Rows != c.N {
+		panic(fmt.Sprintf("linalg: solve mat rows %d != %d", b.Rows, c.N))
+	}
+	out := NewMatrix(b.Rows, b.Cols)
+	col := make([]float64, b.Rows)
+	for j := 0; j < b.Cols; j++ {
+		for i := 0; i < b.Rows; i++ {
+			col[i] = b.At(i, j)
+		}
+		x := c.SolveVec(col)
+		for i := 0; i < b.Rows; i++ {
+			out.Set(i, j, x[i])
+		}
+	}
+	return out
+}
+
+// Inverse returns A⁻¹ as a new matrix.
+func (c *Cholesky) Inverse() *Matrix {
+	return c.SolveMat(Identity(c.N))
+}
+
+// LogDet returns log|A| = 2·Σ log L_ii.
+func (c *Cholesky) LogDet() float64 {
+	s := 0.0
+	n := c.N
+	for i := 0; i < n; i++ {
+		s += math.Log(c.L.Data[i*n+i])
+	}
+	return 2 * s
+}

@@ -1,0 +1,173 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomSPD builds A = BᵀB + n·I, which is SPD with good conditioning.
+func randomSPD(rng *rand.Rand, n int) *Matrix {
+	b := randomMatrix(rng, n, n)
+	a := b.T().Mul(b)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(n))
+	}
+	return a
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := randomSPD(rng, n)
+		c, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		llt := c.L.Mul(c.L.T())
+		for i := range a.Data {
+			if !almostEq(llt.Data[i], a.Data[i], 1e-10) {
+				return false
+			}
+		}
+		return c.Jitter == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := randomSPD(rng, n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(x)
+		c, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		got := c.SolveVec(b)
+		for i := range x {
+			if !almostEq(got[i], x[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyLogDet(t *testing.T) {
+	// Diagonal matrix: log det is the sum of log diagonal entries.
+	a := NewMatrixFrom(3, 3, []float64{
+		2, 0, 0,
+		0, 3, 0,
+		0, 0, 4,
+	})
+	c, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(2) + math.Log(3) + math.Log(4)
+	if !almostEq(c.LogDet(), want, 1e-12) {
+		t.Fatalf("LogDet = %v, want %v", c.LogDet(), want)
+	}
+}
+
+func TestCholeskyInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomSPD(rng, 5)
+	c, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := c.Inverse()
+	prod := a.Mul(inv)
+	id := Identity(5)
+	for i := range prod.Data {
+		if !almostEq(prod.Data[i], id.Data[i], 1e-8) {
+			t.Fatalf("A·A⁻¹ != I:\n%v", prod)
+		}
+	}
+}
+
+func TestCholeskyJitterRescuesSemidefinite(t *testing.T) {
+	// Rank-1 PSD matrix: plain Cholesky fails, jitter should rescue it.
+	v := []float64{1, 2, 3}
+	a := NewMatrix(3, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			a.Set(i, j, v[i]*v[j])
+		}
+	}
+	c, err := NewCholesky(a)
+	if err != nil {
+		t.Fatalf("jitter failed to rescue PSD matrix: %v", err)
+	}
+	if c.Jitter == 0 {
+		t.Fatal("expected nonzero jitter for rank-deficient matrix")
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{
+		1, 2,
+		2, 1, // eigenvalues 3 and −1
+	})
+	if _, err := NewCholesky(a); err == nil {
+		t.Fatal("expected failure on an indefinite matrix")
+	}
+}
+
+func TestCholeskyNonSquare(t *testing.T) {
+	if _, err := NewCholesky(NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected error for non-square input")
+	}
+}
+
+func TestForwardBackwardConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomSPD(rng, 6)
+	c, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 6)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	// SolveVec must equal BackwardSolve(ForwardSolve(b)).
+	x1 := c.SolveVec(b)
+	x2 := c.BackwardSolve(c.ForwardSolve(b))
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			t.Fatal("SolveVec disagrees with composed solves")
+		}
+	}
+}
+
+func TestSolveMatColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomSPD(rng, 4)
+	B := randomMatrix(rng, 4, 3)
+	c, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	X := c.SolveMat(B)
+	AX := a.Mul(X)
+	for i := range B.Data {
+		if !almostEq(AX.Data[i], B.Data[i], 1e-8) {
+			t.Fatal("A·SolveMat(B) != B")
+		}
+	}
+}

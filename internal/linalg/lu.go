@@ -1,0 +1,122 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when an LU factorization encounters a pivot that is
+// exactly zero (the matrix is singular to working precision).
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// LU holds a row-pivoted LU factorization P·A = L·U packed into a single
+// matrix (unit lower triangle implicit). It is the general-purpose solver used
+// by the circuit simulator, where matrices are square but not symmetric.
+type LU struct {
+	lu    *Matrix
+	pivot []int
+	sign  int
+}
+
+// NewLU factorizes the square matrix a with partial pivoting. a is not
+// modified.
+func NewLU(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: LU of non-square %d×%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	lu := a.Clone()
+	pivot := make([]int, n)
+	sign := 1
+	for k := 0; k < n; k++ {
+		// Find pivot row.
+		p := k
+		mx := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > mx {
+				mx, p = v, i
+			}
+		}
+		if mx == 0 {
+			return nil, ErrSingular
+		}
+		pivot[k] = p
+		if p != k {
+			rk := lu.Data[k*n : (k+1)*n]
+			rp := lu.Data[p*n : (p+1)*n]
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			sign = -sign
+		}
+		inv := 1 / lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) * inv
+			lu.Set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			ri := lu.Data[i*n+k+1 : (i+1)*n]
+			rk := lu.Data[k*n+k+1 : (k+1)*n]
+			for j := range ri {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return &LU{lu: lu, pivot: pivot, sign: sign}, nil
+}
+
+// SolveVec solves A·x = b, returning x as a new vector.
+func (f *LU) SolveVec(b []float64) []float64 {
+	n := f.lu.Rows
+	if len(b) != n {
+		panic(fmt.Sprintf("linalg: LU solve length %d != %d", len(b), n))
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	// Apply permutation.
+	for k := 0; k < n; k++ {
+		if p := f.pivot[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < n; i++ {
+		row := f.lu.Data[i*n : i*n+i]
+		s := x[i]
+		for k, v := range row {
+			s -= v * x[k]
+		}
+		x[i] = s
+	}
+	// Backward substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		row := f.lu.Data[i*n : (i+1)*n]
+		for k := i + 1; k < n; k++ {
+			s -= row[k] * x[k]
+		}
+		x[i] = s / row[i]
+	}
+	return x
+}
+
+// Det returns the determinant of A.
+func (f *LU) Det() float64 {
+	n := f.lu.Rows
+	d := float64(f.sign)
+	for i := 0; i < n; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// SolveLinear is a convenience wrapper: factorize a and solve a·x = b.
+func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
+	f, err := NewLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveVec(b), nil
+}

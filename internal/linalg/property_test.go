@@ -1,0 +1,117 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Cholesky and LU must agree on SPD systems.
+func TestCholeskyLUConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(7)
+		a := randomSPD(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		ch, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		xc := ch.SolveVec(b)
+		xl, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range xc {
+			if !almostEq(xc[i], xl[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// log|A| from Cholesky must equal log of the LU determinant on SPD input.
+func TestLogDetConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		a := randomSPD(rng, n)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		lu, err := NewLU(a)
+		if err != nil {
+			return false
+		}
+		det := lu.Det()
+		if det <= 0 {
+			return false // SPD determinant must be positive
+		}
+		return almostEq(ch.LogDet(), math.Log(det), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Eigenvalue sum equals trace; eigenvalue product equals determinant.
+func TestEigenTraceDetInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(5)
+		a := randomSPD(rng, n)
+		vals, _, err := SymEigen(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, prod := 0.0, 1.0
+		for _, v := range vals {
+			sum += v
+			prod *= v
+		}
+		if !almostEq(sum, a.Trace(), 1e-8) {
+			t.Fatalf("eigen sum %v != trace %v", sum, a.Trace())
+		}
+		lu, err := NewLU(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(prod, lu.Det(), 1e-6) {
+			t.Fatalf("eigen product %v != det %v", prod, lu.Det())
+		}
+	}
+}
+
+// Solving with the identity returns the RHS unchanged.
+func TestSolveIdentity(t *testing.T) {
+	f := func(b0, b1, b2 float64) bool {
+		if math.IsNaN(b0) || math.IsInf(b0, 0) ||
+			math.IsNaN(b1) || math.IsInf(b1, 0) ||
+			math.IsNaN(b2) || math.IsInf(b2, 0) {
+			return true
+		}
+		b := []float64{b0, b1, b2}
+		x, err := SolveLinear(Identity(3), b)
+		if err != nil {
+			return false
+		}
+		for i := range b {
+			if x[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

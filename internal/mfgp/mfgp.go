@@ -1,0 +1,206 @@
+// Package mfgp implements the paper's two-fidelity nonlinear fusion model
+// (§3.1–§3.2), following Perdikaris et al. (2017):
+//
+//   - a low-fidelity GP f_l(x) trained on the cheap data,
+//   - a high-fidelity GP f_h over the augmented input (x, f_l(x)) with the
+//     structured kernel k1·k2 + k3 (eq. 9),
+//   - posterior prediction by propagating the low-fidelity posterior through
+//     the high-fidelity GP (eq. 10), via Monte-Carlo with common random
+//     numbers or deterministic Gauss–Hermite quadrature.
+package mfgp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/gp"
+	"repro/internal/kernel"
+	"repro/internal/stats"
+)
+
+// Propagation selects how the non-Gaussian high-fidelity posterior of
+// eq. (10) is approximated.
+type Propagation int
+
+const (
+	// MonteCarlo samples the low-fidelity posterior and averages the
+	// high-fidelity predictions (the paper's method). Samples use common
+	// random numbers so that the resulting acquisition surface is smooth
+	// and deterministic for a given model.
+	MonteCarlo Propagation = iota
+	// GaussHermite replaces the random samples with Gauss–Hermite
+	// quadrature nodes — a deterministic variant ablated in EXPERIMENTS.md.
+	GaussHermite
+	// PlugIn ignores the low-fidelity variance and evaluates the
+	// high-fidelity GP at the posterior mean only (cheapest, underestimates
+	// uncertainty; used for diagnostics).
+	PlugIn
+)
+
+// Config controls fusion-model training. Zero values select defaults.
+type Config struct {
+	// LowKernel covers the d design dimensions (default SE-ARD).
+	LowKernel kernel.Kernel
+	// HighKernel covers the augmented d+1 input (default NewNARGP(d)).
+	HighKernel kernel.Kernel
+	// Restarts / MaxIter forward to gp.Fit for both levels.
+	Restarts int
+	MaxIter  int
+	// FixedNoise pins both GPs' observation noise (standardized units).
+	FixedNoise *float64
+	// Propagation method for Predict (default MonteCarlo).
+	Propagation Propagation
+	// NumSamples: MC sample count or Gauss–Hermite order (default 50 / 20).
+	NumSamples int
+	// WarmStartHigh optionally warm-starts the high-fidelity GP's
+	// hyperparameters (see gp.Config.WarmStart).
+	WarmStartHigh []float64
+}
+
+// Model is a trained two-fidelity fusion model.
+type Model struct {
+	low, high *gp.Model
+	dim       int
+
+	prop    Propagation
+	zs      []float64 // common standard-normal draws (MC)
+	weights []float64 // quadrature weights (GH); nil for MC
+}
+
+// Fit trains the fusion model on a low-fidelity dataset (Xl, yl) and a
+// high-fidelity dataset (Xh, yh). The two designs need not share points; the
+// low-fidelity posterior mean supplies the augmented coordinate at Xh
+// (eq. 10's integration handles the mismatch at prediction time).
+func Fit(Xl [][]float64, yl []float64, Xh [][]float64, yh []float64, cfg Config, rng *rand.Rand) (*Model, error) {
+	if len(Xl) == 0 {
+		return nil, errors.New("mfgp: low-fidelity level needs at least one point")
+	}
+	d := len(Xl[0])
+	lowK := cfg.LowKernel
+	if lowK == nil {
+		lowK = kernel.NewSEARD(d)
+	}
+	low, err := gp.Fit(Xl, yl, gp.Config{
+		Kernel: lowK, Restarts: cfg.Restarts, MaxIter: cfg.MaxIter, FixedNoise: cfg.FixedNoise,
+	}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("mfgp: low-fidelity fit: %w", err)
+	}
+	return FitWithLow(low, d, Xh, yh, cfg, rng)
+}
+
+// FitWithLow builds the fusion model on top of an already-trained
+// low-fidelity GP — the BO loop fits the low GP once per iteration and
+// shares it between the low-fidelity acquisition and the fused model.
+func FitWithLow(low *gp.Model, d int, Xh [][]float64, yh []float64, cfg Config, rng *rand.Rand) (*Model, error) {
+	if low == nil || len(Xh) == 0 {
+		return nil, errors.New("mfgp: need a low-fidelity model and high-fidelity data")
+	}
+	if len(Xh[0]) != d {
+		return nil, fmt.Errorf("mfgp: fidelity input dims differ: %d vs %d", d, len(Xh[0]))
+	}
+	highK := cfg.HighKernel
+	if highK == nil {
+		highK = kernel.NewNARGP(d)
+	}
+	// Augment the high-fidelity inputs with the low-fidelity posterior mean.
+	Xaug := make([][]float64, len(Xh))
+	for i, x := range Xh {
+		mu, _ := low.PredictLatent(x)
+		Xaug[i] = append(append(make([]float64, 0, d+1), x...), mu)
+	}
+	high, err := gp.Fit(Xaug, yh, gp.Config{
+		Kernel: highK, Restarts: cfg.Restarts, MaxIter: cfg.MaxIter,
+		FixedNoise: cfg.FixedNoise, WarmStart: cfg.WarmStartHigh,
+	}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("mfgp: high-fidelity fit: %w", err)
+	}
+
+	m := &Model{low: low, high: high, dim: d, prop: cfg.Propagation}
+	n := cfg.NumSamples
+	switch cfg.Propagation {
+	case GaussHermite:
+		if n <= 0 {
+			n = 20
+		}
+		m.zs, m.weights = stats.GaussHermite(n)
+	case MonteCarlo:
+		if n <= 0 {
+			n = 50
+		}
+		m.zs = make([]float64, n)
+		for i := range m.zs {
+			m.zs[i] = rng.NormFloat64()
+		}
+	case PlugIn:
+		// No nodes needed.
+	default:
+		return nil, fmt.Errorf("mfgp: unknown propagation %d", cfg.Propagation)
+	}
+	return m, nil
+}
+
+// Dim returns the design-space dimensionality.
+func (m *Model) Dim() int { return m.dim }
+
+// Low returns the trained low-fidelity GP.
+func (m *Model) Low() *gp.Model { return m.low }
+
+// High returns the trained high-fidelity GP over augmented inputs.
+func (m *Model) High() *gp.Model { return m.high }
+
+// PredictLow returns the low-fidelity posterior mean and variance at x.
+func (m *Model) PredictLow(x []float64) (mean, variance float64) {
+	return m.low.PredictLatent(x)
+}
+
+// Predict returns the fused high-fidelity posterior mean and variance at x,
+// integrating out the low-fidelity value per eq. (10). The variance combines
+// within-sample predictive variance and between-sample mean spread (law of
+// total variance).
+func (m *Model) Predict(x []float64) (mean, variance float64) {
+	muL, vaL := m.low.PredictLatent(x)
+	sdL := math.Sqrt(math.Max(vaL, 0))
+	if m.prop == PlugIn || sdL == 0 {
+		return m.predictAt(x, muL)
+	}
+	aug := append(append(make([]float64, 0, m.dim+1), x...), 0)
+	var sumW, meanAcc, m2Acc float64
+	n := len(m.zs)
+	for i := 0; i < n; i++ {
+		w := 1.0 / float64(n)
+		if m.weights != nil {
+			w = m.weights[i]
+		}
+		aug[m.dim] = muL + sdL*m.zs[i]
+		mu, va := m.high.PredictLatent(aug)
+		sumW += w
+		meanAcc += w * mu
+		m2Acc += w * (va + mu*mu)
+	}
+	mean = meanAcc / sumW
+	variance = m2Acc/sumW - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance
+}
+
+// predictAt evaluates the high-fidelity GP at the plug-in augmented point.
+func (m *Model) predictAt(x []float64, fl float64) (float64, float64) {
+	aug := append(append(make([]float64, 0, m.dim+1), x...), fl)
+	return m.high.PredictLatent(aug)
+}
+
+// PredictBatch evaluates Predict over many points.
+func (m *Model) PredictBatch(xs [][]float64) (means, variances []float64) {
+	means = make([]float64, len(xs))
+	variances = make([]float64, len(xs))
+	for i, x := range xs {
+		means[i], variances[i] = m.Predict(x)
+	}
+	return means, variances
+}

@@ -1,0 +1,136 @@
+package optimize
+
+import (
+	"math"
+	"sort"
+)
+
+// NelderMeadConfig tunes the derivative-free simplex minimizer. Zero values
+// select standard defaults.
+type NelderMeadConfig struct {
+	MaxIter   int     // default 200·d
+	Tol       float64 // simplex function-value spread tolerance (default 1e-9)
+	InitScale float64 // initial simplex edge as a fraction of ‖x0‖+1 (default 0.05)
+}
+
+// NelderMead minimizes the gradient-free objective f from x0 with the
+// standard (α=1, γ=2, ρ=0.5, σ=0.5) downhill-simplex method. It is the
+// robust fallback used where L-BFGS's finite-difference gradients are too
+// noisy (e.g. Monte-Carlo acquisition surfaces).
+func NelderMead(f func([]float64) float64, x0 []float64, cfg NelderMeadConfig) Result {
+	n := len(x0)
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 200 * n
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-9
+	}
+	if cfg.InitScale <= 0 {
+		cfg.InitScale = 0.05
+	}
+	evals := 0
+	eval := func(p []float64) float64 {
+		evals++
+		v := f(p)
+		if math.IsNaN(v) {
+			return math.Inf(1)
+		}
+		return v
+	}
+
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	simplex := make([]vertex, n+1)
+	simplex[0] = vertex{x: append([]float64(nil), x0...), f: eval(x0)}
+	scale := cfg.InitScale * (norm(x0) + 1)
+	for i := 0; i < n; i++ {
+		p := append([]float64(nil), x0...)
+		p[i] += scale
+		simplex[i+1] = vertex{x: p, f: eval(p)}
+	}
+	order := func() {
+		sort.Slice(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+	}
+	order()
+
+	centroid := make([]float64, n)
+	iters := 0
+	for ; iters < cfg.MaxIter; iters++ {
+		if simplex[n].f-simplex[0].f < cfg.Tol*(1+math.Abs(simplex[0].f)) {
+			break
+		}
+		// Centroid of all but the worst vertex.
+		for j := range centroid {
+			centroid[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			for j := range centroid {
+				centroid[j] += simplex[i].x[j]
+			}
+		}
+		for j := range centroid {
+			centroid[j] /= float64(n)
+		}
+		worst := simplex[n]
+		refl := combine(centroid, worst.x, 2, -1) // c + (c − w)
+		fr := eval(refl)
+		switch {
+		case fr < simplex[0].f:
+			// Expansion: c + 2(c − w).
+			exp := combine(centroid, worst.x, 3, -2)
+			fe := eval(exp)
+			if fe < fr {
+				simplex[n] = vertex{x: exp, f: fe}
+			} else {
+				simplex[n] = vertex{x: refl, f: fr}
+			}
+		case fr < simplex[n-1].f:
+			simplex[n] = vertex{x: refl, f: fr}
+		default:
+			// Contraction.
+			var cx []float64
+			if fr < worst.f {
+				cx = combine(centroid, refl, 0.5, 0.5) // outside
+			} else {
+				cx = combine(centroid, worst.x, 0.5, 0.5) // inside
+			}
+			fc := eval(cx)
+			if fc < math.Min(fr, worst.f) {
+				simplex[n] = vertex{x: cx, f: fc}
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= n; i++ {
+					simplex[i].x = combine(simplex[0].x, simplex[i].x, 0.5, 0.5)
+					simplex[i].f = eval(simplex[i].x)
+				}
+			}
+		}
+		order()
+	}
+	return Result{
+		X:         simplex[0].x,
+		F:         simplex[0].f,
+		Iters:     iters,
+		Evals:     evals,
+		Converged: iters < cfg.MaxIter,
+	}
+}
+
+// combine returns a·p + b·q element-wise as a new slice.
+func combine(p, q []float64, a, b float64) []float64 {
+	out := make([]float64, len(p))
+	for i := range p {
+		out[i] = a*p[i] + b*q[i]
+	}
+	return out
+}
+
+func norm(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}

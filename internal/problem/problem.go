@@ -1,0 +1,126 @@
+// Package problem defines the black-box optimization problem abstraction
+// shared by the optimizer (internal/core), the baselines, the synthetic test
+// functions and the circuit testbenches: a constrained minimization problem
+// (eq. 1) whose objective and constraints can be evaluated at two fidelity
+// levels with different costs.
+package problem
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fidelity selects an evaluation precision level.
+type Fidelity int
+
+const (
+	// Low is the cheap, potentially inaccurate evaluation (short transient,
+	// single PVT corner, coarse mesh…).
+	Low Fidelity = iota
+	// High is the accurate, expensive evaluation the optimizer ultimately
+	// cares about.
+	High
+)
+
+// String implements fmt.Stringer.
+func (f Fidelity) String() string {
+	switch f {
+	case Low:
+		return "low"
+	case High:
+		return "high"
+	default:
+		return fmt.Sprintf("Fidelity(%d)", int(f))
+	}
+}
+
+// Evaluation is the outcome of one simulation: the objective to minimize and
+// the constraint values (feasible iff every entry is < 0, per eq. 1).
+type Evaluation struct {
+	Objective   float64
+	Constraints []float64
+}
+
+// Feasible reports whether all constraints are satisfied.
+func (e Evaluation) Feasible() bool {
+	for _, c := range e.Constraints {
+		if c >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Violation returns the total constraint violation Σ max(0, c_i).
+func (e Evaluation) Violation() float64 {
+	s := 0.0
+	for _, c := range e.Constraints {
+		if c > 0 {
+			s += c
+		}
+	}
+	return s
+}
+
+// Outputs returns the packed output vector [objective, constraints...],
+// the layout surrogate stacks are trained on.
+func (e Evaluation) Outputs() []float64 {
+	out := make([]float64, 0, 1+len(e.Constraints))
+	out = append(out, e.Objective)
+	return append(out, e.Constraints...)
+}
+
+// Problem is a two-fidelity constrained minimization problem.
+type Problem interface {
+	// Name identifies the problem in logs and tables.
+	Name() string
+	// Dim returns the number of design variables.
+	Dim() int
+	// Bounds returns the design box.
+	Bounds() (lo, hi []float64)
+	// NumConstraints returns the number of c_i(x) < 0 constraints.
+	NumConstraints() int
+	// Evaluate runs one simulation of x at fidelity f.
+	Evaluate(x []float64, f Fidelity) Evaluation
+	// Cost returns the evaluation cost at fidelity f, in arbitrary units.
+	// Reported simulation counts are normalized by Cost(High).
+	Cost(f Fidelity) float64
+}
+
+// EquivalentSims converts raw evaluation counts into the paper's metric:
+// the number of high-fidelity simulations with the same total cost.
+func EquivalentSims(p Problem, nLow, nHigh int) float64 {
+	return (float64(nLow)*p.Cost(Low) + float64(nHigh)*p.Cost(High)) / p.Cost(High)
+}
+
+// CheckPoint validates that x is finite and matches the problem dimension;
+// optimizer internals call it before spending a simulation.
+func CheckPoint(p Problem, x []float64) error {
+	if len(x) != p.Dim() {
+		return fmt.Errorf("problem %s: point dim %d != %d", p.Name(), len(x), p.Dim())
+	}
+	for i, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("problem %s: coordinate %d is %v", p.Name(), i, v)
+		}
+	}
+	return nil
+}
+
+// Better reports whether candidate a improves on b under the standard
+// constrained comparison: a feasible point beats any infeasible point;
+// two feasible points compare by objective; two infeasible points compare
+// by total violation.
+func Better(a, b Evaluation) bool {
+	af, bf := a.Feasible(), b.Feasible()
+	switch {
+	case af && !bf:
+		return true
+	case !af && bf:
+		return false
+	case af && bf:
+		return a.Objective < b.Objective
+	default:
+		return a.Violation() < b.Violation()
+	}
+}

@@ -1,0 +1,105 @@
+package problem
+
+import (
+	"math"
+	"testing"
+)
+
+type stubProblem struct{}
+
+func (stubProblem) Name() string               { return "stub" }
+func (stubProblem) Dim() int                   { return 2 }
+func (stubProblem) Bounds() (lo, hi []float64) { return []float64{0, 0}, []float64{1, 1} }
+func (stubProblem) NumConstraints() int        { return 1 }
+func (stubProblem) Evaluate(x []float64, f Fidelity) Evaluation {
+	return Evaluation{Objective: x[0], Constraints: []float64{x[1] - 0.5}}
+}
+func (stubProblem) Cost(f Fidelity) float64 {
+	if f == Low {
+		return 0.1
+	}
+	return 2
+}
+
+func TestFidelityString(t *testing.T) {
+	if Low.String() != "low" || High.String() != "high" {
+		t.Fatal("fidelity names wrong")
+	}
+	if Fidelity(9).String() == "" {
+		t.Fatal("unknown fidelity should still render")
+	}
+}
+
+func TestEvaluationFeasible(t *testing.T) {
+	if !(Evaluation{Constraints: []float64{-1, -0.001}}).Feasible() {
+		t.Fatal("all-negative constraints should be feasible")
+	}
+	if (Evaluation{Constraints: []float64{-1, 0}}).Feasible() {
+		t.Fatal("zero constraint violates strict c < 0")
+	}
+	if !(Evaluation{}).Feasible() {
+		t.Fatal("unconstrained evaluation is feasible")
+	}
+}
+
+func TestEvaluationViolation(t *testing.T) {
+	e := Evaluation{Constraints: []float64{-1, 2, 0.5}}
+	if e.Violation() != 2.5 {
+		t.Fatalf("violation = %v, want 2.5", e.Violation())
+	}
+	if (Evaluation{Constraints: []float64{-1}}).Violation() != 0 {
+		t.Fatal("feasible violation should be 0")
+	}
+}
+
+func TestOutputsLayout(t *testing.T) {
+	e := Evaluation{Objective: 7, Constraints: []float64{1, 2}}
+	out := e.Outputs()
+	if len(out) != 3 || out[0] != 7 || out[1] != 1 || out[2] != 2 {
+		t.Fatalf("Outputs = %v", out)
+	}
+}
+
+func TestEquivalentSims(t *testing.T) {
+	p := stubProblem{}
+	// 20 low at 0.1 + 3 high at 2 = 8 cost units = 4 equivalent high sims.
+	if got := EquivalentSims(p, 20, 3); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("EquivalentSims = %v, want 4", got)
+	}
+}
+
+func TestCheckPoint(t *testing.T) {
+	p := stubProblem{}
+	if err := CheckPoint(p, []float64{0.5, 0.5}); err != nil {
+		t.Fatalf("valid point rejected: %v", err)
+	}
+	if err := CheckPoint(p, []float64{0.5}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if err := CheckPoint(p, []float64{math.NaN(), 0}); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if err := CheckPoint(p, []float64{math.Inf(1), 0}); err == nil {
+		t.Fatal("Inf accepted")
+	}
+}
+
+func TestBetterOrdering(t *testing.T) {
+	feasGood := Evaluation{Objective: 1, Constraints: []float64{-1}}
+	feasBad := Evaluation{Objective: 2, Constraints: []float64{-1}}
+	infeasSmall := Evaluation{Objective: 0, Constraints: []float64{0.5}}
+	infeasBig := Evaluation{Objective: 0, Constraints: []float64{5}}
+
+	if !Better(feasGood, feasBad) || Better(feasBad, feasGood) {
+		t.Fatal("feasible ordering by objective broken")
+	}
+	if !Better(feasBad, infeasSmall) {
+		t.Fatal("feasible should beat infeasible regardless of objective")
+	}
+	if Better(infeasSmall, feasGood) {
+		t.Fatal("infeasible should not beat feasible")
+	}
+	if !Better(infeasSmall, infeasBig) {
+		t.Fatal("infeasible ordering by violation broken")
+	}
+}

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// GaussHermite returns n nodes and weights such that for a standard normal z,
+//
+//	E[f(z)] ≈ Σ_i w_i · f(x_i),
+//
+// i.e. the physicists' Gauss–Hermite rule rescaled to the probabilists'
+// measure (x = √2·t, w = w_GH/√π). It is used as the deterministic
+// alternative to Monte-Carlo propagation through the NARGP model.
+func GaussHermite(n int) (nodes, weights []float64) {
+	if n < 1 {
+		panic(fmt.Sprintf("stats: gauss-hermite order %d < 1", n))
+	}
+	nodes = make([]float64, n)
+	weights = make([]float64, n)
+	// Newton iteration on physicists' Hermite polynomials H_n, using
+	// standard initial guesses (Numerical Recipes). Roots are symmetric,
+	// so only the upper half is computed.
+	m := (n + 1) / 2
+	var z float64
+	for i := 0; i < m; i++ {
+		switch i {
+		case 0:
+			z = math.Sqrt(float64(2*n+1)) - 1.85575*math.Pow(float64(2*n+1), -1.0/6.0)
+		case 1:
+			z -= 1.14 * math.Pow(float64(n), 0.426) / z
+		case 2:
+			z = 1.86*z - 0.86*nodesPhys(nodes, n, 0)
+		case 3:
+			z = 1.91*z - 0.91*nodesPhys(nodes, n, 1)
+		default:
+			z = 2*z - nodesPhys(nodes, n, i-2)
+		}
+		var pp float64
+		for iter := 0; iter < 100; iter++ {
+			p1 := math.Pow(math.Pi, -0.25)
+			p2 := 0.0
+			for j := 0; j < n; j++ {
+				p3 := p2
+				p2 = p1
+				p1 = z*math.Sqrt(2/float64(j+1))*p2 - math.Sqrt(float64(j)/float64(j+1))*p3
+			}
+			pp = math.Sqrt(2*float64(n)) * p2
+			dz := p1 / pp
+			z -= dz
+			if math.Abs(dz) < 1e-15 {
+				break
+			}
+		}
+		// Store physicists' nodes at the ends, mirrored.
+		nodes[i] = -z
+		nodes[n-1-i] = z
+		w := 2 / (pp * pp)
+		weights[i] = w
+		weights[n-1-i] = w
+	}
+	// Rescale to probabilists' measure.
+	sumW := 0.0
+	for i := range nodes {
+		nodes[i] *= math.Sqrt2
+		weights[i] /= math.SqrtPi
+		sumW += weights[i]
+	}
+	// Renormalize to exactly unit mass to kill residual Newton error.
+	for i := range weights {
+		weights[i] /= sumW
+	}
+	return nodes, weights
+}
+
+// nodesPhys returns the i-th stored physicists' root (positive side) given the
+// mirrored storage layout used during construction.
+func nodesPhys(nodes []float64, n, i int) float64 {
+	return -nodes[i]
+}

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// RankSum performs the two-sided Wilcoxon–Mann–Whitney rank-sum test on two
+// independent samples, returning the U statistic (for sample a) and the
+// normal-approximation p-value with tie correction. It is used by the
+// experiment harness to check whether two optimizers' outcome distributions
+// differ significantly across replications.
+//
+// The normal approximation is adequate for the sample sizes the harness
+// produces (n ≥ 8 per side); for tiny samples the p-value is conservative.
+func RankSum(a, b []float64) (u float64, pValue float64) {
+	na, nb := len(a), len(b)
+	if na == 0 || nb == 0 {
+		return 0, 1
+	}
+	type obs struct {
+		v     float64
+		fromA bool
+	}
+	all := make([]obs, 0, na+nb)
+	for _, v := range a {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Assign mid-ranks, accumulating the tie-correction term Σ(t³−t).
+	ranks := make([]float64, len(all))
+	tieTerm := 0.0
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		t := float64(j - i)
+		if t > 1 {
+			tieTerm += t*t*t - t
+		}
+		i = j
+	}
+	ra := 0.0
+	for i, o := range all {
+		if o.fromA {
+			ra += ranks[i]
+		}
+	}
+	fa, fb := float64(na), float64(nb)
+	u = ra - fa*(fa+1)/2
+	mu := fa * fb / 2
+	nTot := fa + fb
+	sigma2 := fa * fb / 12 * ((nTot + 1) - tieTerm/(nTot*(nTot-1)))
+	if sigma2 <= 0 {
+		// All values tied: no evidence of difference.
+		return u, 1
+	}
+	// Continuity-corrected z.
+	z := (math.Abs(u-mu) - 0.5) / math.Sqrt(sigma2)
+	if z < 0 {
+		z = 0
+	}
+	pValue = 2 * NormCDF(-z)
+	if pValue > 1 {
+		pValue = 1
+	}
+	return u, pValue
+}

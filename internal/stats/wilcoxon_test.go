@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRankSumIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	_, p := RankSum(a, a)
+	if p < 0.9 {
+		t.Fatalf("identical samples should not differ: p = %v", p)
+	}
+}
+
+func TestRankSumClearSeparation(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	b := []float64{101, 102, 103, 104, 105, 106, 107, 108}
+	u, p := RankSum(a, b)
+	if u != 0 {
+		t.Fatalf("all-below sample should have U = 0, got %v", u)
+	}
+	if p > 0.01 {
+		t.Fatalf("separated samples should be significant: p = %v", p)
+	}
+}
+
+func TestRankSumSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, 10)
+	b := make([]float64, 12)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	for i := range b {
+		b[i] = rng.NormFloat64() + 0.5
+	}
+	_, pab := RankSum(a, b)
+	_, pba := RankSum(b, a)
+	if pab != pba {
+		t.Fatalf("p-value should be symmetric: %v vs %v", pab, pba)
+	}
+}
+
+func TestRankSumDetectsShiftAtModerateN(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 30
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64() + 1.5
+	}
+	if _, p := RankSum(a, b); p > 0.001 {
+		t.Fatalf("1.5σ shift at n=30 should be highly significant: p = %v", p)
+	}
+}
+
+func TestRankSumNullCalibration(t *testing.T) {
+	// Under the null, p-values should not be systematically tiny.
+	rng := rand.New(rand.NewSource(3))
+	small := 0
+	const trials = 200
+	for tr := 0; tr < trials; tr++ {
+		a := make([]float64, 12)
+		b := make([]float64, 12)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		if _, p := RankSum(a, b); p < 0.05 {
+			small++
+		}
+	}
+	// Expect ≈5 % false positives; allow generous slack.
+	if small > trials/8 {
+		t.Fatalf("null rejection rate too high: %d/%d", small, trials)
+	}
+}
+
+func TestRankSumTiesHandled(t *testing.T) {
+	a := []float64{1, 1, 1, 2, 2}
+	b := []float64{1, 2, 2, 2, 3}
+	_, p := RankSum(a, b)
+	if p <= 0 || p > 1 {
+		t.Fatalf("tied-sample p-value out of range: %v", p)
+	}
+	// Fully tied data: p must be exactly 1 (zero variance path).
+	c := []float64{5, 5, 5}
+	if _, p := RankSum(c, c); p != 1 {
+		t.Fatalf("all-tied p = %v, want 1", p)
+	}
+}
+
+func TestRankSumEmpty(t *testing.T) {
+	if _, p := RankSum(nil, []float64{1}); p != 1 {
+		t.Fatal("empty sample should return p = 1")
+	}
+}

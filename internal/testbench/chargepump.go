@@ -1,0 +1,304 @@
+package testbench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/problem"
+)
+
+// cpNumTransistors is the number of sized transistors in the charge-pump
+// core; each contributes a width and a length design variable (36 total,
+// matching the paper).
+const cpNumTransistors = 18
+
+// cpTransistorNames documents the variable layout: design vector entry 2k is
+// the width and 2k+1 the length of cpTransistorNames[k].
+var cpTransistorNames = [cpNumTransistors]string{
+	"MN_DIODE",  // bias diode receiving IREF
+	"MN_MIR1",   // mirrors IREF into the PMOS diode branch
+	"MN_MIR1C",  // its cascode
+	"MP_DIODE",  // PMOS mirror diode
+	"MP_DIODEC", // PMOS cascode diode
+	"M1",        // UP output PMOS (the paper's M1)
+	"M1C",       // its cascode
+	"MSW_UP",    // UP switch (PMOS)
+	"M2",        // DN output NMOS (the paper's M2)
+	"M2C",       // its cascode
+	"MSW_DN",    // DN switch (NMOS)
+	"MN_CASC1",  // NMOS cascode bias diode (upper)
+	"MN_CASC2",  // NMOS cascode bias diode (lower)
+	"M1R",       // replica UP branch PMOS
+	"M1RC",      // replica UP cascode
+	"M2R",       // replica DN branch NMOS
+	"M2RC",      // replica DN cascode
+	"MN_BLEED",  // output bleed device
+}
+
+// Corner is one PVT condition.
+type Corner struct {
+	Process string  // "SS", "TT", "FF"
+	VddFrac float64 // supply multiplier (0.9 / 1.0 / 1.1)
+	TempC   float64 // junction temperature in °C
+}
+
+// Corners27 enumerates the full 3×3×3 PVT grid of the paper.
+func Corners27() []Corner {
+	var out []Corner
+	for _, p := range []string{"SS", "TT", "FF"} {
+		for _, v := range []float64{0.9, 1.0, 1.1} {
+			for _, t := range []float64{-40, 27, 125} {
+				out = append(out, Corner{Process: p, VddFrac: v, TempC: t})
+			}
+		}
+	}
+	return out
+}
+
+// NominalCorner is the single corner the low-fidelity simulation uses.
+func NominalCorner() Corner { return Corner{Process: "TT", VddFrac: 1.0, TempC: 27} }
+
+// CPResult carries the aggregated charge-pump metrics of eq. (16), all in µA.
+type CPResult struct {
+	MaxDiff1  float64 // max over corners of I(M1) max − avg
+	MaxDiff2  float64 // max over corners of I(M1) avg − min
+	MaxDiff3  float64 // max over corners of I(M2) max − avg
+	MaxDiff4  float64 // max over corners of I(M2) avg − min
+	Deviation float64 // max|I(M1)avg − 40µA| + max|I(M2)avg − 40µA|
+	FOM       float64 // 0.3·Σ max_diff + 0.5·deviation
+}
+
+// ChargePump is the §5.2 workload: 36 sizing variables, minimize the FOM of
+// eq. (16) subject to the five constraints of eq. (15).
+type ChargePump struct {
+	// VddNominal is the nominal supply (default 1.8 V).
+	VddNominal float64
+	// IRef is the reference bias current (default 20 µA).
+	IRef float64
+	// ITarget is the wanted output current (default 40 µA).
+	ITarget float64
+	// SweepPoints is the number of output-voltage operating points per
+	// state (default 5, spread over [0.2, 0.8]·Vdd).
+	SweepPoints int
+	// corners caches the full grid.
+	corners []Corner
+}
+
+var _ problem.Problem = (*ChargePump)(nil)
+
+// NewChargePump returns the workload with the paper's settings.
+func NewChargePump() *ChargePump {
+	return &ChargePump{
+		VddNominal:  1.8,
+		IRef:        20e-6,
+		ITarget:     40e-6,
+		SweepPoints: 5,
+		corners:     Corners27(),
+	}
+}
+
+// Name implements problem.Problem.
+func (p *ChargePump) Name() string { return "charge-pump" }
+
+// Dim implements problem.Problem.
+func (p *ChargePump) Dim() int { return 2 * cpNumTransistors }
+
+// Bounds implements problem.Problem: widths in [0.4, 40] µm (even indices)
+// and lengths in [0.04, 0.4] µm (odd indices).
+func (p *ChargePump) Bounds() (lo, hi []float64) {
+	lo = make([]float64, p.Dim())
+	hi = make([]float64, p.Dim())
+	for k := 0; k < cpNumTransistors; k++ {
+		lo[2*k], hi[2*k] = 0.4, 40       // width, µm
+		lo[2*k+1], hi[2*k+1] = 0.04, 0.4 // length, µm
+	}
+	return lo, hi
+}
+
+// NumConstraints implements problem.Problem (eq. 15).
+func (p *ChargePump) NumConstraints() int { return 5 }
+
+// Cost implements problem.Problem: 1 corner vs 27 corners.
+func (p *ChargePump) Cost(f problem.Fidelity) float64 {
+	if f == problem.Low {
+		return 1.0 / 27
+	}
+	return 1
+}
+
+// Evaluate implements problem.Problem.
+func (p *ChargePump) Evaluate(x []float64, f problem.Fidelity) problem.Evaluation {
+	r := p.Simulate(x, f)
+	return problem.Evaluation{
+		Objective: r.FOM,
+		Constraints: []float64{
+			r.MaxDiff1 - 20,
+			r.MaxDiff2 - 20,
+			r.MaxDiff3 - 5,
+			r.MaxDiff4 - 5,
+			r.Deviation - 5,
+		},
+	}
+}
+
+// deviceParams maps a corner onto level-1 model parameters for one
+// transistor: the process corner shifts VTH and KP, temperature degrades
+// mobility as (T/T0)^−1.5 and drifts VTH by −2 mV/K.
+func deviceParams(c Corner, typ circuit.MOSType, wUm, lUm float64) circuit.MOSParams {
+	vth := 0.45
+	kp := 250e-6
+	if typ == circuit.PMOS {
+		vth = 0.45
+		kp = 110e-6
+	}
+	switch c.Process {
+	case "SS":
+		vth *= 1.10
+		kp *= 0.85
+	case "FF":
+		vth *= 0.90
+		kp *= 1.15
+	}
+	tK := c.TempC + 273.15
+	kp *= math.Pow(tK/300.15, -1.5)
+	vth -= 2e-3 * (tK - 300.15)
+	return circuit.MOSParams{
+		Type: typ, W: wUm * 1e-6, L: lUm * 1e-6,
+		VTH: vth, KP: kp, Lambda: 0.08 * (0.1 / lUm), // longer channel → less CLM
+	}
+}
+
+// Netlist builds the charge-pump core for a design vector x at corner c with
+// switch states up/dn and the output node forced to vout. Exposed so that
+// cmd/figures can print the schematic netlist (the paper's Figure 4).
+func (p *ChargePump) Netlist(x []float64, c Corner, up, dn bool, vout float64) *circuit.Circuit {
+	if len(x) != p.Dim() {
+		panic(fmt.Sprintf("chargepump: design vector length %d != %d", len(x), p.Dim()))
+	}
+	par := func(i int, typ circuit.MOSType) circuit.MOSParams {
+		return deviceParams(c, typ, x[2*i], x[2*i+1])
+	}
+	vdd := p.VddNominal * c.VddFrac
+	ckt := circuit.New()
+	ckt.AddVSource("VDD", "vdd", circuit.Ground, circuit.DC(vdd))
+	// Force the output node for the operating-point sweep.
+	ckt.AddVSource("VOUT", "cpout", circuit.Ground, circuit.DC(vout))
+
+	// Bias: IREF into the NMOS mirror diode.
+	ckt.AddISource("IREF", "vdd", "nbias", circuit.DC(p.IRef))
+	ckt.AddMOSFET("MN_DIODE", "nbias", "nbias", circuit.Ground, par(0, circuit.NMOS))
+
+	// NMOS cascode gate bias: stacked diodes fed by a second reference.
+	ckt.AddISource("IREF2", "vdd", "ncasc", circuit.DC(p.IRef))
+	ckt.AddMOSFET("MN_CASC1", "ncasc", "ncasc", "nc1", par(11, circuit.NMOS))
+	ckt.AddMOSFET("MN_CASC2", "nc1", "nc1", circuit.Ground, par(12, circuit.NMOS))
+
+	// PMOS mirror diode branch: cascoded NMOS mirror pulls IREF' through
+	// the stacked PMOS diodes.
+	ckt.AddMOSFET("MP_DIODE", "pbias", "pbias", "vdd", par(3, circuit.PMOS))
+	ckt.AddMOSFET("MP_DIODEC", "pcasc", "pcasc", "pbias", par(4, circuit.PMOS))
+	ckt.AddMOSFET("MN_MIR1C", "pcasc", "ncasc", "m1s", par(2, circuit.NMOS))
+	ckt.AddMOSFET("MN_MIR1", "m1s", "nbias", circuit.Ground, par(1, circuit.NMOS))
+
+	// UP branch: vdd → switch → M1 → cascode → cpout.
+	upGate := "vdd" // PMOS off
+	if up {
+		upGate = "0"
+	}
+	ckt.AddMOSFET("MSW_UP", "swup", upGate, "vdd", par(7, circuit.PMOS))
+	ckt.AddMOSFET("M1", "n1", "pbias", "swup", par(5, circuit.PMOS))
+	ckt.AddMOSFET("M1C", "cpout", "pcasc", "n1", par(6, circuit.PMOS))
+
+	// DN branch: cpout → cascode → M2 → switch → ground.
+	dnGate := "0" // NMOS off
+	if dn {
+		dnGate = "vdd"
+	}
+	ckt.AddMOSFET("M2C", "cpout", "ncasc", "n2", par(9, circuit.NMOS))
+	ckt.AddMOSFET("M2", "n2", "nbias", "swdn", par(8, circuit.NMOS))
+	ckt.AddMOSFET("MSW_DN", "swdn", dnGate, circuit.Ground, par(10, circuit.NMOS))
+
+	// Replica branch keeping the mirrors loaded when both switches are off.
+	ckt.AddMOSFET("M1R", "nrep1", "pbias", "vdd", par(13, circuit.PMOS))
+	ckt.AddMOSFET("M1RC", "rep", "pcasc", "nrep1", par(14, circuit.PMOS))
+	ckt.AddMOSFET("M2RC", "rep", "ncasc", "nrep2", par(16, circuit.NMOS))
+	ckt.AddMOSFET("M2R", "nrep2", "nbias", circuit.Ground, par(15, circuit.NMOS))
+
+	// Bleed device at the output (sized small by a good design).
+	ckt.AddMOSFET("MN_BLEED", "cpout", "nbias", circuit.Ground, par(17, circuit.NMOS))
+	return ckt
+}
+
+// cornerCurrents returns the |I(M1)| and |I(M2)| samples (in µA) over the
+// output-voltage sweep for one corner.
+func (p *ChargePump) cornerCurrents(x []float64, c Corner) (im1, im2 []float64, err error) {
+	vdd := p.VddNominal * c.VddFrac
+	for k := 0; k < p.SweepPoints; k++ {
+		frac := 0.2 + 0.6*float64(k)/float64(p.SweepPoints-1)
+		vout := frac * vdd
+		// UP phase: measure M1.
+		ckt := p.Netlist(x, c, true, false, vout)
+		sol, e := circuit.NewSim(ckt).DC()
+		if e != nil {
+			return nil, nil, e
+		}
+		m1 := ckt.Device("M1").(*circuit.MOSFET)
+		im1 = append(im1, math.Abs(m1.Current(sol.X))*1e6)
+		// DN phase: measure M2.
+		ckt = p.Netlist(x, c, false, true, vout)
+		sol, e = circuit.NewSim(ckt).DC()
+		if e != nil {
+			return nil, nil, e
+		}
+		m2 := ckt.Device("M2").(*circuit.MOSFET)
+		im2 = append(im2, math.Abs(m2.Current(sol.X))*1e6)
+	}
+	return im1, im2, nil
+}
+
+// Simulate aggregates eq. (16) over the corner set implied by the fidelity.
+// Non-convergent designs are reported as maximally bad but finite.
+func (p *ChargePump) Simulate(x []float64, f problem.Fidelity) CPResult {
+	corners := p.corners
+	if f == problem.Low {
+		corners = []Corner{NominalCorner()}
+	}
+	bad := CPResult{MaxDiff1: 1e3, MaxDiff2: 1e3, MaxDiff3: 1e3, MaxDiff4: 1e3, Deviation: 1e3}
+	bad.FOM = 0.3*(bad.MaxDiff1+bad.MaxDiff2+bad.MaxDiff3+bad.MaxDiff4) + 0.5*bad.Deviation
+
+	var r CPResult
+	var dev1, dev2 float64
+	target := p.ITarget * 1e6
+	for _, c := range corners {
+		im1, im2, err := p.cornerCurrents(x, c)
+		if err != nil {
+			return bad
+		}
+		min1, max1 := circuit.MinMax(im1)
+		min2, max2 := circuit.MinMax(im2)
+		avg1 := circuit.Mean(im1)
+		avg2 := circuit.Mean(im2)
+		r.MaxDiff1 = math.Max(r.MaxDiff1, max1-avg1)
+		r.MaxDiff2 = math.Max(r.MaxDiff2, avg1-min1)
+		r.MaxDiff3 = math.Max(r.MaxDiff3, max2-avg2)
+		r.MaxDiff4 = math.Max(r.MaxDiff4, avg2-min2)
+		// eq. (16): the two deviation maxima are taken separately over the
+		// corner set, then summed.
+		dev1 = math.Max(dev1, math.Abs(avg1-target))
+		dev2 = math.Max(dev2, math.Abs(avg2-target))
+	}
+	r.Deviation = dev1 + dev2
+	r.FOM = 0.3*(r.MaxDiff1+r.MaxDiff2+r.MaxDiff3+r.MaxDiff4) + 0.5*r.Deviation
+	return r
+}
+
+// String renders a result row.
+func (r CPResult) String() string {
+	return fmt.Sprintf("FOM=%.2f d1=%.2f d2=%.2f d3=%.2f d4=%.2f dev=%.2f",
+		r.FOM, r.MaxDiff1, r.MaxDiff2, r.MaxDiff3, r.MaxDiff4, r.Deviation)
+}
+
+// TransistorNames exposes the design-variable layout for documentation and
+// the netlist printer.
+func TransistorNames() []string { return append([]string(nil), cpTransistorNames[:]...) }

@@ -1,0 +1,253 @@
+package testbench
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/circuit"
+	"repro/internal/problem"
+)
+
+// OpAmpResult carries the raw two-stage op-amp metrics of one evaluation.
+type OpAmpResult struct {
+	GainDB   float64 // DC open-loop gain
+	UGFMHz   float64 // unity-gain frequency
+	PhaseDeg float64 // phase margin in degrees
+	PowerUW  float64 // static power in µW
+}
+
+// OpAmp is an additional workload beyond the paper's two: a two-stage
+// Miller-compensated operational amplifier where the cheap fidelity is the
+// classic hand-analysis model (gm·ro products and the gm/C pole formulas
+// evaluated at the simulated operating point) and the expensive fidelity a
+// full small-signal AC sweep of the netlist. This is the textbook
+// "equation-based model vs simulation" fidelity split that the paper's
+// introduction contrasts (model-based vs simulation-based sizing), and it
+// exercises the simulator's AC path.
+//
+// Design vector (8 variables):
+//
+//	x[0] W1   input-pair width (µm)
+//	x[1] W3   mirror-load width (µm)
+//	x[2] W5   tail-source width (µm)
+//	x[3] W6   second-stage driver width (µm)
+//	x[4] W7   second-stage load width (µm)
+//	x[5] L    shared channel length (µm)
+//	x[6] Cc   Miller capacitor (pF)
+//	x[7] Ib   bias current (µA)
+//
+// Specification (minimize power):
+//
+//	gain > 55 dB, UGF > 20 MHz, phase margin > 60°.
+type OpAmp struct {
+	// Vdd is the supply (default 1.8 V).
+	Vdd float64
+	// CLoad is the output load capacitance (default 2 pF).
+	CLoad float64
+	// GainMinDB, UGFMinMHz, PMMinDeg are the spec limits
+	// (defaults 55 dB / 20 MHz / 60°).
+	GainMinDB, UGFMinMHz, PMMinDeg float64
+	// SweepPoints per decade for the high-fidelity AC analysis (default 10)
+	// over [1 kHz, 1 GHz].
+	SweepPoints int
+}
+
+var _ problem.Problem = (*OpAmp)(nil)
+
+// NewOpAmp returns the workload with default settings.
+func NewOpAmp() *OpAmp {
+	return &OpAmp{
+		Vdd: 1.8, CLoad: 2e-12,
+		GainMinDB: 55, UGFMinMHz: 20, PMMinDeg: 60,
+		SweepPoints: 10,
+	}
+}
+
+// Name implements problem.Problem.
+func (p *OpAmp) Name() string { return "two-stage-opamp" }
+
+// Dim implements problem.Problem.
+func (p *OpAmp) Dim() int { return 8 }
+
+// Bounds implements problem.Problem.
+func (p *OpAmp) Bounds() (lo, hi []float64) {
+	return []float64{2, 2, 2, 5, 5, 0.1, 0.5, 5},
+		[]float64{60, 60, 60, 200, 200, 0.5, 5, 100}
+}
+
+// NumConstraints implements problem.Problem.
+func (p *OpAmp) NumConstraints() int { return 3 }
+
+// Cost implements problem.Problem: the hand model costs a single DC solve
+// versus a full multi-point AC sweep (≈ 1:10).
+func (p *OpAmp) Cost(f problem.Fidelity) float64 {
+	if f == problem.Low {
+		return 0.1
+	}
+	return 1
+}
+
+// Evaluate implements problem.Problem: minimize power subject to
+// gain/UGF/phase-margin specs.
+func (p *OpAmp) Evaluate(x []float64, f problem.Fidelity) problem.Evaluation {
+	r := p.Simulate(x, f)
+	return problem.Evaluation{
+		Objective: r.PowerUW,
+		Constraints: []float64{
+			p.GainMinDB - r.GainDB,
+			p.UGFMinMHz - r.UGFMHz,
+			p.PMMinDeg - r.PhaseDeg,
+		},
+	}
+}
+
+// netlist builds the two-stage Miller op-amp for design x.
+func (p *OpAmp) netlist(x []float64) *circuit.Circuit {
+	w1, w3, w5, w6, w7 := x[0]*1e-6, x[1]*1e-6, x[2]*1e-6, x[3]*1e-6, x[4]*1e-6
+	l := x[5] * 1e-6
+	cc := x[6] * 1e-12
+	ib := x[7] * 1e-6
+
+	nm := func(w float64) circuit.MOSParams {
+		return circuit.MOSParams{W: w, L: l, VTH: 0.45, KP: 250e-6, Lambda: 0.06 * (0.2e-6 / l)}
+	}
+	pm := func(w float64) circuit.MOSParams {
+		return circuit.MOSParams{Type: circuit.PMOS, W: w, L: l, VTH: 0.45, KP: 110e-6, Lambda: 0.08 * (0.2e-6 / l)}
+	}
+
+	c := circuit.New()
+	c.AddVSource("VDD", "vdd", circuit.Ground, circuit.DC(p.Vdd))
+	// Differential inputs: common mode at mid-rail; inp carries the AC
+	// stimulus, inn is AC ground. (Single-ended model of the diff drive.)
+	c.AddVSource("VINP", "inp", circuit.Ground, circuit.DC(0.9)).SetAC(0.5, 0)
+	c.AddVSource("VINN", "inn", circuit.Ground, circuit.DC(0.9)).SetAC(0.5, 180)
+	// Bias: reference current into a diode NMOS mirrored to the tail and
+	// the second-stage load via a PMOS diode.
+	c.AddISource("IB", "vdd", "nbias", circuit.DC(ib))
+	c.AddMOSFET("MB", "nbias", "nbias", circuit.Ground, nm(w5))
+	// Tail current source.
+	c.AddMOSFET("M5", "tail", "nbias", circuit.Ground, nm(w5))
+	// Input pair (NMOS): M1 (inp) drives the mirror diode side, M2 (inn)
+	// the output side of stage 1.
+	c.AddMOSFET("M1", "d1", "inp", "tail", nm(w1))
+	c.AddMOSFET("M2", "o1", "inn", "tail", nm(w1))
+	// PMOS mirror load.
+	c.AddMOSFET("M3", "d1", "d1", "vdd", pm(w3))
+	c.AddMOSFET("M4", "o1", "d1", "vdd", pm(w3))
+	// Second stage: PMOS common-source driver with NMOS mirror load.
+	c.AddMOSFET("M6", "out", "o1", "vdd", pm(w6))
+	c.AddMOSFET("M7", "out", "nbias", circuit.Ground, nm(w7))
+	// Miller compensation and load.
+	c.AddCapacitor("CC", "o1", "out", cc)
+	c.AddCapacitor("CL", "out", circuit.Ground, p.CLoad)
+	return c
+}
+
+// Simulate evaluates the op-amp at the requested fidelity. Failures report a
+// maximally bad but finite result.
+func (p *OpAmp) Simulate(x []float64, f problem.Fidelity) OpAmpResult {
+	bad := OpAmpResult{GainDB: 0, UGFMHz: 0, PhaseDeg: 0, PowerUW: 1e6}
+	ckt := p.netlist(x)
+	sim := circuit.NewSim(ckt)
+	op, err := sim.DC()
+	if err != nil {
+		return bad
+	}
+	// Static power: supply current × Vdd.
+	vdd := ckt.Device("VDD").(*circuit.VSource)
+	power := -p.Vdd * vdd.Current(op.X) * 1e6 // µW
+	if power <= 0 {
+		return bad
+	}
+	if f == problem.Low {
+		return p.handModel(ckt, sim, op, power, x)
+	}
+	freqs := circuit.LogSpace(1e3, 1e9, 6*p.SweepPoints+1)
+	res, err := sim.AC(freqs)
+	if err != nil {
+		return bad
+	}
+	return p.measureAC(res, freqs, power)
+}
+
+// measureAC extracts gain, UGF and phase margin from an AC sweep.
+func (p *OpAmp) measureAC(res *circuit.ACResult, freqs []float64, powerUW float64) OpAmpResult {
+	gainDC := cmplx.Abs(res.V("out", 0))
+	out := OpAmpResult{PowerUW: powerUW}
+	if gainDC <= 0 {
+		return out
+	}
+	out.GainDB = 20 * math.Log10(gainDC)
+	// Unity-gain crossing by log interpolation.
+	prevMag := gainDC
+	for k := 1; k < len(freqs); k++ {
+		mag := cmplx.Abs(res.V("out", k))
+		if prevMag >= 1 && mag < 1 {
+			// Interpolate in log-log space.
+			f0, f1 := freqs[k-1], freqs[k]
+			t := math.Log(prevMag) / (math.Log(prevMag) - math.Log(mag))
+			fu := math.Exp(math.Log(f0) + t*(math.Log(f1)-math.Log(f0)))
+			out.UGFMHz = fu / 1e6
+			// Phase at crossing (interpolated linearly).
+			ph0 := res.PhaseDeg("out", k-1)
+			ph1 := res.PhaseDeg("out", k)
+			// Unwrap the step if needed.
+			if ph1-ph0 > 180 {
+				ph1 -= 360
+			} else if ph0-ph1 > 180 {
+				ph1 += 360
+			}
+			ph := ph0 + t*(ph1-ph0)
+			// Phase margin relative to the inverting DC phase (±180°).
+			pm := 180 - math.Abs(180-math.Abs(ph))
+			out.PhaseDeg = pm
+			break
+		}
+		prevMag = mag
+	}
+	return out
+}
+
+// handModel computes the classic two-stage formulas at the simulated
+// operating point:
+//
+//	A_v  = gm1·(ro2 ∥ ro4) · gm6·(ro6 ∥ ro7)
+//	UGF  ≈ gm1 / (2π·Cc)
+//	PM   ≈ 90° − atan(UGF/p2) − atan(UGF/z),  p2 = gm6/CL, z = gm6/Cc
+//
+// This is the cheap model a designer uses before simulating — biased
+// exactly the way equation-based sizing is biased.
+func (p *OpAmp) handModel(ckt *circuit.Circuit, sim *circuit.Sim, op *circuit.Solution, powerUW float64, x []float64) OpAmpResult {
+	gm := func(name string) (gmv, gds float64) {
+		m := ckt.Device(name).(*circuit.MOSFET)
+		return m.SmallSignal(op.X)
+	}
+	gm1, gds2 := gm("M2")
+	_, gds4 := gm("M4")
+	gm6, gds6 := gm("M6")
+	_, gds7 := gm("M7")
+	cc := x[6] * 1e-12
+	av := gm1 / (gds2 + gds4) * gm6 / (gds6 + gds7)
+	out := OpAmpResult{PowerUW: powerUW}
+	if av <= 0 || math.IsNaN(av) {
+		return out
+	}
+	out.GainDB = 20 * math.Log10(av)
+	ugf := gm1 / (2 * math.Pi * cc)
+	out.UGFMHz = ugf / 1e6
+	p2 := gm6 / (2 * math.Pi * p.CLoad)
+	z := gm6 / (2 * math.Pi * cc)
+	pm := 90 - math.Atan(ugf/p2)*180/math.Pi - math.Atan(ugf/z)*180/math.Pi
+	if pm < 0 {
+		pm = 0
+	}
+	out.PhaseDeg = pm
+	return out
+}
+
+// String renders a result row.
+func (r OpAmpResult) String() string {
+	return fmt.Sprintf("Gain=%.1fdB UGF=%.1fMHz PM=%.1f° P=%.1fµW",
+		r.GainDB, r.UGFMHz, r.PhaseDeg, r.PowerUW)
+}

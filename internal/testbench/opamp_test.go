@@ -1,0 +1,142 @@
+package testbench
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/problem"
+	"repro/internal/stats"
+)
+
+// opampWitness is a known-feasible design from design-space exploration.
+func opampWitness() []float64 {
+	return []float64{55.5, 23.9, 14.9, 186, 101, 0.11, 1.6, 23.9}
+}
+
+func TestOpAmpInterface(t *testing.T) {
+	oa := NewOpAmp()
+	if oa.Dim() != 8 || oa.NumConstraints() != 3 {
+		t.Fatalf("opamp shape: %d vars, %d cons", oa.Dim(), oa.NumConstraints())
+	}
+	lo, hi := oa.Bounds()
+	for i := range lo {
+		if lo[i] >= hi[i] {
+			t.Fatalf("bound %d inverted", i)
+		}
+	}
+	if oa.Cost(problem.Low) >= oa.Cost(problem.High) {
+		t.Fatal("low fidelity must be cheaper")
+	}
+}
+
+func TestOpAmpSimulateFinite(t *testing.T) {
+	oa := NewOpAmp()
+	for _, f := range []problem.Fidelity{problem.Low, problem.High} {
+		r := oa.Simulate(opampWitness(), f)
+		for _, v := range []float64{r.GainDB, r.UGFMHz, r.PhaseDeg, r.PowerUW} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("non-finite metric at %v: %+v", f, r)
+			}
+		}
+		if r.PowerUW <= 0 {
+			t.Fatalf("non-positive power: %+v", r)
+		}
+	}
+}
+
+func TestOpAmpWitnessIsHealthy(t *testing.T) {
+	oa := NewOpAmp()
+	r := oa.Simulate(opampWitness(), problem.High)
+	if r.GainDB < 40 {
+		t.Fatalf("witness gain %v dB too low", r.GainDB)
+	}
+	if r.UGFMHz < 10 {
+		t.Fatalf("witness UGF %v MHz too low", r.UGFMHz)
+	}
+	if r.PhaseDeg < 45 {
+		t.Fatalf("witness phase margin %v too low", r.PhaseDeg)
+	}
+}
+
+func TestOpAmpFidelityBiasIsSystematic(t *testing.T) {
+	// The hand model reproduces the DC gain (same linearization) but
+	// overestimates the unity-gain frequency — the classic textbook bias.
+	oa := NewOpAmp()
+	lo, hi := oa.Bounds()
+	rng := rand.New(rand.NewSource(3))
+	over := 0
+	n := 0
+	for _, x := range stats.LatinHypercube(rng, lo, hi, 10) {
+		h := oa.Simulate(x, problem.High)
+		l := oa.Simulate(x, problem.Low)
+		if h.UGFMHz <= 0 || l.UGFMHz <= 0 {
+			continue
+		}
+		n++
+		if math.Abs(h.GainDB-l.GainDB) > 0.5 {
+			t.Fatalf("hand-model gain should match AC gain: %v vs %v", l.GainDB, h.GainDB)
+		}
+		if l.UGFMHz > h.UGFMHz {
+			over++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no valid samples")
+	}
+	if over < n*2/3 {
+		t.Fatalf("hand model overestimated UGF only %d/%d times — bias structure lost", over, n)
+	}
+}
+
+func TestOpAmpEvaluatePacking(t *testing.T) {
+	oa := NewOpAmp()
+	x := opampWitness()
+	r := oa.Simulate(x, problem.High)
+	e := oa.Evaluate(x, problem.High)
+	if e.Objective != r.PowerUW {
+		t.Fatal("objective must be power")
+	}
+	wants := []float64{oa.GainMinDB - r.GainDB, oa.UGFMinMHz - r.UGFMHz, oa.PMMinDeg - r.PhaseDeg}
+	for i, w := range wants {
+		if math.Abs(e.Constraints[i]-w) > 1e-12 {
+			t.Fatalf("constraint %d packed wrong", i)
+		}
+	}
+}
+
+func TestOpAmpMillerCapSlowsUGF(t *testing.T) {
+	// Increasing Cc must reduce the measured unity-gain frequency.
+	oa := NewOpAmp()
+	x := opampWitness()
+	small := append([]float64(nil), x...)
+	small[6] = 0.8
+	big := append([]float64(nil), x...)
+	big[6] = 4
+	fSmall := oa.Simulate(small, problem.High).UGFMHz
+	fBig := oa.Simulate(big, problem.High).UGFMHz
+	if fBig >= fSmall {
+		t.Fatalf("larger Cc should slow the amp: %v vs %v MHz", fBig, fSmall)
+	}
+}
+
+func TestOpAmpPowerScalesWithBias(t *testing.T) {
+	oa := NewOpAmp()
+	x := opampWitness()
+	lowI := append([]float64(nil), x...)
+	lowI[7] = 8
+	highI := append([]float64(nil), x...)
+	highI[7] = 80
+	pLow := oa.Simulate(lowI, problem.High).PowerUW
+	pHigh := oa.Simulate(highI, problem.High).PowerUW
+	if pHigh <= pLow {
+		t.Fatalf("10× bias current should cost more power: %v vs %v µW", pHigh, pLow)
+	}
+}
+
+func TestOpAmpDeterministic(t *testing.T) {
+	oa := NewOpAmp()
+	if oa.Simulate(opampWitness(), problem.High) != oa.Simulate(opampWitness(), problem.High) {
+		t.Fatal("simulation not deterministic")
+	}
+}

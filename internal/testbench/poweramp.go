@@ -1,0 +1,179 @@
+// Package testbench builds the two analog-synthesis workloads of the
+// paper's evaluation on top of the internal circuit simulator:
+//
+//   - PowerAmp (§5.1): a class-A/AB power amplifier with an LC output match,
+//     5 design variables (Cs, Cp, W, Vdd, Vb), maximizing drain efficiency
+//     subject to output-power and distortion constraints. Low fidelity runs
+//     a short, unsettled transient; high fidelity a long, settled one (the
+//     paper's 10 ns vs 200 ns per-transistor budgets, a 1:20 cost ratio).
+//
+//   - ChargePump (§5.2): a cascoded charge-pump current-steering core with
+//     18 transistors (36 W/L design variables), constraining the output
+//     currents of M1 and M2 to a band around 40 µA across 27 PVT corners.
+//     Low fidelity simulates the nominal corner only (a 1:27 cost ratio).
+//
+// Both testbenches substitute for the paper's proprietary foundry-PDK
+// simulations; see DESIGN.md §2 for the substitution argument.
+package testbench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/problem"
+)
+
+// PAResult carries the raw power-amplifier metrics of one simulation.
+type PAResult struct {
+	EffPct  float64 // drain efficiency in percent
+	PoutDBm float64 // fundamental output power in dBm
+	THDdB   float64 // total harmonic distortion in dB
+}
+
+// PowerAmp is the §5.1 workload. It implements problem.Problem with
+//
+//	minimize  −Eff(x)
+//	s.t.      Pout > 23 dBm   (c₁ = 23 − Pout < 0)
+//	          THD  < 13.65 dB (c₂ = THD − 13.65 < 0)
+//
+// over x = (Cs, Cp, W, Vdd, Vb).
+type PowerAmp struct {
+	// Freq is the carrier frequency (default 2.4 GHz).
+	Freq float64
+	// PoutMinDBm / THDMaxDB are the spec limits (defaults 23 / 13.65).
+	PoutMinDBm, THDMaxDB float64
+	// HighPeriods / LowPeriods are the transient lengths in carrier periods
+	// (defaults 24 / 4); the measurement windows are the last HighMeasure /
+	// LowMeasure periods (defaults 8 / 2).
+	HighPeriods, LowPeriods   int
+	HighMeasure, LowMeasure   int
+	HighStepsPer, LowStepsPer int // steps per period (defaults 64 / 32)
+	// RLoad is the output load (default 5 Ω — the paper's 2048-cell array
+	// scaled into a single representative device).
+	RLoad float64
+	// DriveAmp is the fixed gate drive amplitude (default 0.45 V).
+	DriveAmp float64
+}
+
+var _ problem.Problem = (*PowerAmp)(nil)
+
+// NewPowerAmp returns the workload with the paper's settings.
+func NewPowerAmp() *PowerAmp {
+	return &PowerAmp{
+		Freq:        2.4e9,
+		PoutMinDBm:  23,
+		THDMaxDB:    13.65,
+		HighPeriods: 24, LowPeriods: 4,
+		HighMeasure: 8, LowMeasure: 2,
+		HighStepsPer: 64, LowStepsPer: 32,
+		RLoad:    5,
+		DriveAmp: 0.6,
+	}
+}
+
+// Name implements problem.Problem.
+func (p *PowerAmp) Name() string { return "power-amplifier" }
+
+// Dim implements problem.Problem.
+func (p *PowerAmp) Dim() int { return 5 }
+
+// Bounds implements problem.Problem. Variables are
+// (Cs [pF], Cp [pF], W [mm], Vdd [V], Vb [V]).
+func (p *PowerAmp) Bounds() (lo, hi []float64) {
+	return []float64{2, 0.2, 0.05, 1.0, 1.0}, []float64{20, 2, 0.5, 2.0, 2.0}
+}
+
+// NumConstraints implements problem.Problem.
+func (p *PowerAmp) NumConstraints() int { return 2 }
+
+// Cost implements problem.Problem: the paper's 10 ns vs 200 ns budgets.
+func (p *PowerAmp) Cost(f problem.Fidelity) float64 {
+	if f == problem.Low {
+		return 1.0 / 20
+	}
+	return 1
+}
+
+// Evaluate implements problem.Problem.
+func (p *PowerAmp) Evaluate(x []float64, f problem.Fidelity) problem.Evaluation {
+	r := p.Simulate(x, f)
+	return problem.Evaluation{
+		Objective: -r.EffPct,
+		Constraints: []float64{
+			p.PoutMinDBm - r.PoutDBm,
+			r.THDdB - p.THDMaxDB,
+		},
+	}
+}
+
+// Simulate runs the transient testbench and returns the raw metrics.
+// Simulation failures (non-convergence on pathological corners of the design
+// space) are reported as a maximally bad — but finite — result so the
+// optimizer can learn to avoid the region.
+func (p *PowerAmp) Simulate(x []float64, f problem.Fidelity) PAResult {
+	cs := x[0] * 1e-12
+	cp := x[1] * 1e-12
+	w := x[2] * 1e-3
+	vdd := x[3]
+	vb := x[4]
+
+	ckt := circuit.New()
+	ckt.AddVSource("VDD", "vdd", circuit.Ground, circuit.DC(vdd))
+	ckt.AddVSource("VIN", "g", circuit.Ground, circuit.Sine{
+		Offset: vb, Amplitude: p.DriveAmp, Freq: p.Freq,
+	})
+	ckt.AddInductor("LCHOKE", "vdd", "d", 8e-9)
+	ckt.AddMOSFET("M1", "d", "g", circuit.Ground, circuit.MOSParams{
+		W: w, L: 65e-9, VTH: 0.9, KP: 300e-6, Lambda: 0.1,
+	})
+	ckt.AddCapacitor("CS", "d", "out", cs)
+	ckt.AddCapacitor("CP", "out", circuit.Ground, cp)
+	ckt.AddResistor("RL", "out", circuit.Ground, p.RLoad)
+
+	period := 1 / p.Freq
+	nPeriods, nMeasure, stepsPer := p.HighPeriods, p.HighMeasure, p.HighStepsPer
+	if f == problem.Low {
+		nPeriods, nMeasure, stepsPer = p.LowPeriods, p.LowMeasure, p.LowStepsPer
+	}
+	dt := period / float64(stepsPer)
+	tstop := float64(nPeriods) * period
+
+	sim := circuit.NewSim(ckt)
+	wf, err := sim.Transient(tstop, dt)
+	if err != nil {
+		return PAResult{EffPct: 0, PoutDBm: -100, THDdB: 60}
+	}
+	t0 := float64(nPeriods-nMeasure) * period
+	start, end := wf.Window(t0, tstop)
+	vout := wf.Node("out")[start:end]
+	isup := wf.SourceCurrent("VDD")[start:end]
+
+	// Fundamental output power into the load.
+	amp := circuit.HarmonicAmplitude(vout, dt, p.Freq, 1)
+	pout := amp * amp / (2 * p.RLoad)
+	// DC power: the supply source drives current out of its + terminal, so
+	// delivered power is −Vdd·I_branch averaged.
+	pdc := -vdd * circuit.Mean(isup)
+	if pdc <= 1e-9 {
+		pdc = 1e-9
+	}
+	eff := 100 * pout / pdc
+	if eff > 100 {
+		eff = 100 // guard against unsettled-window measurement artifacts
+	}
+	thd := circuit.THDdB(vout, dt, p.Freq, 5)
+	if math.IsNaN(thd) || math.IsInf(thd, 0) {
+		thd = 60
+	}
+	poutDBm := -100.0
+	if pout > 1e-13 {
+		poutDBm = circuit.DBm(pout)
+	}
+	return PAResult{EffPct: eff, PoutDBm: poutDBm, THDdB: thd}
+}
+
+// String renders a result row.
+func (r PAResult) String() string {
+	return fmt.Sprintf("Eff=%.2f%% Pout=%.2fdBm THD=%.2fdB", r.EffPct, r.PoutDBm, r.THDdB)
+}

@@ -1,0 +1,245 @@
+package testfunc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/problem"
+)
+
+func TestPedagogicalValues(t *testing.T) {
+	// f_l(1/16) = sin(π/2) = 1; f_h = (1/16 − √2)·1.
+	x := 1.0 / 16
+	if got := PedagogicalLow(x); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("low(%v) = %v, want 1", x, got)
+	}
+	if got, want := PedagogicalHigh(x), x-math.Sqrt2; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("high(%v) = %v, want %v", x, got, want)
+	}
+	// Zeros of sin(8πx) are zeros of f_h.
+	if got := PedagogicalHigh(0.25); math.Abs(got) > 1e-12 {
+		t.Fatalf("high(0.25) = %v, want 0", got)
+	}
+}
+
+func TestPedagogicalProblemInterface(t *testing.T) {
+	p := Pedagogical()
+	if p.Dim() != 1 || p.NumConstraints() != 0 {
+		t.Fatal("pedagogical shape wrong")
+	}
+	lo, hi := p.Bounds()
+	if lo[0] != 0 || hi[0] != 1 {
+		t.Fatalf("bounds [%v, %v]", lo, hi)
+	}
+	e := p.Evaluate([]float64{0.5}, problem.High)
+	if math.Abs(e.Objective-PedagogicalHigh(0.5)) > 1e-15 {
+		t.Fatal("Evaluate(high) disagrees with HighFn")
+	}
+	e = p.Evaluate([]float64{0.5}, problem.Low)
+	if math.Abs(e.Objective-PedagogicalLow(0.5)) > 1e-15 {
+		t.Fatal("Evaluate(low) disagrees with LowFn")
+	}
+	if p.Cost(problem.Low) >= p.Cost(problem.High) {
+		t.Fatal("low fidelity must be cheaper")
+	}
+}
+
+func TestForresterKnownMinimum(t *testing.T) {
+	p := Forrester()
+	// Global minimum near x ≈ 0.7572, f ≈ −6.0207.
+	got := p.HighFn([]float64{0.757249})
+	if math.Abs(got-(-6.02074)) > 1e-3 {
+		t.Fatalf("forrester min value %v, want ≈ -6.0207", got)
+	}
+	// Low fidelity differs from high (it is a biased transform).
+	if math.Abs(p.LowFn([]float64{0.3})-p.HighFn([]float64{0.3})) < 1e-9 {
+		t.Fatal("low fidelity should be biased")
+	}
+}
+
+func TestBraninKnownMinima(t *testing.T) {
+	// Branin has three global minima with value ≈ 0.397887.
+	for _, pt := range [][]float64{{-math.Pi, 12.275}, {math.Pi, 2.275}, {9.42478, 2.475}} {
+		if got := braninValue(pt[0], pt[1]); math.Abs(got-0.397887) > 1e-4 {
+			t.Fatalf("branin(%v) = %v, want 0.397887", pt, got)
+		}
+	}
+}
+
+func TestBraninMFCorrelated(t *testing.T) {
+	p := BraninMF()
+	// Low and high should be positively correlated over the domain.
+	var sumH, sumL, sumHL, sumHH, sumLL float64
+	n := 0
+	for i := 0; i <= 10; i++ {
+		for j := 0; j <= 10; j++ {
+			x := []float64{-5 + 15*float64(i)/10, 15 * float64(j) / 10}
+			h, l := p.HighFn(x), p.LowFn(x)
+			sumH += h
+			sumL += l
+			sumHL += h * l
+			sumHH += h * h
+			sumLL += l * l
+			n++
+		}
+	}
+	fn := float64(n)
+	cov := sumHL/fn - (sumH/fn)*(sumL/fn)
+	corr := cov / math.Sqrt((sumHH/fn-(sumH/fn)*(sumH/fn))*(sumLL/fn-(sumL/fn)*(sumL/fn)))
+	if corr < 0.8 {
+		t.Fatalf("branin MF correlation %v too low", corr)
+	}
+}
+
+func TestCurrinFinite(t *testing.T) {
+	p := CurrinMF()
+	// x2 = 0 exercises the 1/(2·x2) guard.
+	for _, x := range [][]float64{{0, 0}, {1, 0}, {0.5, 0.5}, {1, 1}, {0, 1}} {
+		h, l := p.HighFn(x), p.LowFn(x)
+		if math.IsNaN(h) || math.IsInf(h, 0) || math.IsNaN(l) || math.IsInf(l, 0) {
+			t.Fatalf("currin not finite at %v: %v / %v", x, h, l)
+		}
+	}
+}
+
+func TestParkFinite(t *testing.T) {
+	p := ParkMF()
+	for _, x := range [][]float64{{0, 0, 0, 0}, {1, 1, 1, 1}, {0, 1, 0.5, 0.3}} {
+		h, l := p.HighFn(x), p.LowFn(x)
+		if math.IsNaN(h) || math.IsInf(h, 0) || math.IsNaN(l) || math.IsInf(l, 0) {
+			t.Fatalf("park not finite at %v: %v / %v", x, h, l)
+		}
+	}
+	if p.Dim() != 4 {
+		t.Fatalf("park dim %d", p.Dim())
+	}
+}
+
+func TestBoreholeProperties(t *testing.T) {
+	p := BoreholeMF()
+	if p.Dim() != 8 {
+		t.Fatalf("borehole dim %d", p.Dim())
+	}
+	lo, hi := p.Bounds()
+	mid := make([]float64, 8)
+	for i := range mid {
+		mid[i] = 0.5 * (lo[i] + hi[i])
+	}
+	h, l := p.HighFn(mid), p.LowFn(mid)
+	// Physical flow rate is positive and O(10-300) m³/yr at mid-domain.
+	if h <= 0 || h > 500 {
+		t.Fatalf("borehole high %v implausible", h)
+	}
+	if l <= 0 || l > 500 {
+		t.Fatalf("borehole low %v implausible", l)
+	}
+	if h == l {
+		t.Fatal("fidelities should differ")
+	}
+	// Flow grows with the head difference Hu − Hl.
+	moreHead := append([]float64(nil), mid...)
+	moreHead[3] = hi[3]
+	if p.HighFn(moreHead) <= h {
+		t.Fatal("flow should increase with Hu")
+	}
+	// And with well radius rw.
+	widerWell := append([]float64(nil), mid...)
+	widerWell[0] = hi[0]
+	if p.HighFn(widerWell) <= h {
+		t.Fatal("flow should increase with rw")
+	}
+}
+
+func TestBoreholeFidelityCorrelation(t *testing.T) {
+	p := BoreholeMF()
+	lo, hi := p.Bounds()
+	var hs, ls []float64
+	// Deterministic grid walk across the domain diagonal + perturbations.
+	for k := 0; k < 30; k++ {
+		x := make([]float64, 8)
+		for i := range x {
+			f := math.Mod(float64(k)*0.137+float64(i)*0.31, 1.0)
+			x[i] = lo[i] + f*(hi[i]-lo[i])
+		}
+		hs = append(hs, p.HighFn(x))
+		ls = append(ls, p.LowFn(x))
+	}
+	var mh, ml float64
+	for i := range hs {
+		mh += hs[i]
+		ml += ls[i]
+	}
+	mh /= float64(len(hs))
+	ml /= float64(len(ls))
+	var sab, saa, sbb float64
+	for i := range hs {
+		da, db := hs[i]-mh, ls[i]-ml
+		sab += da * db
+		saa += da * da
+		sbb += db * db
+	}
+	if corr := sab / math.Sqrt(saa*sbb); corr < 0.9 {
+		t.Fatalf("borehole fidelity correlation %v too weak", corr)
+	}
+}
+
+func TestConstrainedSyntheticOptimum(t *testing.T) {
+	p := ConstrainedSynthetic()
+	xOpt, fOpt := ConstrainedSyntheticOptimum()
+	e := p.Evaluate(xOpt, problem.High)
+	if math.Abs(e.Objective-fOpt) > 1e-12 {
+		t.Fatalf("optimum objective %v, want %v", e.Objective, fOpt)
+	}
+	// The optimum is exactly on the constraint boundary.
+	if math.Abs(e.Constraints[0]) > 1e-12 {
+		t.Fatalf("optimum constraint %v, want 0", e.Constraints[0])
+	}
+	// A slightly-interior point is feasible with a slightly worse objective.
+	eIn := p.Evaluate([]float64{0.5, 0.5}, problem.High)
+	if !eIn.Feasible() {
+		t.Fatal("interior point should be feasible")
+	}
+	if eIn.Objective <= fOpt {
+		t.Fatal("interior point should not beat the optimum")
+	}
+	// An infeasible point.
+	eOut := p.Evaluate([]float64{0.1, 0.1}, problem.High)
+	if eOut.Feasible() {
+		t.Fatal("(0.1, 0.1) should violate x1·x2 > 0.2")
+	}
+}
+
+func TestHartmann3KnownMinimum(t *testing.T) {
+	p := Hartmann3()
+	// Global minimum f(0.1146, 0.5556, 0.8525) ≈ −3.8628.
+	got := p.HighFn([]float64{0.114614, 0.555649, 0.852547})
+	if math.Abs(got-(-3.86278)) > 1e-3 {
+		t.Fatalf("hartmann3 min %v, want ≈ -3.8628", got)
+	}
+}
+
+func TestEvaluatePanicsOnWrongDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Pedagogical().Evaluate([]float64{0.1, 0.2}, problem.High)
+}
+
+func TestNewCustomFunc(t *testing.T) {
+	f := New("custom", []float64{0}, []float64{2}, 1,
+		func(x []float64) (float64, []float64) { return x[0], []float64{-1} },
+		func(x []float64) (float64, []float64) { return 2 * x[0], []float64{-1} },
+		0.5, 2)
+	if f.Name() != "custom" || f.NumConstraints() != 1 {
+		t.Fatal("custom func metadata wrong")
+	}
+	if f.Cost(problem.Low) != 0.5 || f.Cost(problem.High) != 2 {
+		t.Fatal("custom costs wrong")
+	}
+	e := f.Evaluate([]float64{1}, problem.Low)
+	if e.Objective != 2 || !e.Feasible() {
+		t.Fatalf("custom eval %+v", e)
+	}
+}
