@@ -4,17 +4,29 @@
 //	mfbo -problem poweramp -algo mfbo -budget 50
 //	mfbo -problem chargepump -algo weibo -budget 60 -seed 7
 //	mfbo -problem constrained -algo de -budget 200 -v
+//	mfbo -problem opamp -robust -eval-timeout 30s -checkpoint run.ckpt.json
+//	mfbo -problem forrester -chaos 0.2 -robust -v
 //
 // Problems: poweramp, chargepump, opamp, pedagogical, forrester, branin,
 // currin, park, borehole, hartmann3, constrained. Algorithms: mfbo (ours),
 // weibo, gaspad, de.
+//
+// Robustness (mfbo algorithm only): -robust wraps the problem in the safe
+// evaluation runtime (panic recovery, NaN sanitization, retries, timeouts);
+// -checkpoint snapshots the run after every iteration and -resume restarts
+// from such a snapshot; -chaos injects synthetic low-fidelity failures for
+// fault-tolerance demos. Ctrl-C interrupts gracefully, leaving a resumable
+// checkpoint behind when -checkpoint is set.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/baselines"
@@ -22,6 +34,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/optimize"
 	"repro/internal/problem"
+	"repro/internal/robust"
 	"repro/internal/testbench"
 	"repro/internal/testfunc"
 )
@@ -36,11 +49,33 @@ func main() {
 	initLow := flag.Int("init-low", 0, "low-fidelity initialization size (mfbo; 0 = default)")
 	initHigh := flag.Int("init-high", 0, "high-fidelity initialization size (mfbo; 0 = default)")
 	gamma := flag.Float64("gamma", 0.01, "fidelity-selection threshold γ (mfbo)")
+	useRobust := flag.Bool("robust", false, "wrap the problem in the safe evaluation runtime")
+	retries := flag.Int("retries", 2, "max retries per evaluation (with -robust)")
+	evalTimeout := flag.Duration("eval-timeout", 0, "per-evaluation timeout, 0 = none (with -robust)")
+	ckptPath := flag.String("checkpoint", "", "write a resumable snapshot here after every iteration (mfbo)")
+	resume := flag.Bool("resume", false, "resume the mfbo run from the -checkpoint file")
+	chaosRate := flag.Float64("chaos", 0, "inject this low-fidelity failure rate (plus panics at a quarter of it); implies a fault-tolerance demo")
 	flag.Parse()
 
 	p := lookupProblem(*probName)
+	if *chaosRate > 0 {
+		p = robust.NewChaos(p, robust.ChaosConfig{
+			Low:  robust.FidelityChaos{FailRate: *chaosRate, PanicRate: *chaosRate / 4},
+			Seed: *seed,
+		})
+	}
+	if *useRobust || *chaosRate > 0 {
+		p = robust.Wrap(p, robust.Policy{
+			MaxRetries: *retries,
+			Timeout:    *evalTimeout,
+			Seed:       *seed,
+		})
+	}
 	rng := rand.New(rand.NewSource(*seed))
 	start := time.Now()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var cb func(core.Observation)
 	if *verbose {
@@ -55,10 +90,26 @@ func main() {
 	msp := optimize.MSPConfig{Starts: 10, LocalIter: 30}
 	switch *algo {
 	case "mfbo":
-		res, err = core.Optimize(p, core.Config{
+		cfg := core.Config{
 			Budget: *budget, InitLow: *initLow, InitHigh: *initHigh,
 			Gamma: *gamma, MSP: msp, Callback: cb,
-		}, rng)
+		}
+		if *ckptPath != "" {
+			cfg.Checkpointer = core.FileCheckpointer(*ckptPath)
+		}
+		if *resume {
+			if *ckptPath == "" {
+				log.Fatal("mfbo: -resume requires -checkpoint")
+			}
+			var ck *core.Checkpoint
+			ck, err = core.LoadCheckpoint(*ckptPath)
+			if err != nil {
+				log.Fatalf("mfbo: %v", err)
+			}
+			res, err = core.Resume(ctx, p, cfg, rng, ck)
+		} else {
+			res, err = core.OptimizeCtx(ctx, p, cfg, rng)
+		}
 	case "weibo":
 		res, err = baselines.WEIBO(p, baselines.WEIBOConfig{
 			Budget: int(*budget), Init: max(4, int(*budget)/4), MSP: msp, Callback: cb,
@@ -86,6 +137,25 @@ func main() {
 	fmt.Printf("cost:      %d low + %d high sims = %.1f equivalent (found best at %.1f)\n",
 		res.NumLow, res.NumHigh, res.EquivalentSims, experiments.SimsToBest(res))
 	fmt.Printf("elapsed:   %s\n", time.Since(start).Round(time.Millisecond))
+	if res.Interrupted {
+		fmt.Println("status:    interrupted (partial result)")
+		if *ckptPath != "" {
+			fmt.Printf("           resume with: -resume -checkpoint %s\n", *ckptPath)
+		}
+	}
+	if res.NumFailed > 0 {
+		fmt.Printf("failures:  %d evaluations failed (charged against the budget)\n", res.NumFailed)
+	}
+	for fid, fc := range res.Faults {
+		if fc.Attempts == 0 {
+			continue
+		}
+		fmt.Printf("faults[%s]: %d attempts, %d retries, %d failures (%d panics, %d timeouts, %d non-finite)\n",
+			fid, fc.Attempts, fc.Retries, fc.Failures, fc.Panics, fc.Timeouts, fc.NonFinite)
+	}
+	for _, d := range res.Degradations {
+		fmt.Printf("degraded:  iter %d output %d → %s (%s)\n", d.Iter, d.Output, d.Stage, d.Reason)
+	}
 }
 
 func lookupProblem(name string) problem.Problem {

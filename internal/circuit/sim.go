@@ -48,13 +48,25 @@ type Solution struct {
 	X   []float64
 }
 
-// V returns the voltage of a named node.
-func (sol *Solution) V(node string) float64 {
+// Voltage returns the voltage of a named node, or an error when the node
+// does not exist — the crash-safe accessor optimization workers must use
+// (a bad measure name in a testbench must not kill the run).
+func (sol *Solution) Voltage(node string) (float64, error) {
 	idx, ok := sol.sim.ckt.nodes[node]
 	if !ok {
-		panic(fmt.Sprintf("circuit: unknown node %q", node))
+		return 0, fmt.Errorf("circuit: unknown node %q", node)
 	}
-	return nodeVoltage(sol.X, idx)
+	return nodeVoltage(sol.X, idx), nil
+}
+
+// V returns the voltage of a named node, panicking on an unknown node. Thin
+// wrapper over Voltage for internal callers whose node names are static.
+func (sol *Solution) V(node string) float64 {
+	v, err := sol.Voltage(node)
+	if err != nil {
+		panic(err.Error())
+	}
+	return v
 }
 
 // DC computes the DC operating point (sources evaluated at t = 0), using
@@ -183,23 +195,39 @@ func (w *Waveforms) append(t float64, x []float64) {
 	w.Data = append(w.Data, append([]float64(nil), x...))
 }
 
-// Node returns the voltage waveform of a named node.
-func (w *Waveforms) Node(name string) []float64 {
+// NodeVoltages returns the voltage waveform of a named node, or an error
+// when the node does not exist — the crash-safe accessor for optimization
+// workers.
+func (w *Waveforms) NodeVoltages(name string) ([]float64, error) {
 	idx, ok := w.sim.ckt.nodes[name]
 	if !ok {
-		panic(fmt.Sprintf("circuit: unknown node %q", name))
+		return nil, fmt.Errorf("circuit: unknown node %q", name)
 	}
 	out := make([]float64, len(w.Data))
 	for k, x := range w.Data {
 		out[k] = nodeVoltage(x, idx)
 	}
+	return out, nil
+}
+
+// Node returns the voltage waveform of a named node, panicking on an unknown
+// node. Thin wrapper over NodeVoltages for internal callers with static
+// names.
+func (w *Waveforms) Node(name string) []float64 {
+	out, err := w.NodeVoltages(name)
+	if err != nil {
+		panic(err.Error())
+	}
 	return out
 }
 
-// SourceCurrent returns the branch-current waveform of a named voltage
-// source or inductor.
-func (w *Waveforms) SourceCurrent(name string) []float64 {
+// BranchCurrent returns the branch-current waveform of a named voltage
+// source or inductor, or an error for a missing or non-branch device.
+func (w *Waveforms) BranchCurrent(name string) ([]float64, error) {
 	d := w.sim.ckt.Device(name)
+	if d == nil {
+		return nil, fmt.Errorf("circuit: unknown device %q", name)
+	}
 	out := make([]float64, len(w.Data))
 	switch dev := d.(type) {
 	case *VSource:
@@ -211,15 +239,30 @@ func (w *Waveforms) SourceCurrent(name string) []float64 {
 			out[k] = dev.Current(x)
 		}
 	default:
-		panic(fmt.Sprintf("circuit: %q is not a branch-current device", name))
+		return nil, fmt.Errorf("circuit: %q is not a branch-current device", name)
+	}
+	return out, nil
+}
+
+// SourceCurrent returns the branch-current waveform of a named voltage
+// source or inductor, panicking on a missing or unsuitable device. Thin
+// wrapper over BranchCurrent for internal callers with static names.
+func (w *Waveforms) SourceCurrent(name string) []float64 {
+	out, err := w.BranchCurrent(name)
+	if err != nil {
+		panic(err.Error())
 	}
 	return out
 }
 
-// DeviceCurrent returns the current waveform of a named resistor, diode or
-// MOSFET (computed from terminal voltages).
-func (w *Waveforms) DeviceCurrent(name string) []float64 {
+// TerminalCurrent returns the current waveform of a named resistor, diode or
+// MOSFET (computed from terminal voltages), or an error for a missing or
+// unsuitable device.
+func (w *Waveforms) TerminalCurrent(name string) ([]float64, error) {
 	d := w.sim.ckt.Device(name)
+	if d == nil {
+		return nil, fmt.Errorf("circuit: unknown device %q", name)
+	}
 	out := make([]float64, len(w.Data))
 	switch dev := d.(type) {
 	case *Resistor:
@@ -235,7 +278,18 @@ func (w *Waveforms) DeviceCurrent(name string) []float64 {
 			out[k] = dev.Current(x)
 		}
 	default:
-		panic(fmt.Sprintf("circuit: %q has no terminal-current accessor", name))
+		return nil, fmt.Errorf("circuit: %q has no terminal-current accessor", name)
+	}
+	return out, nil
+}
+
+// DeviceCurrent returns the current waveform of a named resistor, diode or
+// MOSFET, panicking on a missing or unsuitable device. Thin wrapper over
+// TerminalCurrent for internal callers with static names.
+func (w *Waveforms) DeviceCurrent(name string) []float64 {
+	out, err := w.TerminalCurrent(name)
+	if err != nil {
+		panic(err.Error())
 	}
 	return out
 }

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"repro/internal/problem"
+)
+
+// CheckpointVersion is bumped whenever the snapshot layout changes
+// incompatibly.
+const CheckpointVersion = 1
+
+// Checkpoint is a complete, JSON-serializable snapshot of an optimization
+// run: everything Resume needs to continue the loop except the live Config
+// (function-valued fields cannot round-trip through JSON — the caller passes
+// a fresh Config, and the RNG-visible scalar parts recorded here are
+// validated against it).
+type Checkpoint struct {
+	Version int
+	// Problem identity, validated on Resume.
+	Problem        string
+	Dim            int
+	NumConstraints int
+	// RNG-visible scalar config, validated on Resume (a mismatch would
+	// silently change the search trajectory).
+	Budget            float64
+	Gamma             float64
+	InitLow, InitHigh int
+	// Loop position.
+	Iter            int // next adaptive iteration
+	Cost            float64
+	NumLow, NumHigh int
+	NumFailed       int
+	// Training sets (successful evaluations only; failures live in History).
+	LowX, LowY   [][]float64
+	HighX, HighY [][]float64
+	// Warm-start hyperparameters per output (may contain nil entries).
+	WarmLow, WarmHigh [][]float64
+	// Full simulation history and degradation log.
+	History      []Observation
+	Degradations []Degradation
+}
+
+func cloneMatrix(m [][]float64) [][]float64 {
+	if m == nil {
+		return nil
+	}
+	out := make([][]float64, len(m))
+	for i, row := range m {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+// snapshot deep-copies the live state into a Checkpoint.
+func (st *state) snapshot() *Checkpoint {
+	hist := make([]Observation, len(st.res.History))
+	for i, ob := range st.res.History {
+		ob.X = append([]float64(nil), ob.X...)
+		ob.Eval.Constraints = append([]float64(nil), ob.Eval.Constraints...)
+		hist[i] = ob
+	}
+	return &Checkpoint{
+		Version:        CheckpointVersion,
+		Problem:        st.p.Name(),
+		Dim:            st.d,
+		NumConstraints: st.nc,
+		Budget:         st.cfg.Budget,
+		Gamma:          st.cfg.Gamma,
+		InitLow:        st.cfg.InitLow,
+		InitHigh:       st.cfg.InitHigh,
+		Iter:           st.iter,
+		Cost:           st.cost,
+		NumLow:         st.res.NumLow,
+		NumHigh:        st.res.NumHigh,
+		NumFailed:      st.res.NumFailed,
+		LowX:           cloneMatrix(st.low.X),
+		LowY:           cloneMatrix(st.low.Y),
+		HighX:          cloneMatrix(st.high.X),
+		HighY:          cloneMatrix(st.high.Y),
+		WarmLow:        cloneMatrix(st.warmLow),
+		WarmHigh:       cloneMatrix(st.warmHigh),
+		History:        hist,
+		Degradations:   append([]Degradation(nil), st.res.Degradations...),
+	}
+}
+
+// checkpoint invokes the configured Checkpointer hook, if any.
+func (st *state) checkpoint() error {
+	if st.cfg.Checkpointer == nil {
+		return nil
+	}
+	if err := st.cfg.Checkpointer(st.snapshot()); err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Marshal renders the checkpoint as deterministic, human-inspectable JSON.
+func (ck *Checkpoint) Marshal() ([]byte, error) {
+	return json.MarshalIndent(ck, "", " ")
+}
+
+// UnmarshalCheckpoint parses a checkpoint previously produced by Marshal.
+func UnmarshalCheckpoint(data []byte) (*Checkpoint, error) {
+	ck := &Checkpoint{}
+	if err := json.Unmarshal(data, ck); err != nil {
+		return nil, fmt.Errorf("core: corrupt checkpoint: %w", err)
+	}
+	if ck.Version != CheckpointVersion {
+		return nil, fmt.Errorf("core: checkpoint version %d, want %d", ck.Version, CheckpointVersion)
+	}
+	return ck, nil
+}
+
+// SaveCheckpoint writes the checkpoint atomically (temp file + rename) so a
+// crash mid-write never corrupts the previous snapshot.
+func SaveCheckpoint(path string, ck *Checkpoint) error {
+	data, err := ck.Marshal()
+	if err != nil {
+		return fmt.Errorf("core: marshal checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*.json")
+	if err != nil {
+		return fmt.Errorf("core: checkpoint temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("core: write checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("core: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("core: commit checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a snapshot written by SaveCheckpoint.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: read checkpoint: %w", err)
+	}
+	return UnmarshalCheckpoint(data)
+}
+
+// FileCheckpointer returns a Checkpointer hook persisting every snapshot to
+// path (atomically overwriting the previous one).
+func FileCheckpointer(path string) func(*Checkpoint) error {
+	return func(ck *Checkpoint) error { return SaveCheckpoint(path, ck) }
+}
+
+// validateResume cross-checks the snapshot against the live problem/config.
+func validateResume(p problem.Problem, cfg *Config, ck *Checkpoint) error {
+	if ck.Version != CheckpointVersion {
+		return fmt.Errorf("core: checkpoint version %d, want %d", ck.Version, CheckpointVersion)
+	}
+	if ck.Problem != p.Name() {
+		return fmt.Errorf("core: checkpoint is for problem %q, not %q", ck.Problem, p.Name())
+	}
+	if ck.Dim != p.Dim() || ck.NumConstraints != p.NumConstraints() {
+		return fmt.Errorf("core: checkpoint shape (d=%d, nc=%d) does not match problem (d=%d, nc=%d)",
+			ck.Dim, ck.NumConstraints, p.Dim(), p.NumConstraints())
+	}
+	if ck.Budget != cfg.Budget {
+		return fmt.Errorf("core: checkpoint budget %v != config budget %v", ck.Budget, cfg.Budget)
+	}
+	if ck.Gamma != cfg.Gamma {
+		return fmt.Errorf("core: checkpoint gamma %v != config gamma %v", ck.Gamma, cfg.Gamma)
+	}
+	return nil
+}
+
+// Resume continues an optimization run from a snapshot: datasets, history,
+// incumbents, spent budget and warm hyperparameters are restored exactly, and
+// the adaptive loop picks up at the snapshot's iteration until the remaining
+// budget is spent. The caller supplies the same problem and an equivalent
+// Config (scalar fields are validated against the snapshot); rng seeds the
+// continuation — the history prefix is bit-identical to the snapshot
+// regardless.
+func Resume(ctx context.Context, p problem.Problem, cfg Config, rng *rand.Rand, ck *Checkpoint) (*Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	if err := validateResume(p, &cfg, ck); err != nil {
+		return nil, err
+	}
+	st := newState(p, cfg, rng)
+	st.iter = ck.Iter
+	st.cost = ck.Cost
+	st.low = &dataset{X: cloneMatrix(ck.LowX), Y: cloneMatrix(ck.LowY)}
+	st.high = &dataset{X: cloneMatrix(ck.HighX), Y: cloneMatrix(ck.HighY)}
+	if len(ck.WarmLow) == st.nOut {
+		st.warmLow = cloneMatrix(ck.WarmLow)
+	}
+	if len(ck.WarmHigh) == st.nOut {
+		st.warmHigh = cloneMatrix(ck.WarmHigh)
+	}
+	st.res.NumLow = ck.NumLow
+	st.res.NumHigh = ck.NumHigh
+	st.res.NumFailed = ck.NumFailed
+	st.res.History = make([]Observation, len(ck.History))
+	for i, ob := range ck.History {
+		ob.X = append([]float64(nil), ob.X...)
+		ob.Eval.Constraints = append([]float64(nil), ob.Eval.Constraints...)
+		st.res.History[i] = ob
+	}
+	st.res.Degradations = append([]Degradation(nil), ck.Degradations...)
+	return st.loop(ctx)
+}

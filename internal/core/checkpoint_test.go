@@ -1,0 +1,216 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/testfunc"
+)
+
+// captureCheckpoints runs an optimization collecting every snapshot.
+func captureCheckpoints(t *testing.T, budget float64, seed int64) (*Result, []*Checkpoint) {
+	t.Helper()
+	var cks []*Checkpoint
+	cfg := fastCfg(budget)
+	cfg.Checkpointer = func(ck *Checkpoint) error {
+		cks = append(cks, ck)
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res, err := Optimize(testfunc.ConstrainedSynthetic(), cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cks) == 0 {
+		t.Fatal("no checkpoints captured")
+	}
+	return res, cks
+}
+
+func TestCheckpointRoundTripByteIdentical(t *testing.T) {
+	_, cks := captureCheckpoints(t, 8, 21)
+	ck := cks[len(cks)/2]
+	data, err := ck.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := back.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("checkpoint JSON round-trip is not byte-identical")
+	}
+}
+
+func TestCheckpointFilePersistence(t *testing.T) {
+	_, cks := captureCheckpoints(t, 6, 22)
+	ck := cks[len(cks)-1]
+	path := filepath.Join(t.TempDir(), "run.ckpt.json")
+	if err := SaveCheckpoint(path, ck); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ck, back) {
+		t.Fatal("loaded checkpoint differs from saved one")
+	}
+	// FileCheckpointer overwrites atomically.
+	hook := FileCheckpointer(path)
+	if err := hook(cks[0]); err != nil {
+		t.Fatal(err)
+	}
+	first, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Iter != cks[0].Iter {
+		t.Fatalf("overwrite lost data: iter %d, want %d", first.Iter, cks[0].Iter)
+	}
+}
+
+func TestCheckpointerErrorAbortsRun(t *testing.T) {
+	boom := errors.New("disk full")
+	cfg := fastCfg(8)
+	n := 0
+	cfg.Checkpointer = func(*Checkpoint) error {
+		n++
+		if n >= 3 {
+			return boom
+		}
+		return nil
+	}
+	rng := rand.New(rand.NewSource(23))
+	res, err := Optimize(testfunc.Forrester(), cfg, rng)
+	if !errors.Is(err, boom) {
+		t.Fatalf("want checkpoint error, got %v", err)
+	}
+	if res == nil || len(res.History) == 0 {
+		t.Fatal("partial result must accompany the checkpoint error")
+	}
+}
+
+// killAndResume cancels a run after nIter adaptive iterations, then resumes
+// from the last snapshot.
+func TestKillMidFlightAndResume(t *testing.T) {
+	p := testfunc.ConstrainedSynthetic()
+	const budget = 8.0
+	cfg := fastCfg(budget)
+
+	// Reference: uninterrupted run (same seed) for sanity.
+	refRng := rand.New(rand.NewSource(31))
+	ref, err := Optimize(p, cfg, refRng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Killed run: cancel after the 3rd adaptive iteration's checkpoint.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var last *Checkpoint
+	kcfg := cfg
+	kcfg.Checkpointer = func(ck *Checkpoint) error {
+		last = ck
+		if ck.Iter >= 3 {
+			cancel() // "kill" the run mid-flight
+		}
+		return nil
+	}
+	killRng := rand.New(rand.NewSource(31))
+	killed, err := OptimizeCtx(ctx, p, kcfg, killRng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !killed.Interrupted {
+		t.Fatal("cancelled run must report Interrupted")
+	}
+	if last == nil || last.Iter < 3 {
+		t.Fatalf("no usable snapshot captured: %+v", last)
+	}
+	if killed.EquivalentSims >= budget {
+		t.Fatal("killed run must stop before exhausting the budget")
+	}
+
+	// Serialize/deserialize the snapshot as a real crash-recovery would.
+	data, err := last.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := UnmarshalCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resume := func(seed int64) *Result {
+		r, err := Resume(context.Background(), p, cfg, rand.New(rand.NewSource(seed)), snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	resumed := resume(77)
+
+	// The resumed history must extend the snapshot's history exactly: same
+	// length prefix, byte-identical entries.
+	if len(resumed.History) <= len(snap.History) {
+		t.Fatalf("resume did not continue: %d <= %d observations", len(resumed.History), len(snap.History))
+	}
+	if !reflect.DeepEqual(resumed.History[:len(snap.History)], snap.History) {
+		t.Fatal("resumed history prefix differs from the checkpoint history")
+	}
+	// Budget accounting continues seamlessly.
+	if resumed.EquivalentSims < budget-1 || resumed.EquivalentSims > budget+1 {
+		t.Fatalf("resumed run spent %.2f sims, budget %v", resumed.EquivalentSims, budget)
+	}
+	if resumed.Interrupted {
+		t.Fatal("completed resume must not be Interrupted")
+	}
+	if resumed.BestX == nil {
+		t.Fatal("resumed run must report a best point")
+	}
+	// Resuming twice with the same seed is fully deterministic — identical
+	// history lengths and identical outcomes.
+	again := resume(77)
+	if len(again.History) != len(resumed.History) {
+		t.Fatalf("resume not deterministic: %d vs %d observations", len(again.History), len(resumed.History))
+	}
+	if again.Best.Objective != resumed.Best.Objective {
+		t.Fatal("resume not deterministic in outcome")
+	}
+	// And the resumed run is in the same ballpark as the uninterrupted one.
+	if resumed.Feasible != ref.Feasible && !resumed.Feasible {
+		t.Fatalf("resumed run lost feasibility (ref %v)", ref.Feasible)
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	_, cks := captureCheckpoints(t, 6, 41)
+	ck := cks[len(cks)-1]
+	rng := rand.New(rand.NewSource(1))
+
+	// Wrong problem.
+	if _, err := Resume(context.Background(), testfunc.Forrester(), fastCfg(6), rng, ck); err == nil {
+		t.Fatal("resume must reject a mismatched problem")
+	}
+	// Wrong budget.
+	if _, err := Resume(context.Background(), testfunc.ConstrainedSynthetic(), fastCfg(99), rng, ck); err == nil {
+		t.Fatal("resume must reject a mismatched budget")
+	}
+	// Wrong version.
+	bad := *ck
+	bad.Version = 999
+	if _, err := Resume(context.Background(), testfunc.ConstrainedSynthetic(), fastCfg(6), rng, &bad); err == nil {
+		t.Fatal("resume must reject an unknown version")
+	}
+}

@@ -18,9 +18,28 @@
 // While no feasible high-fidelity point is known, the §4.2 bootstrap
 // objective (eq. 13) replaces wEI to force the search into the feasible
 // region.
+//
+// # Fault tolerance
+//
+// The loop is built to survive the failure modes of SPICE-class evaluation
+// (see internal/robust and DESIGN.md "Failure handling & resume"):
+//
+//   - Failed evaluations — problems implementing problem.RichEvaluator (e.g.
+//     robust.SafeProblem) report failures explicitly; the loop charges them
+//     against the budget, records them in History with Eval.Failed set, and
+//     excludes them from surrogate training.
+//   - Surrogate-fit failures degrade instead of aborting, down a three-rung
+//     ladder recorded in Result.Degradations: (1) refit with the previous
+//     iteration's warm hyperparameters frozen, (2) drop to a pure
+//     low-fidelity surrogate for the iteration, (3) pure random exploration.
+//   - OptimizeCtx observes ctx: cancellation ends the run gracefully with
+//     Result.Interrupted set and the partial history intact.
+//   - Config.Checkpointer snapshots the full optimizer state after every
+//     iteration; Resume continues a run from such a snapshot.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -32,6 +51,7 @@ import (
 	"repro/internal/mfgp"
 	"repro/internal/optimize"
 	"repro/internal/problem"
+	"repro/internal/robust"
 	"repro/internal/stats"
 )
 
@@ -86,6 +106,11 @@ type Config struct {
 	// stats.LatinHypercube; doe.SobolInBox / doe.HaltonInBox / doe.Auto are
 	// drop-in alternatives).
 	InitSampler func(rng *rand.Rand, lo, hi []float64, n int) [][]float64
+	// Checkpointer, when non-nil, receives a full state snapshot after the
+	// initialization phase and after every adaptive iteration. Use
+	// FileCheckpointer for atomic JSON-on-disk persistence; a non-nil error
+	// aborts the run (the partial Result is still returned alongside it).
+	Checkpointer func(*Checkpoint) error
 }
 
 func (c *Config) defaults() error {
@@ -132,6 +157,34 @@ type Observation struct {
 	CumCost float64 // equivalent high-fidelity simulations spent so far
 }
 
+// DegradeStage identifies one rung of the graceful-degradation ladder.
+type DegradeStage string
+
+const (
+	// DegradeWarmHypers: a full surrogate refit failed and the model was
+	// re-factorized with the previous iteration's hyperparameters frozen.
+	DegradeWarmHypers DegradeStage = "warm-hypers"
+	// DegradeLowOnly: the fused model was unavailable and the iteration ran
+	// on the pure low-fidelity surrogate.
+	DegradeLowOnly DegradeStage = "low-fidelity-only"
+	// DegradeRandom: no usable surrogate at all — the iteration fell back to
+	// uniform random exploration.
+	DegradeRandom DegradeStage = "random-exploration"
+)
+
+// Degradation records one downgrade taken by the loop.
+type Degradation struct {
+	// Iter is the adaptive iteration at which the downgrade happened.
+	Iter int
+	// Stage names the ladder rung.
+	Stage DegradeStage
+	// Output is the surrogate output index concerned (0 = objective,
+	// 1+i = constraint i) or −1 when the whole iteration degraded.
+	Output int
+	// Reason carries the underlying fit error.
+	Reason string
+}
+
 // Result summarizes an optimization run.
 type Result struct {
 	// BestX / Best are the best feasible HIGH-fidelity observation (or, if
@@ -139,13 +192,28 @@ type Result struct {
 	BestX    []float64
 	Best     problem.Evaluation
 	Feasible bool
-	// NumLow / NumHigh count simulations at each fidelity.
+	// NumLow / NumHigh count simulations at each fidelity (failed ones
+	// included — they are charged).
 	NumLow, NumHigh int
+	// NumFailed counts evaluations that failed (simulator crash, panic,
+	// timeout, non-finite output). They are charged against the budget and
+	// recorded in History with Eval.Failed set, but excluded from surrogate
+	// training.
+	NumFailed int
 	// EquivalentSims is the paper's cost metric: total cost divided by the
 	// cost of one high-fidelity simulation.
 	EquivalentSims float64
 	// History lists every simulation in order.
 	History []Observation
+	// Degradations lists every graceful downgrade taken by the loop (empty
+	// on a healthy run).
+	Degradations []Degradation
+	// Interrupted reports that the run was stopped by context cancellation
+	// before exhausting its budget; the partial history is intact.
+	Interrupted bool
+	// Faults is the per-fidelity fault log of the evaluation wrapper, when
+	// the problem was wrapped with robust.Wrap (nil otherwise).
+	Faults map[string]robust.FaultCounts `json:",omitempty"`
 }
 
 // dataset is the growing training set at one fidelity.
@@ -178,105 +246,261 @@ func (d *dataset) window(max int) ([][]float64, *dataset) {
 	return view.X, view
 }
 
+// state is the live optimizer: everything a Checkpoint snapshots.
+type state struct {
+	p   problem.Problem
+	cfg Config
+	rng *rand.Rand
+
+	d, nc, nOut int
+	lo, hi      []float64
+	box         optimize.Box
+
+	res       *Result
+	low, high *dataset
+	cost      float64
+	costLow   float64
+	iter      int // next adaptive iteration
+
+	warmLow, warmHigh [][]float64
+}
+
+func newState(p problem.Problem, cfg Config, rng *rand.Rand) *state {
+	d := p.Dim()
+	nc := p.NumConstraints()
+	lo, hi := p.Bounds()
+	return &state{
+		p: p, cfg: cfg, rng: rng,
+		d: d, nc: nc, nOut: 1 + nc,
+		lo: lo, hi: hi,
+		box:     optimize.NewBox(lo, hi),
+		res:     &Result{},
+		low:     &dataset{},
+		high:    &dataset{},
+		costLow: p.Cost(problem.Low) / p.Cost(problem.High),
+		warmLow: make([][]float64, 1+nc), warmHigh: make([][]float64, 1+nc),
+	}
+}
+
+// evaluate dispatches to the richest evaluation interface the problem
+// offers, so failures surface as errors rather than poisoned values.
+func (st *state) evaluate(ctx context.Context, x []float64, fid problem.Fidelity) (problem.Evaluation, error) {
+	if ce, ok := st.p.(problem.ContextEvaluator); ok {
+		return ce.EvaluateCtx(ctx, x, fid)
+	}
+	return problem.EvaluateRich(st.p, x, fid)
+}
+
+// record runs one simulation, charges its cost, files it in History and —
+// when it succeeded — in the fidelity's training set.
+func (st *state) record(ctx context.Context, iter int, x []float64, fid problem.Fidelity) problem.Evaluation {
+	e, err := st.evaluate(ctx, x, fid)
+	failed := err != nil || e.Failed || !e.IsFinite()
+	if failed {
+		e.Failed = true
+		st.res.NumFailed++
+	}
+	if fid == problem.Low {
+		st.res.NumLow++
+		st.cost += st.costLow
+	} else {
+		st.res.NumHigh++
+		st.cost++
+	}
+	if !failed {
+		if fid == problem.Low {
+			st.low.add(x, e)
+		} else {
+			st.high.add(x, e)
+		}
+	}
+	ob := Observation{Iter: iter, X: append([]float64(nil), x...), Fid: fid, Eval: e, CumCost: st.cost}
+	st.res.History = append(st.res.History, ob)
+	if st.cfg.Callback != nil {
+		st.cfg.Callback(ob)
+	}
+	return e
+}
+
+func (st *state) degrade(iter int, stage DegradeStage, output int, reason error) {
+	msg := ""
+	if reason != nil {
+		msg = reason.Error()
+	}
+	st.res.Degradations = append(st.res.Degradations,
+		Degradation{Iter: iter, Stage: stage, Output: output, Reason: msg})
+}
+
 // Optimize runs Algorithm 1 on p until the simulation budget is exhausted.
 func Optimize(p problem.Problem, cfg Config, rng *rand.Rand) (*Result, error) {
+	return OptimizeCtx(context.Background(), p, cfg, rng)
+}
+
+// OptimizeCtx is the context-aware Optimize: cancelling ctx stops the run
+// gracefully after the in-flight simulation, returning the partial result
+// with Interrupted set.
+func OptimizeCtx(ctx context.Context, p problem.Problem, cfg Config, rng *rand.Rand) (*Result, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
-	d := p.Dim()
-	nc := p.NumConstraints()
-	nOut := 1 + nc
-	lo, hi := p.Bounds()
-	box := optimize.NewBox(lo, hi)
-
-	res := &Result{}
-	low, high := &dataset{}, &dataset{}
-	cost := 0.0
-	costLow := p.Cost(problem.Low) / p.Cost(problem.High)
-	record := func(iter int, x []float64, fid problem.Fidelity) problem.Evaluation {
-		e := p.Evaluate(x, fid)
-		if fid == problem.Low {
-			low.add(x, e)
-			res.NumLow++
-			cost += costLow
-		} else {
-			high.add(x, e)
-			res.NumHigh++
-			cost += 1
-		}
-		ob := Observation{Iter: iter, X: append([]float64(nil), x...), Fid: fid, Eval: e, CumCost: cost}
-		res.History = append(res.History, ob)
-		if cfg.Callback != nil {
-			cfg.Callback(ob)
-		}
-		return e
-	}
+	st := newState(p, cfg, rng)
 
 	// Initialization designs at both fidelities.
-	for _, x := range cfg.InitSampler(rng, lo, hi, cfg.InitLow) {
-		record(-1, x, problem.Low)
-	}
-	for _, x := range cfg.InitSampler(rng, lo, hi, cfg.InitHigh) {
-		record(-1, x, problem.High)
-	}
-
-	// Warm-start stores per output model.
-	warmLow := make([][]float64, nOut)
-	warmHigh := make([][]float64, nOut)
-
-	for iter := 0; cost < cfg.Budget; iter++ {
-		if cfg.MaxIterations > 0 && iter >= cfg.MaxIterations {
+	for _, x := range cfg.InitSampler(rng, st.lo, st.hi, cfg.InitLow) {
+		if ctx.Err() != nil {
 			break
 		}
-		lowX, lowYs := low.window(cfg.MaxLowData)
-		fullRefit := iter%cfg.RefitEvery == 0
-		lowGPs := make([]*gp.Model, nOut)
-		fused := make([]*mfgp.Model, nOut)
-		for k := 0; k < nOut; k++ {
-			lm, err := gp.Fit(lowX, lowYs.column(k), gp.Config{
-				Kernel:       kernel.NewSEARD(d),
+		st.record(ctx, -1, x, problem.Low)
+	}
+	for _, x := range cfg.InitSampler(rng, st.lo, st.hi, cfg.InitHigh) {
+		if ctx.Err() != nil {
+			break
+		}
+		st.record(ctx, -1, x, problem.High)
+	}
+	if err := st.checkpoint(); err != nil {
+		return st.finish(ctx), err
+	}
+	return st.loop(ctx)
+}
+
+// fitSurrogates builds the per-output low and fused models, walking the
+// degradation ladder on failure. ok=false means not even the low-fidelity
+// surrogates are usable and the iteration must fall back to random
+// exploration. fused[k] may be nil (low-fidelity-only mode for output k).
+func (st *state) fitSurrogates(iter int, fullRefit bool) (lowGPs []*gp.Model, fused []*mfgp.Model, ok bool) {
+	cfg := &st.cfg
+	lowX, lowYs := st.low.window(cfg.MaxLowData)
+	lowGPs = make([]*gp.Model, st.nOut)
+	fused = make([]*mfgp.Model, st.nOut)
+	for k := 0; k < st.nOut; k++ {
+		lm, err := gp.Fit(lowX, lowYs.column(k), gp.Config{
+			Kernel:       kernel.NewSEARD(st.d),
+			Restarts:     cfg.GPRestarts,
+			MaxIter:      cfg.GPMaxIter,
+			FixedNoise:   cfg.FixedNoise,
+			WarmStart:    st.warmLow[k],
+			SkipTraining: !fullRefit && st.warmLow[k] != nil,
+		}, st.rng)
+		if err != nil && st.warmLow[k] != nil {
+			// Rung 1: freeze last iteration's hyperparameters.
+			var err2 error
+			lm, err2 = gp.Fit(lowX, lowYs.column(k), gp.Config{
+				Kernel:       kernel.NewSEARD(st.d),
 				Restarts:     cfg.GPRestarts,
 				MaxIter:      cfg.GPMaxIter,
 				FixedNoise:   cfg.FixedNoise,
-				WarmStart:    warmLow[k],
-				SkipTraining: !fullRefit && warmLow[k] != nil,
-			}, rng)
-			if err != nil {
-				return nil, fmt.Errorf("core: iter %d output %d low fit: %w", iter, k, err)
+				WarmStart:    st.warmLow[k],
+				SkipTraining: true,
+			}, st.rng)
+			if err2 == nil {
+				st.degrade(iter, DegradeWarmHypers, k, fmt.Errorf("low fit: %w", err))
+				err = nil
 			}
-			warmLow[k] = lm.Hyper()
-			lowGPs[k] = lm
-			fm, err := mfgp.FitWithLow(lm, d, high.X, high.column(k), mfgp.Config{
+		}
+		if err != nil {
+			// Rung 3: no usable low model for this output — the whole
+			// iteration explores randomly.
+			st.degrade(iter, DegradeRandom, k, fmt.Errorf("low fit: %w", err))
+			return nil, nil, false
+		}
+		st.warmLow[k] = lm.Hyper()
+		lowGPs[k] = lm
+
+		fm, err := mfgp.FitWithLow(lm, st.d, st.high.X, st.high.column(k), mfgp.Config{
+			Restarts:      cfg.GPRestarts,
+			MaxIter:       cfg.GPMaxIter,
+			FixedNoise:    cfg.FixedNoise,
+			Propagation:   cfg.Propagation,
+			NumSamples:    cfg.NumSamples,
+			WarmStartHigh: st.warmHigh[k],
+		}, st.rng)
+		if err != nil && st.warmHigh[k] != nil {
+			// Rung 1 for the fused level.
+			var err2 error
+			fm, err2 = mfgp.FitWithLow(lm, st.d, st.high.X, st.high.column(k), mfgp.Config{
 				Restarts:      cfg.GPRestarts,
 				MaxIter:       cfg.GPMaxIter,
 				FixedNoise:    cfg.FixedNoise,
 				Propagation:   cfg.Propagation,
 				NumSamples:    cfg.NumSamples,
-				WarmStartHigh: warmHigh[k],
-			}, rng)
-			if err != nil {
-				return nil, fmt.Errorf("core: iter %d output %d fusion fit: %w", iter, k, err)
+				WarmStartHigh: st.warmHigh[k],
+				SkipTraining:  true,
+			}, st.rng)
+			if err2 == nil {
+				st.degrade(iter, DegradeWarmHypers, k, fmt.Errorf("fusion fit: %w", err))
+				err = nil
 			}
-			warmHigh[k] = fm.High().Hyper()
-			fused[k] = fm
+		}
+		if err != nil {
+			// Rung 2: run this output on the low-fidelity surrogate only.
+			st.degrade(iter, DegradeLowOnly, k, fmt.Errorf("fusion fit: %w", err))
+			fused[k] = nil
+			continue
+		}
+		st.warmHigh[k] = fm.High().Hyper()
+		fused[k] = fm
+	}
+	return lowGPs, fused, true
+}
+
+// loop runs adaptive iterations until the budget, MaxIterations, or ctx stops
+// the run, then assembles the result.
+func (st *state) loop(ctx context.Context) (*Result, error) {
+	cfg := &st.cfg
+	for st.cost < cfg.Budget {
+		if cfg.MaxIterations > 0 && st.iter >= cfg.MaxIterations {
+			break
+		}
+		if ctx.Err() != nil {
+			st.res.Interrupted = true
+			break
+		}
+		iter := st.iter
+		fullRefit := iter%cfg.RefitEvery == 0
+		lowGPs, fused, ok := st.fitSurrogates(iter, fullRefit)
+		if !ok {
+			// Random exploration keeps the budget moving while the training
+			// sets recover (e.g. after a burst of failed evaluations).
+			xt := stats.UniformInBox(st.rng, st.lo, st.hi, 1)[0]
+			fid := problem.Low
+			if cfg.ForceHighFidelity {
+				fid = problem.High
+			}
+			st.record(ctx, iter, xt, fid)
+			st.iter++ // advance before checkpointing: snapshots store the next iteration
+			if err := st.checkpoint(); err != nil {
+				return st.finish(ctx), err
+			}
+			continue
 		}
 
 		// Incumbents.
-		tauLowX, tauLowEval, hasLowFeasible := bestOf(low)
-		tauHighX, tauHighEval, hasHighFeasible := bestOf(high)
+		tauLowX, tauLowEval, hasLowFeasible := bestOf(st.low)
+		tauHighX, tauHighEval, hasHighFeasible := bestOf(st.high)
 
-		// Posterior adapters.
+		// Posterior adapters. A nil fused[k] (low-only degradation) aliases
+		// the low-fidelity posterior.
+		nc := st.nc
 		lowObj := func(x []float64) (float64, float64) { return lowGPs[0].PredictLatent(x) }
 		lowCons := make([]acq.Posterior, nc)
 		for i := 0; i < nc; i++ {
 			m := lowGPs[1+i]
 			lowCons[i] = func(x []float64) (float64, float64) { return m.PredictLatent(x) }
 		}
-		fusedObj := func(x []float64) (float64, float64) { return fused[0].Predict(x) }
+		fusedObj := lowObj
+		if fused[0] != nil {
+			m := fused[0]
+			fusedObj = func(x []float64) (float64, float64) { return m.Predict(x) }
+		}
 		fusedCons := make([]acq.Posterior, nc)
 		for i := 0; i < nc; i++ {
-			m := fused[1+i]
-			fusedCons[i] = func(x []float64) (float64, float64) { return m.Predict(x) }
+			if fused[1+i] != nil {
+				m := fused[1+i]
+				fusedCons[i] = func(x []float64) (float64, float64) { return m.Predict(x) }
+			} else {
+				fusedCons[i] = lowCons[i]
+			}
 		}
 
 		mspCfg := cfg.MSP
@@ -301,7 +525,7 @@ func Optimize(p problem.Problem, cfg Config, rng *rand.Rand) (*Result, error) {
 		default:
 			acqLow = acq.WEI(lowObj, nil, math.Inf(1))
 		}
-		xStarLow, _ := optimize.MaximizeMSP(rng, acqLow, box, incHigh, incLow, mspCfg)
+		xStarLow, _ := optimize.MaximizeMSP(st.rng, acqLow, st.box, incHigh, incLow, mspCfg)
 
 		// Step 6: high-fidelity acquisition seeded with x*_l.
 		var acqHigh func([]float64) float64
@@ -316,27 +540,45 @@ func Optimize(p problem.Problem, cfg Config, rng *rand.Rand) (*Result, error) {
 			acqHigh = acq.WEI(fusedObj, nil, math.Inf(1))
 		}
 		mspCfg.Extra = append(append([][]float64(nil), cfg.MSP.Extra...), xStarLow)
-		xt, _ := optimize.MaximizeMSP(rng, acqHigh, box, incHigh, incLow, mspCfg)
+		xt, _ := optimize.MaximizeMSP(st.rng, acqHigh, st.box, incHigh, incLow, mspCfg)
 
 		// Degenerate-query guard: re-sampling an existing point adds no
 		// information; fall back to a random exploration point.
 		fid := cfg.selectFidelity(lowGPs, xt, nc)
-		if isDuplicate(xt, low, high, fid) {
-			xt = stats.UniformInBox(rng, lo, hi, 1)[0]
+		if isDuplicate(xt, st.low, st.high, fid) {
+			xt = stats.UniformInBox(st.rng, st.lo, st.hi, 1)[0]
 			fid = cfg.selectFidelity(lowGPs, xt, nc)
 		}
-		record(iter, xt, fid)
+		st.record(ctx, iter, xt, fid)
+		st.iter++ // advance before checkpointing: snapshots store the next iteration
+		if err := st.checkpoint(); err != nil {
+			return st.finish(ctx), err
+		}
+	}
+	if ctx.Err() != nil {
+		st.res.Interrupted = true
 	}
 
-	bx, be, feas := bestOf(high)
-	if bx == nil {
-		return nil, errors.New("core: no high-fidelity observations recorded")
+	res := st.finish(ctx)
+	if res.BestX == nil {
+		return res, errors.New("core: no successful high-fidelity observations recorded")
 	}
-	res.BestX = bx
-	res.Best = be
-	res.Feasible = feas
-	res.EquivalentSims = cost
 	return res, nil
+}
+
+// finish assembles the terminal Result fields from the current state.
+func (st *state) finish(context.Context) *Result {
+	res := st.res
+	if bx, be, feas := bestOf(st.high); bx != nil {
+		res.BestX = bx
+		res.Best = be
+		res.Feasible = feas
+	}
+	res.EquivalentSims = st.cost
+	if fp, ok := st.p.(interface{ Faults() *robust.FaultLog }); ok {
+		res.Faults = fp.Faults().Snapshot()
+	}
+	return res
 }
 
 // selectFidelity applies the §3.4 criterion (eqs. 11–12): evaluate at HIGH

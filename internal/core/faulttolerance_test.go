@@ -1,0 +1,252 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/problem"
+	"repro/internal/robust"
+	"repro/internal/testfunc"
+)
+
+// noSleep keeps the retry backoff out of test wall-clock time.
+func noSleep(time.Duration) {}
+
+// chaoticProblem builds the acceptance-criteria workload: failRate injected
+// low-fidelity failures plus occasional panics, behind the safe wrapper with
+// zero retries so failures actually surface to the optimizer.
+func chaoticProblem(p problem.Problem, failRate float64, seed int64) *robust.SafeProblem {
+	ch := robust.NewChaos(p, robust.ChaosConfig{
+		Low:  robust.FidelityChaos{FailRate: failRate, PanicRate: failRate / 4},
+		Seed: seed,
+	})
+	return robust.Wrap(ch, robust.Policy{MaxRetries: -1, Sleep: noSleep, Seed: seed})
+}
+
+// TestOptimizeSurvivesChaos is the headline robustness guarantee: with 0 %,
+// 10 % and 20 % injected low-fidelity failure (plus panics at a quarter of
+// the failure rate) on two synthetic problems, the loop completes its budget,
+// returns a usable best point, and reports the fault log.
+func TestOptimizeSurvivesChaos(t *testing.T) {
+	problems := []func() problem.Problem{
+		func() problem.Problem { return testfunc.Forrester() },
+		func() problem.Problem { return testfunc.ConstrainedSynthetic() },
+	}
+	for _, mk := range problems {
+		for _, failRate := range []float64{0, 0.1, 0.2} {
+			inner := mk()
+			sp := chaoticProblem(inner, failRate, 3)
+			const budget = 8.0
+			cfg := fastCfg(budget)
+			rng := rand.New(rand.NewSource(5))
+			res, err := OptimizeCtx(context.Background(), sp, cfg, rng)
+			if err != nil {
+				t.Fatalf("%s @ %.0f%%: %v", inner.Name(), 100*failRate, err)
+			}
+			if res.EquivalentSims < budget-1 {
+				t.Fatalf("%s @ %.0f%%: budget not completed: %.2f of %v",
+					inner.Name(), 100*failRate, res.EquivalentSims, budget)
+			}
+			if res.BestX == nil || math.IsNaN(res.Best.Objective) {
+				t.Fatalf("%s @ %.0f%%: no usable best", inner.Name(), 100*failRate)
+			}
+			if res.Best.Failed {
+				t.Fatalf("%s @ %.0f%%: best observation is a failure penalty", inner.Name(), 100*failRate)
+			}
+			if res.Faults == nil {
+				t.Fatalf("%s @ %.0f%%: Result.Faults not populated", inner.Name(), 100*failRate)
+			}
+			if failRate == 0 {
+				if res.NumFailed != 0 {
+					t.Fatalf("%s clean run recorded %d failures", inner.Name(), res.NumFailed)
+				}
+			} else if failRate >= 0.2 {
+				if res.NumFailed == 0 {
+					t.Fatalf("%s @ 20%%: chaos injected nothing (history %d)", inner.Name(), len(res.History))
+				}
+			}
+			// Failed evaluations are charged: history cost accounting must
+			// include them.
+			nLow, nHigh, nFailed := 0, 0, 0
+			for _, ob := range res.History {
+				if ob.Fid == problem.Low {
+					nLow++
+				} else {
+					nHigh++
+				}
+				if ob.Eval.Failed {
+					nFailed++
+					if !ob.Eval.IsFinite() {
+						t.Fatalf("%s: failure observation has non-finite payload", inner.Name())
+					}
+				}
+			}
+			if nLow != res.NumLow || nHigh != res.NumHigh || nFailed != res.NumFailed {
+				t.Fatalf("%s: history counts %d/%d/%d vs result %d/%d/%d", inner.Name(),
+					nLow, nHigh, nFailed, res.NumLow, res.NumHigh, res.NumFailed)
+			}
+			want := problem.EquivalentSims(inner, nLow, nHigh)
+			if math.Abs(res.EquivalentSims-want) > 1e-9 {
+				t.Fatalf("%s: equivalent sims %v, want %v (failures must be charged)",
+					inner.Name(), res.EquivalentSims, want)
+			}
+		}
+	}
+}
+
+// TestChaoticRunCheckpointResume is the acceptance criterion's second half: a
+// mid-run checkpoint of a chaotic run can be resumed to completion.
+func TestChaoticRunCheckpointResume(t *testing.T) {
+	p := testfunc.ConstrainedSynthetic()
+	sp := chaoticProblem(p, 0.2, 13)
+	const budget = 8.0
+	cfg := fastCfg(budget)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var last *Checkpoint
+	cfg.Checkpointer = func(ck *Checkpoint) error {
+		last = ck
+		if ck.Iter >= 3 {
+			cancel()
+		}
+		return nil
+	}
+	killed, err := OptimizeCtx(ctx, sp, cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !killed.Interrupted || last == nil {
+		t.Fatal("chaotic run was not killed mid-flight as intended")
+	}
+
+	cfg.Checkpointer = nil
+	res, err := Resume(context.Background(), sp, cfg, rand.New(rand.NewSource(8)), last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EquivalentSims < budget-1 {
+		t.Fatalf("resumed chaotic run did not finish its budget: %.2f", res.EquivalentSims)
+	}
+	if res.BestX == nil {
+		t.Fatal("resumed chaotic run returned no best point")
+	}
+	if res.Faults == nil {
+		t.Fatal("resumed chaotic run lost the fault log")
+	}
+}
+
+func TestInterruptedRunReportsPartialHistory(t *testing.T) {
+	p := testfunc.Forrester()
+	cfg := fastCfg(50)
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	cfg.Callback = func(Observation) {
+		n++
+		if n == cfg.InitLow+cfg.InitHigh+2 {
+			cancel()
+		}
+	}
+	res, err := OptimizeCtx(ctx, p, cfg, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatal("cancelled run must set Interrupted")
+	}
+	if len(res.History) < cfg.InitLow+cfg.InitHigh {
+		t.Fatal("partial history missing")
+	}
+	if res.EquivalentSims >= 50 {
+		t.Fatal("interrupted run claims to have spent the whole budget")
+	}
+}
+
+// degradingProblem never fails its evaluations, but the surrogate stack is
+// sabotaged via a poisoned FixedNoise to check the ladder bookkeeping. Easier
+// and more reliable: feed the loop a dataset the GP cannot fit by making all
+// low evaluations after a point return the exact same constant (degenerate
+// kernel matrix is still fittable), so instead we directly exercise the
+// ladder by stubbing gp failures through a tiny budget and MaxLowData=1.
+// If the fit machinery still succeeds, the run must simply have no
+// degradations — the invariant under test is "Degradations is consistent and
+// the run never dies".
+func TestDegradationLogConsistency(t *testing.T) {
+	p := testfunc.ConstrainedSynthetic()
+	sp := chaoticProblem(p, 0.3, 17)
+	cfg := fastCfg(6)
+	cfg.MaxLowData = 4 // tiny window: fit failures after failure bursts are plausible
+	res, err := OptimizeCtx(context.Background(), sp, cfg, rand.New(rand.NewSource(19)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Degradations {
+		switch d.Stage {
+		case DegradeWarmHypers, DegradeLowOnly, DegradeRandom:
+		default:
+			t.Fatalf("unknown degradation stage %q", d.Stage)
+		}
+		if d.Iter < 0 {
+			t.Fatalf("degradation with bad iteration: %+v", d)
+		}
+	}
+}
+
+// TestFitFailureDegradesNotAborts forces a genuine fit failure by injecting a
+// gp-incompatible dataset state: an empty low-fidelity training set (every
+// low evaluation fails). The loop must fall back to random exploration and
+// still complete.
+func TestFitFailureDegradesNotAborts(t *testing.T) {
+	inner := testfunc.Forrester()
+	ch := robust.NewChaos(inner, robust.ChaosConfig{
+		Low:  robust.FidelityChaos{FailRate: 1}, // every low-fidelity simulation fails
+		Seed: 23,
+	})
+	sp := robust.Wrap(ch, robust.Policy{MaxRetries: -1, Sleep: noSleep})
+	cfg := fastCfg(6)
+	cfg.MaxIterations = 4
+	res, err := OptimizeCtx(context.Background(), sp, cfg, rand.New(rand.NewSource(29)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumFailed == 0 {
+		t.Fatal("total low-fidelity failure not recorded")
+	}
+	found := false
+	for _, d := range res.Degradations {
+		if d.Stage == DegradeRandom {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected random-exploration degradations, got %+v", res.Degradations)
+	}
+	if res.BestX == nil {
+		t.Fatal("run with healthy high fidelity must still report a best")
+	}
+}
+
+// Guard against regressions in the no-observation corner: when even the
+// high-fidelity initialization fails completely, the run ends with an error
+// instead of a panic.
+func TestAllHighFailuresErrorCleanly(t *testing.T) {
+	inner := testfunc.Forrester()
+	ch := robust.NewChaos(inner, robust.ChaosConfig{
+		Low:  robust.FidelityChaos{FailRate: 1},
+		High: robust.FidelityChaos{FailRate: 1},
+		Seed: 31,
+	})
+	sp := robust.Wrap(ch, robust.Policy{MaxRetries: -1, Sleep: noSleep})
+	cfg := fastCfg(4)
+	cfg.MaxIterations = 2
+	res, err := OptimizeCtx(context.Background(), sp, cfg, rand.New(rand.NewSource(37)))
+	if err == nil {
+		t.Fatal("run with zero successful high-fidelity observations must error")
+	}
+	if res == nil || res.NumFailed == 0 {
+		t.Fatal("error path must still return the partial result")
+	}
+}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -22,11 +23,23 @@ import (
 // RunFn runs one optimization replication with the given RNG.
 type RunFn func(rng *rand.Rand) (*core.Result, error)
 
+// RunFnCtx runs one cancellable optimization replication with the given RNG.
+type RunFnCtx func(ctx context.Context, rng *rand.Rand) (*core.Result, error)
+
 // RunRepeated executes fn `runs` times with seeds baseSeed, baseSeed+1, …
 // in parallel (bounded by GOMAXPROCS), returning results in seed order.
 // Each replication gets its own rand.Rand, so results are independent of
 // scheduling.
 func RunRepeated(runs int, baseSeed int64, fn RunFn) ([]*core.Result, error) {
+	return RunRepeatedCtx(context.Background(), runs, baseSeed,
+		func(_ context.Context, rng *rand.Rand) (*core.Result, error) { return fn(rng) })
+}
+
+// RunRepeatedCtx is RunRepeated with cooperative cancellation: the context is
+// passed to every replication, and once it is cancelled no new replication
+// starts. Replications that were already running finish (optimizers built on
+// core.OptimizeCtx return their partial result with Interrupted set).
+func RunRepeatedCtx(ctx context.Context, runs int, baseSeed int64, fn RunFnCtx) ([]*core.Result, error) {
 	results := make([]*core.Result, runs)
 	errs := make([]error, runs)
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
@@ -37,8 +50,12 @@ func RunRepeated(runs int, baseSeed int64, fn RunFn) ([]*core.Result, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
 			rng := rand.New(rand.NewSource(baseSeed + int64(i)))
-			results[i], errs[i] = fn(rng)
+			results[i], errs[i] = fn(ctx, rng)
 		}(i)
 	}
 	wg.Wait()

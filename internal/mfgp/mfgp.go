@@ -57,6 +57,11 @@ type Config struct {
 	// WarmStartHigh optionally warm-starts the high-fidelity GP's
 	// hyperparameters (see gp.Config.WarmStart).
 	WarmStartHigh []float64
+	// SkipTraining keeps WarmStartHigh (or the kernel's current
+	// hyperparameters) without optimizing the NLML — the degraded-mode
+	// fallback of the BO loop re-factorizes with frozen hyperparameters when
+	// a full refit fails (see gp.Config.SkipTraining).
+	SkipTraining bool
 }
 
 // Model is a trained two-fidelity fusion model.
@@ -114,6 +119,7 @@ func FitWithLow(low *gp.Model, d int, Xh [][]float64, yh []float64, cfg Config, 
 	high, err := gp.Fit(Xaug, yh, gp.Config{
 		Kernel: highK, Restarts: cfg.Restarts, MaxIter: cfg.MaxIter,
 		FixedNoise: cfg.FixedNoise, WarmStart: cfg.WarmStartHigh,
+		SkipTraining: cfg.SkipTraining && cfg.WarmStartHigh != nil,
 	}, rng)
 	if err != nil {
 		return nil, fmt.Errorf("mfgp: high-fidelity fit: %w", err)

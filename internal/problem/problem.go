@@ -6,6 +6,7 @@
 package problem
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -39,12 +40,38 @@ func (f Fidelity) String() string {
 type Evaluation struct {
 	Objective   float64
 	Constraints []float64
+	// Failed marks a synthesized penalty standing in for a simulation that
+	// could not produce a result (crash, panic, timeout, non-finite output).
+	// Failed evaluations are charged against the budget but excluded from
+	// surrogate training and never considered feasible. The zero value
+	// (false) preserves the semantics of every pre-existing construction
+	// site.
+	Failed bool `json:",omitempty"`
 }
 
-// Feasible reports whether all constraints are satisfied.
+// Feasible reports whether all constraints are satisfied. A failed
+// evaluation is never feasible.
 func (e Evaluation) Feasible() bool {
+	if e.Failed {
+		return false
+	}
 	for _, c := range e.Constraints {
 		if c >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFinite reports whether the objective and every constraint are finite
+// (neither NaN nor ±Inf) — the precondition for feeding an evaluation to the
+// surrogate stack.
+func (e Evaluation) IsFinite() bool {
+	if math.IsNaN(e.Objective) || math.IsInf(e.Objective, 0) {
+		return false
+	}
+	for _, c := range e.Constraints {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
 			return false
 		}
 	}
@@ -85,6 +112,56 @@ type Problem interface {
 	// Cost returns the evaluation cost at fidelity f, in arbitrary units.
 	// Reported simulation counts are normalized by Cost(High).
 	Cost(f Fidelity) float64
+}
+
+// PenaltyObjective is the canonical huge-but-finite objective assigned to
+// failed evaluations. It is large enough to lose every comparison yet finite,
+// so downstream arithmetic (tables, traces) stays well-defined.
+const PenaltyObjective = 1e9
+
+// PenaltyEvaluation returns the well-defined infeasible stand-in for a failed
+// simulation on a problem with nc constraints: a PenaltyObjective objective,
+// every constraint maximally violated, and the Failed marker set.
+func PenaltyEvaluation(nc int) Evaluation {
+	cons := make([]float64, nc)
+	for i := range cons {
+		cons[i] = PenaltyObjective
+	}
+	return Evaluation{Objective: PenaltyObjective, Constraints: cons, Failed: true}
+}
+
+// RichEvaluator is an optional extension of Problem for implementations that
+// can report evaluation failure explicitly instead of encoding it in penalty
+// values. Wrappers such as robust.Wrap implement it; the optimizer prefers it
+// when available so that failed simulations can be excluded from surrogate
+// training. Existing Problem implementations keep compiling unchanged.
+type RichEvaluator interface {
+	// EvaluateRich runs one simulation; a non-nil error means the simulation
+	// failed and the returned Evaluation is a penalty stand-in (Failed set).
+	EvaluateRich(x []float64, f Fidelity) (Evaluation, error)
+}
+
+// ContextEvaluator is an optional extension of Problem for implementations
+// that honor cancellation and per-evaluation deadlines. robust.SafeProblem
+// implements it; core.OptimizeCtx threads its context through when available.
+type ContextEvaluator interface {
+	EvaluateCtx(ctx context.Context, x []float64, f Fidelity) (Evaluation, error)
+}
+
+// EvaluateRich evaluates p at x, using the RichEvaluator fast path when p
+// implements it and falling back to the plain Evaluate otherwise. In the
+// fallback the evaluation is sanity-checked: non-finite outputs are converted
+// into a penalty evaluation with an explanatory error.
+func EvaluateRich(p Problem, x []float64, f Fidelity) (Evaluation, error) {
+	if re, ok := p.(RichEvaluator); ok {
+		return re.EvaluateRich(x, f)
+	}
+	e := p.Evaluate(x, f)
+	if !e.IsFinite() {
+		return PenaltyEvaluation(p.NumConstraints()),
+			fmt.Errorf("problem %s: non-finite evaluation at fidelity %v", p.Name(), f)
+	}
+	return e, nil
 }
 
 // EquivalentSims converts raw evaluation counts into the paper's metric:

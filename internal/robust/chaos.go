@@ -1,0 +1,160 @@
+// Chaos is the fault-injection harness: it wraps any problem.Problem and
+// makes it fail on purpose — error returns, NaN outputs, panics, hangs — at
+// configurable per-fidelity rates. The robustness test suite uses it to prove
+// that OptimizeCtx survives (and charges for) 20 % low-fidelity failure on
+// the synthetic suite, and it doubles as a manual stress knob in cmd/mfbo.
+package robust
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/problem"
+)
+
+// ErrInjected is the error returned by chaos-injected failures.
+var ErrInjected = errors.New("robust: chaos-injected failure")
+
+// FidelityChaos configures the fault mix of one fidelity level. Rates are
+// probabilities in [0, 1] and are applied in order fail → nan → panic → hang;
+// at most one fault fires per evaluation.
+type FidelityChaos struct {
+	// FailRate makes EvaluateRich return ErrInjected (plain Evaluate callers
+	// see a NaN evaluation instead, which sanitization catches).
+	FailRate float64
+	// NaNRate corrupts the objective (and first constraint, if any) to NaN.
+	NaNRate float64
+	// PanicRate panics inside Evaluate.
+	PanicRate float64
+	// HangRate sleeps for Hang (default 50 ms) before evaluating normally —
+	// pair with Policy.Timeout to exercise the timeout path.
+	HangRate float64
+	// Hang is the sleep duration of a hang fault.
+	Hang time.Duration
+}
+
+// ChaosConfig is the full injection schedule.
+type ChaosConfig struct {
+	Low, High FidelityChaos
+	// Seed makes the injection sequence deterministic (default 1).
+	Seed int64
+}
+
+// InjectionCounts tallies the faults fired so far, per kind.
+type InjectionCounts struct {
+	Fails, NaNs, Panics, Hangs int
+}
+
+// Chaos wraps a problem with fault injection. It implements both
+// problem.Problem and problem.RichEvaluator and is safe for concurrent use.
+type Chaos struct {
+	problem.Problem
+	cfg ChaosConfig
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	counts InjectionCounts
+}
+
+var _ problem.RichEvaluator = (*Chaos)(nil)
+
+// NewChaos builds the fault injector around p.
+func NewChaos(p problem.Problem, cfg ChaosConfig) *Chaos {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Low.Hang <= 0 {
+		cfg.Low.Hang = 50 * time.Millisecond
+	}
+	if cfg.High.Hang <= 0 {
+		cfg.High.Hang = 50 * time.Millisecond
+	}
+	return &Chaos{Problem: p, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Injected returns the fault tallies so far.
+func (c *Chaos) Injected() InjectionCounts {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts
+}
+
+type faultKind int
+
+const (
+	faultNone faultKind = iota
+	faultFail
+	faultNaN
+	faultPanic
+	faultHang
+)
+
+// roll draws the fault (if any) for one evaluation at fidelity f.
+func (c *Chaos) roll(f problem.Fidelity) (faultKind, time.Duration) {
+	fc := c.cfg.Low
+	if f == problem.High {
+		fc = c.cfg.High
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	u := c.rng.Float64()
+	switch {
+	case u < fc.FailRate:
+		c.counts.Fails++
+		return faultFail, 0
+	case u < fc.FailRate+fc.NaNRate:
+		c.counts.NaNs++
+		return faultNaN, 0
+	case u < fc.FailRate+fc.NaNRate+fc.PanicRate:
+		c.counts.Panics++
+		return faultPanic, 0
+	case u < fc.FailRate+fc.NaNRate+fc.PanicRate+fc.HangRate:
+		c.counts.Hangs++
+		return faultHang, fc.Hang
+	}
+	return faultNone, 0
+}
+
+// nanEval corrupts a normal evaluation with NaNs.
+func (c *Chaos) nanEval(x []float64, f problem.Fidelity) problem.Evaluation {
+	e := c.Problem.Evaluate(x, f)
+	e.Objective = math.NaN()
+	if len(e.Constraints) > 0 {
+		e.Constraints = append([]float64(nil), e.Constraints...)
+		e.Constraints[0] = math.NaN()
+	}
+	return e
+}
+
+// Evaluate implements problem.Problem with fault injection. Fail faults are
+// surfaced as NaN evaluations here (the plain interface has no error
+// channel); use EvaluateRich for the explicit form.
+func (c *Chaos) Evaluate(x []float64, f problem.Fidelity) problem.Evaluation {
+	switch kind, hang := c.roll(f); kind {
+	case faultFail, faultNaN:
+		return c.nanEval(x, f)
+	case faultPanic:
+		panic("robust: chaos-injected panic")
+	case faultHang:
+		time.Sleep(hang)
+	}
+	return c.Problem.Evaluate(x, f)
+}
+
+// EvaluateRich implements problem.RichEvaluator with fault injection.
+func (c *Chaos) EvaluateRich(x []float64, f problem.Fidelity) (problem.Evaluation, error) {
+	switch kind, hang := c.roll(f); kind {
+	case faultFail:
+		return problem.PenaltyEvaluation(c.NumConstraints()), ErrInjected
+	case faultNaN:
+		return c.nanEval(x, f), nil
+	case faultPanic:
+		panic("robust: chaos-injected panic")
+	case faultHang:
+		time.Sleep(hang)
+	}
+	return problem.EvaluateRich(c.Problem, x, f)
+}

@@ -1,0 +1,136 @@
+package robust
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/problem"
+	"repro/internal/testfunc"
+)
+
+func TestChaosInjectionRates(t *testing.T) {
+	inner := testfunc.Forrester()
+	c := NewChaos(inner, ChaosConfig{
+		Low:  FidelityChaos{FailRate: 0.2},
+		Seed: 3,
+	})
+	const n = 2000
+	fails := 0
+	for i := 0; i < n; i++ {
+		x := []float64{float64(i) / n}
+		if _, err := c.EvaluateRich(x, problem.Low); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("unexpected error kind: %v", err)
+			}
+			fails++
+		}
+	}
+	rate := float64(fails) / n
+	if rate < 0.15 || rate > 0.25 {
+		t.Fatalf("empirical failure rate %.3f far from configured 0.2", rate)
+	}
+	if got := c.Injected().Fails; got != fails {
+		t.Fatalf("Injected().Fails = %d, want %d", got, fails)
+	}
+	// High fidelity is untouched by the Low schedule.
+	for i := 0; i < 100; i++ {
+		if _, err := c.EvaluateRich([]float64{0.5}, problem.High); err != nil {
+			t.Fatal("high fidelity must be clean under a low-only schedule")
+		}
+	}
+}
+
+func TestChaosDeterministicBySeed(t *testing.T) {
+	run := func() []bool {
+		c := NewChaos(testfunc.Forrester(), ChaosConfig{
+			Low:  FidelityChaos{FailRate: 0.3},
+			Seed: 11,
+		})
+		out := make([]bool, 200)
+		for i := range out {
+			_, err := c.EvaluateRich([]float64{0.25}, problem.Low)
+			out[i] = err != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("injection sequence diverged at %d", i)
+		}
+	}
+}
+
+func TestChaosNaNMode(t *testing.T) {
+	c := NewChaos(testfunc.ConstrainedSynthetic(), ChaosConfig{
+		Low:  FidelityChaos{NaNRate: 1},
+		Seed: 5,
+	})
+	e := c.Evaluate([]float64{0.5, 0.5}, problem.Low)
+	if !math.IsNaN(e.Objective) {
+		t.Fatal("NaN mode must corrupt the objective")
+	}
+	if len(e.Constraints) == 0 || !math.IsNaN(e.Constraints[0]) {
+		t.Fatal("NaN mode must corrupt the first constraint")
+	}
+	if c.Injected().NaNs == 0 {
+		t.Fatal("NaN injections not counted")
+	}
+}
+
+func TestChaosPanicMode(t *testing.T) {
+	c := NewChaos(testfunc.Forrester(), ChaosConfig{
+		Low:  FidelityChaos{PanicRate: 1},
+		Seed: 5,
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic mode must panic")
+		}
+	}()
+	c.Evaluate([]float64{0.5}, problem.Low)
+}
+
+func TestChaosHangModeAndTimeout(t *testing.T) {
+	c := NewChaos(testfunc.Forrester(), ChaosConfig{
+		Low:  FidelityChaos{HangRate: 1, Hang: 100 * time.Millisecond},
+		Seed: 5,
+	})
+	clock := &fakeClock{}
+	sp := Wrap(c, Policy{MaxRetries: 0, Timeout: 10 * time.Millisecond, Sleep: clock.sleep})
+	_, err := sp.EvaluateRich([]float64{0.5}, problem.Low)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("hang under timeout must yield ErrTimeout, got %v", err)
+	}
+	if c.Injected().Hangs == 0 {
+		t.Fatal("hang injections not counted")
+	}
+}
+
+func TestWrappedChaosSurvivesEveryMode(t *testing.T) {
+	// The full stack: chaos with every failure mode under the safe wrapper
+	// must always return a finite evaluation and never panic.
+	c := NewChaos(testfunc.ConstrainedSynthetic(), ChaosConfig{
+		Low:  FidelityChaos{FailRate: 0.1, NaNRate: 0.1, PanicRate: 0.1, HangRate: 0.05, Hang: 5 * time.Millisecond},
+		High: FidelityChaos{FailRate: 0.05, PanicRate: 0.05},
+		Seed: 9,
+	})
+	clock := &fakeClock{}
+	sp := Wrap(c, Policy{MaxRetries: 1, Timeout: time.Millisecond, Sleep: clock.sleep, Seed: 2})
+	for i := 0; i < 300; i++ {
+		x := []float64{float64(i%17) / 17, float64(i%13) / 13}
+		fid := problem.Low
+		if i%3 == 0 {
+			fid = problem.High
+		}
+		e := sp.Evaluate(x, fid)
+		if !e.IsFinite() {
+			t.Fatalf("iteration %d: non-finite evaluation escaped the wrapper: %+v", i, e)
+		}
+	}
+	if sp.Faults().TotalFailures() == 0 {
+		t.Fatal("expected at least one terminal failure under 35% chaos")
+	}
+}

@@ -244,7 +244,7 @@ func (p *ChargePump) cornerCurrents(x []float64, c Corner) (im1, im2 []float64, 
 			return nil, nil, e
 		}
 		m1 := ckt.Device("M1").(*circuit.MOSFET)
-		im1 = append(im1, math.Abs(m1.Current(sol.X))*1e6)
+		i1 := math.Abs(m1.Current(sol.X)) * 1e6
 		// DN phase: measure M2.
 		ckt = p.Netlist(x, c, false, true, vout)
 		sol, e = circuit.NewSim(ckt).DC()
@@ -252,7 +252,15 @@ func (p *ChargePump) cornerCurrents(x []float64, c Corner) (im1, im2 []float64, 
 			return nil, nil, e
 		}
 		m2 := ckt.Device("M2").(*circuit.MOSFET)
-		im2 = append(im2, math.Abs(m2.Current(sol.X))*1e6)
+		i2 := math.Abs(m2.Current(sol.X)) * 1e6
+		// A marginally-converged DC point can report non-finite currents;
+		// treat them as a failed corner rather than letting NaN propagate
+		// silently through the eq. (16) aggregation.
+		if math.IsNaN(i1) || math.IsInf(i1, 0) || math.IsNaN(i2) || math.IsInf(i2, 0) {
+			return nil, nil, fmt.Errorf("chargepump: non-finite branch current at vout=%g", vout)
+		}
+		im1 = append(im1, i1)
+		im2 = append(im2, i2)
 	}
 	return im1, im2, nil
 }
@@ -290,6 +298,13 @@ func (p *ChargePump) Simulate(x []float64, f problem.Fidelity) CPResult {
 	}
 	r.Deviation = dev1 + dev2
 	r.FOM = 0.3*(r.MaxDiff1+r.MaxDiff2+r.MaxDiff3+r.MaxDiff4) + 0.5*r.Deviation
+	// Belt-and-braces: eq. (16) aggregation must yield finite metrics; any
+	// residual NaN/±Inf collapses to the documented infeasible penalty.
+	for _, v := range []float64{r.MaxDiff1, r.MaxDiff2, r.MaxDiff3, r.MaxDiff4, r.Deviation, r.FOM} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return bad
+		}
+	}
 	return r
 }
 

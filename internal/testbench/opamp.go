@@ -157,7 +157,7 @@ func (p *OpAmp) Simulate(x []float64, f problem.Fidelity) OpAmpResult {
 	// Static power: supply current × Vdd.
 	vdd := ckt.Device("VDD").(*circuit.VSource)
 	power := -p.Vdd * vdd.Current(op.X) * 1e6 // µW
-	if power <= 0 {
+	if power <= 0 || math.IsNaN(power) || math.IsInf(power, 0) {
 		return bad
 	}
 	if f == problem.Low {
@@ -175,7 +175,7 @@ func (p *OpAmp) Simulate(x []float64, f problem.Fidelity) OpAmpResult {
 func (p *OpAmp) measureAC(res *circuit.ACResult, freqs []float64, powerUW float64) OpAmpResult {
 	gainDC := cmplx.Abs(res.V("out", 0))
 	out := OpAmpResult{PowerUW: powerUW}
-	if gainDC <= 0 {
+	if gainDC <= 0 || math.IsNaN(gainDC) || math.IsInf(gainDC, 0) {
 		return out
 	}
 	out.GainDB = 20 * math.Log10(gainDC)

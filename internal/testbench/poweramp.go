@@ -139,22 +139,40 @@ func (p *PowerAmp) Simulate(x []float64, f problem.Fidelity) PAResult {
 	dt := period / float64(stepsPer)
 	tstop := float64(nPeriods) * period
 
+	// badPA is the documented infeasible-penalty result: maximally bad but
+	// finite on every metric, so the optimizer can learn to avoid the
+	// region instead of choking on NaNs.
+	bad := PAResult{EffPct: 0, PoutDBm: -100, THDdB: 60}
+
 	sim := circuit.NewSim(ckt)
 	wf, err := sim.Transient(tstop, dt)
 	if err != nil {
-		return PAResult{EffPct: 0, PoutDBm: -100, THDdB: 60}
+		return bad
 	}
 	t0 := float64(nPeriods-nMeasure) * period
 	start, end := wf.Window(t0, tstop)
-	vout := wf.Node("out")[start:end]
-	isup := wf.SourceCurrent("VDD")[start:end]
+	voutFull, err := wf.NodeVoltages("out")
+	if err != nil {
+		return bad
+	}
+	isupFull, err := wf.BranchCurrent("VDD")
+	if err != nil {
+		return bad
+	}
+	vout := voutFull[start:end]
+	isup := isupFull[start:end]
 
 	// Fundamental output power into the load.
 	amp := circuit.HarmonicAmplitude(vout, dt, p.Freq, 1)
 	pout := amp * amp / (2 * p.RLoad)
 	// DC power: the supply source drives current out of its + terminal, so
-	// delivered power is −Vdd·I_branch averaged.
+	// delivered power is −Vdd·I_branch averaged. A NaN mean (silent NaN
+	// propagation from a marginally-converged transient) is a failure, not
+	// a number to divide by.
 	pdc := -vdd * circuit.Mean(isup)
+	if math.IsNaN(pout) || math.IsNaN(pdc) {
+		return bad
+	}
 	if pdc <= 1e-9 {
 		pdc = 1e-9
 	}
@@ -169,6 +187,9 @@ func (p *PowerAmp) Simulate(x []float64, f problem.Fidelity) PAResult {
 	poutDBm := -100.0
 	if pout > 1e-13 {
 		poutDBm = circuit.DBm(pout)
+	}
+	if math.IsNaN(eff) || math.IsInf(eff, 0) || math.IsNaN(poutDBm) || math.IsInf(poutDBm, 0) {
+		return bad
 	}
 	return PAResult{EffPct: eff, PoutDBm: poutDBm, THDdB: thd}
 }
