@@ -1,0 +1,113 @@
+// Command bench measures the library's four hot paths — GP hyperparameter
+// training, MSP acquisition maximization, fused-posterior batch prediction and
+// the blocked Cholesky factorization — and writes a machine-readable report to
+// BENCH_hotpaths.json.
+//
+//	bench                     # full run, workers = NumCPU
+//	bench -workers 8 -o out.json
+//	bench -quick              # short benchtime for CI smoke runs
+//
+// Each parallelizable workload runs twice, serially and with -workers
+// goroutines; the report records ns/op, B/op, allocs/op and the parallel
+// speedup. Both variants perform bit-identical arithmetic (the determinism
+// contract of internal/parallel), so the speedup column measures scheduling
+// only — never a changed computation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+type entry struct {
+	Name            string  `json:"name"`
+	Workers         int     `json:"workers,omitempty"`
+	Iterations      int     `json:"iterations"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	BytesPerOp      int64   `json:"bytes_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+}
+
+type report struct {
+	Generated string  `json:"generated"`
+	GoVersion string  `json:"go_version"`
+	NumCPU    int     `json:"num_cpu"`
+	Workers   int     `json:"workers"`
+	Results   []entry `json:"results"`
+}
+
+func main() {
+	log.SetFlags(0)
+	testing.Init() // registers test.* flags so benchtime can be tuned below
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel worker count for the non-serial variants")
+	out := flag.String("o", "BENCH_hotpaths.json", "output path for the JSON report")
+	quick := flag.Bool("quick", false, "smoke mode: cap every benchmark at a handful of iterations")
+	flag.Parse()
+
+	if *quick {
+		// testing.Benchmark honours the test.benchtime flag; a fixed
+		// iteration count keeps CI smoke runs to a few seconds.
+		if err := flag.CommandLine.Lookup("test.benchtime").Value.Set("3x"); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	measure := func(name string, w int, f func(*testing.B)) entry {
+		r := testing.Benchmark(f)
+		e := entry{
+			Name:        name,
+			Workers:     w,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		fmt.Printf("%-28s workers=%-2d %12.0f ns/op %8d B/op %6d allocs/op\n",
+			name, w, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+		return e
+	}
+
+	var results []entry
+	pair := func(name string, mk func(int) func(*testing.B)) {
+		serial := measure(name, 1, mk(1))
+		results = append(results, serial)
+		if *workers > 1 {
+			par := measure(name, *workers, mk(*workers))
+			if par.NsPerOp > 0 {
+				par.SpeedupVsSerial = serial.NsPerOp / par.NsPerOp
+			}
+			results = append(results, par)
+		}
+	}
+	pair("GPFit", bench.GPFit)
+	pair("MSP", bench.MSP)
+	pair("PredictBatch", bench.PredictBatch)
+	results = append(results, measure("PredictSingle", 1, bench.PredictSingle()))
+	results = append(results, measure("Cholesky160", 1, bench.Cholesky(160)))
+
+	rep := report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Workers:   *workers,
+		Results:   results,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -55,6 +55,7 @@ func main() {
 	ckptPath := flag.String("checkpoint", "", "write a resumable snapshot here after every iteration (mfbo)")
 	resume := flag.Bool("resume", false, "resume the mfbo run from the -checkpoint file")
 	chaosRate := flag.Float64("chaos", 0, "inject this low-fidelity failure rate (plus panics at a quarter of it); implies a fault-tolerance demo")
+	procs := flag.Int("procs", 0, "worker goroutines for surrogate training and acquisition maximization (0 = all CPUs, 1 = serial; the result is bit-identical for every setting)")
 	flag.Parse()
 
 	p := lookupProblem(*probName)
@@ -92,7 +93,7 @@ func main() {
 	case "mfbo":
 		cfg := core.Config{
 			Budget: *budget, InitLow: *initLow, InitHigh: *initHigh,
-			Gamma: *gamma, MSP: msp, Callback: cb,
+			Gamma: *gamma, MSP: msp, Callback: cb, Workers: *procs,
 		}
 		if *ckptPath != "" {
 			cfg.Checkpointer = core.FileCheckpointer(*ckptPath)
@@ -113,10 +114,12 @@ func main() {
 	case "weibo":
 		res, err = baselines.WEIBO(p, baselines.WEIBOConfig{
 			Budget: int(*budget), Init: max(4, int(*budget)/4), MSP: msp, Callback: cb,
+			Workers: *procs,
 		}, rng)
 	case "gaspad":
 		res, err = baselines.GASPAD(p, baselines.GASPADConfig{
 			Budget: int(*budget), Init: max(4, int(*budget)/4), Callback: cb,
+			Workers: *procs,
 		}, rng)
 	case "de":
 		res, err = baselines.DE(p, baselines.DEConfig{Budget: int(*budget), Callback: cb}, rng)

@@ -35,6 +35,10 @@ type GASPADConfig struct {
 	FixedNoise *float64
 	// Callback observes every simulation.
 	Callback func(core.Observation)
+	// Workers bounds goroutines for surrogate training and child
+	// prescreening (0 = default, 1 = serial); results are bit-identical for
+	// every setting.
+	Workers int
 }
 
 func (c *GASPADConfig) defaults() error {
@@ -130,6 +134,7 @@ func GASPAD(p problem.Problem, cfg GASPADConfig, rng *rand.Rand) (*core.Result, 
 				FixedNoise:   cfg.FixedNoise,
 				WarmStart:    warm[k],
 				SkipTraining: !fullRefit && warm[k] != nil,
+				Workers:      cfg.Workers,
 			}, rng)
 			if err != nil {
 				return nil, fmt.Errorf("baselines: GASPAD iter %d output %d: %w", iter, k, err)
@@ -140,7 +145,7 @@ func GASPAD(p problem.Problem, cfg GASPADConfig, rng *rand.Rand) (*core.Result, 
 
 		parents := topParents(X, Y, cfg.ParentPool)
 		children := breed(rng, parents, lo, hi, cfg)
-		best := pickByConstrainedLCB(models, children, cfg.Beta, nc)
+		best := pickByConstrainedLCB(models, children, cfg.Beta, nc, cfg.Workers)
 		if duplicateIn(X, best) {
 			best = stats.UniformInBox(rng, lo, hi, 1)[0]
 		}
@@ -208,8 +213,22 @@ func breed(rng *rand.Rand, parents [][]float64, lo, hi []float64, cfg GASPADConf
 // pickByConstrainedLCB ranks children by the feasibility rule applied to
 // LCB values: a child whose constraint LCBs are all negative (optimistically
 // feasible) beats any optimistically-infeasible child; ties break on the
-// objective LCB, then on predicted violation.
-func pickByConstrainedLCB(models []*gp.Model, children [][]float64, beta float64, nc int) []float64 {
+// objective LCB, then on predicted violation. The posterior evaluations fan
+// across workers via acq.EvalBatch; the selection itself walks children in
+// order, so the winner is independent of the worker count.
+func pickByConstrainedLCB(models []*gp.Model, children [][]float64, beta float64, nc, workers int) []float64 {
+	objLCB := acq.EvalBatch(workers, func(x []float64) float64 {
+		mu, va := models[0].PredictLatent(x)
+		return acq.LCB(mu, va, beta)
+	}, children)
+	consLCB := make([][]float64, nc)
+	for i := 0; i < nc; i++ {
+		m := models[1+i]
+		consLCB[i] = acq.EvalBatch(workers, func(x []float64) float64 {
+			cm, cv := m.PredictLatent(x)
+			return acq.LCB(cm, cv, beta)
+		}, children)
+	}
 	type scored struct {
 		x         []float64
 		feasible  bool
@@ -218,13 +237,10 @@ func pickByConstrainedLCB(models []*gp.Model, children [][]float64, beta float64
 	}
 	best := scored{objLCB: 0, violation: 0}
 	first := true
-	for _, c := range children {
-		mu, va := models[0].PredictLatent(c)
-		s := scored{x: c, feasible: true, objLCB: acq.LCB(mu, va, beta)}
+	for ci, c := range children {
+		s := scored{x: c, feasible: true, objLCB: objLCB[ci]}
 		for i := 0; i < nc; i++ {
-			cm, cv := models[1+i].PredictLatent(c)
-			l := acq.LCB(cm, cv, beta)
-			if l >= 0 {
+			if l := consLCB[i][ci]; l >= 0 {
 				s.feasible = false
 				s.violation += l
 			}

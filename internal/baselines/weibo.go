@@ -39,6 +39,10 @@ type WEIBOConfig struct {
 	FixedNoise *float64
 	// Callback observes every simulation.
 	Callback func(core.Observation)
+	// Workers bounds goroutines for surrogate training and acquisition
+	// maximization (0 = default, 1 = serial). When MSP.Workers is unset it
+	// inherits this value. Results are bit-identical for every setting.
+	Workers int
 }
 
 func (c *WEIBOConfig) defaults() error {
@@ -78,6 +82,9 @@ func WEIBO(p problem.Problem, cfg WEIBOConfig, rng *rand.Rand) (*core.Result, er
 	nOut := 1 + nc
 	lo, hi := p.Bounds()
 	box := optimize.NewBox(lo, hi)
+	if cfg.MSP.Workers == 0 {
+		cfg.MSP.Workers = cfg.Workers
+	}
 
 	res := &core.Result{}
 	var X [][]float64
@@ -119,6 +126,7 @@ func WEIBO(p problem.Problem, cfg WEIBOConfig, rng *rand.Rand) (*core.Result, er
 				FixedNoise:   cfg.FixedNoise,
 				WarmStart:    warm[k],
 				SkipTraining: !fullRefit && warm[k] != nil,
+				Workers:      cfg.Workers,
 			}, rng)
 			if err != nil {
 				return nil, fmt.Errorf("baselines: WEIBO iter %d output %d: %w", iter, k, err)

@@ -1,0 +1,183 @@
+// Package bench defines the hot-path benchmark workloads shared by the
+// `go test -bench` entry points in bench_test.go and by cmd/bench, which
+// replays them through testing.Benchmark to emit BENCH_hotpaths.json.
+//
+// Every workload draws its dataset from a fixed seed and performs bit-identical
+// arithmetic for every worker count (the determinism contract of
+// internal/parallel), so serial-vs-parallel comparisons measure scheduling
+// overhead and speedup only — never a different computation.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/acq"
+	"repro/internal/gp"
+	"repro/internal/kernel"
+	"repro/internal/linalg"
+	"repro/internal/mfgp"
+	"repro/internal/optimize"
+	"repro/internal/stats"
+)
+
+// dataset builds a deterministic smooth regression set on [0,1]^d.
+func dataset(seed int64, n, d int) (X [][]float64, y []float64, lo, hi []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	lo = make([]float64, d)
+	hi = make([]float64, d)
+	for j := range hi {
+		hi[j] = 1
+	}
+	X = stats.LatinHypercube(rng, lo, hi, n)
+	y = make([]float64, n)
+	for i, x := range X {
+		s := 0.0
+		for j, v := range x {
+			s += math.Sin(3*v + float64(j))
+		}
+		y[i] = s + 0.01*rng.NormFloat64()
+	}
+	return X, y, lo, hi
+}
+
+// GPFit measures hyperparameter training: a 64-point, 6-dimensional SEARD fit
+// with 4 L-BFGS restarts fanned across the given worker count.
+func GPFit(workers int) func(*testing.B) {
+	return func(b *testing.B) {
+		X, y, _, _ := dataset(1, 64, 6)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rng := rand.New(rand.NewSource(7))
+			if _, err := gp.Fit(X, y, gp.Config{
+				Kernel:   kernel.NewSEARD(6),
+				Restarts: 4,
+				MaxIter:  25,
+				Workers:  workers,
+			}, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// MSP measures acquisition maximization: 24 concurrent local searches of the
+// weighted-EI surface over a fitted surrogate.
+func MSP(workers int) func(*testing.B) {
+	return func(b *testing.B) {
+		X, y, lo, hi := dataset(2, 48, 4)
+		rng := rand.New(rand.NewSource(9))
+		m, err := gp.Fit(X, y, gp.Config{
+			Kernel: kernel.NewSEARD(4), MaxIter: 30, Workers: 1,
+		}, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		best := math.Inf(1)
+		for _, v := range y {
+			if v < best {
+				best = v
+			}
+		}
+		a := acq.WEI(func(x []float64) (float64, float64) { return m.PredictLatent(x) }, nil, best)
+		box := optimize.NewBox(lo, hi)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := rand.New(rand.NewSource(11))
+			optimize.MaximizeMSP(r, a, box, X[0], nil, optimize.MSPConfig{
+				Starts: 24, LocalIter: 40, Workers: workers,
+			})
+		}
+	}
+}
+
+// PredictBatch measures fused-posterior grid evaluation: a 512-point batch
+// through a two-fidelity model, fanned across the given worker count.
+func PredictBatch(workers int) func(*testing.B) {
+	return func(b *testing.B) {
+		m, grid := fittedMF(workers)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.PredictBatch(grid)
+		}
+	}
+}
+
+// PredictSingle measures the steady-state per-point prediction cost of the
+// fused model — the allocation-lean path behind every acquisition call.
+func PredictSingle() func(*testing.B) {
+	return func(b *testing.B) {
+		m, grid := fittedMF(1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Predict(grid[i%len(grid)])
+		}
+	}
+}
+
+// fittedMF builds the shared two-fidelity surrogate and prediction grid.
+func fittedMF(workers int) (*mfgp.Model, [][]float64) {
+	Xl, yl, lo, hi := dataset(3, 60, 3)
+	rng := rand.New(rand.NewSource(13))
+	Xh := stats.LatinHypercube(rng, lo, hi, 16)
+	yh := make([]float64, len(Xh))
+	for i, x := range Xh {
+		s := 0.0
+		for j, v := range x {
+			s += math.Sin(3*v + float64(j))
+		}
+		yh[i] = 1.1*s + 0.05
+	}
+	m, err := mfgp.Fit(Xl, yl, Xh, yh, mfgp.Config{
+		MaxIter: 30, Workers: workers,
+	}, rng)
+	if err != nil {
+		panic(fmt.Sprintf("bench: mfgp fit: %v", err))
+	}
+	grid := stats.LatinHypercube(rand.New(rand.NewSource(17)), lo, hi, 512)
+	return m, grid
+}
+
+// Cholesky measures the blocked factorization on an n×n SPD Gram matrix with
+// the reusable-buffer entry point — the inner solver of every surrogate fit.
+func Cholesky(n int) func(*testing.B) {
+	return func(b *testing.B) {
+		rng := rand.New(rand.NewSource(19))
+		g := linalg.NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				g.Set(i, j, rng.NormFloat64())
+			}
+		}
+		a := linalg.NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += g.At(i, k) * g.At(j, k)
+				}
+				if i == j {
+					s += float64(n)
+				}
+				a.Set(i, j, s)
+				a.Set(j, i, s)
+			}
+		}
+		var reuse *linalg.Cholesky
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c, err := linalg.NewCholeskyReuse(a, reuse)
+			if err != nil {
+				b.Fatal(err)
+			}
+			reuse = c
+		}
+	}
+}

@@ -111,6 +111,15 @@ type Config struct {
 	// FileCheckpointer for atomic JSON-on-disk persistence; a non-nil error
 	// aborts the run (the partial Result is still returned alongside it).
 	Checkpointer func(*Checkpoint) error
+	// Workers bounds the goroutines used by every hot path — GP training
+	// restarts, acquisition maximization, batched posterior prediction:
+	// 0 selects parallel.DefaultWorkers() (runtime.NumCPU() unless the
+	// MFBO_WORKERS environment variable overrides it), 1 forces the serial
+	// path, n > 1 uses up to n goroutines. The optimization trajectory is
+	// bit-identical for every setting, so checkpoints taken under one worker
+	// count resume correctly under any other. When MSP.Workers is unset it
+	// inherits this value.
+	Workers int
 }
 
 func (c *Config) defaults() error {
@@ -144,6 +153,9 @@ func (c *Config) defaults() error {
 	}
 	if c.InitSampler == nil {
 		c.InitSampler = stats.LatinHypercube
+	}
+	if c.MSP.Workers == 0 {
+		c.MSP.Workers = c.Workers
 	}
 	return nil
 }
@@ -381,6 +393,7 @@ func (st *state) fitSurrogates(iter int, fullRefit bool) (lowGPs []*gp.Model, fu
 			FixedNoise:   cfg.FixedNoise,
 			WarmStart:    st.warmLow[k],
 			SkipTraining: !fullRefit && st.warmLow[k] != nil,
+			Workers:      cfg.Workers,
 		}, st.rng)
 		if err != nil && st.warmLow[k] != nil {
 			// Rung 1: freeze last iteration's hyperparameters.
@@ -392,6 +405,7 @@ func (st *state) fitSurrogates(iter int, fullRefit bool) (lowGPs []*gp.Model, fu
 				FixedNoise:   cfg.FixedNoise,
 				WarmStart:    st.warmLow[k],
 				SkipTraining: true,
+				Workers:      cfg.Workers,
 			}, st.rng)
 			if err2 == nil {
 				st.degrade(iter, DegradeWarmHypers, k, fmt.Errorf("low fit: %w", err))
@@ -414,6 +428,7 @@ func (st *state) fitSurrogates(iter int, fullRefit bool) (lowGPs []*gp.Model, fu
 			Propagation:   cfg.Propagation,
 			NumSamples:    cfg.NumSamples,
 			WarmStartHigh: st.warmHigh[k],
+			Workers:       cfg.Workers,
 		}, st.rng)
 		if err != nil && st.warmHigh[k] != nil {
 			// Rung 1 for the fused level.
@@ -426,6 +441,7 @@ func (st *state) fitSurrogates(iter int, fullRefit bool) (lowGPs []*gp.Model, fu
 				NumSamples:    cfg.NumSamples,
 				WarmStartHigh: st.warmHigh[k],
 				SkipTraining:  true,
+				Workers:       cfg.Workers,
 			}, st.rng)
 			if err2 == nil {
 				st.degrade(iter, DegradeWarmHypers, k, fmt.Errorf("fusion fit: %w", err))

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/testfunc"
+)
+
+// historiesIdentical compares two run histories bitwise: same fidelity
+// schedule, same evaluated points, same outcomes.
+func historiesIdentical(t *testing.T, a, b *Result) {
+	t.Helper()
+	if len(a.History) != len(b.History) {
+		t.Fatalf("history lengths differ: %d vs %d", len(a.History), len(b.History))
+	}
+	for i := range a.History {
+		oa, ob := a.History[i], b.History[i]
+		if oa.Fid != ob.Fid {
+			t.Fatalf("obs %d: fidelity %s vs %s", i, oa.Fid, ob.Fid)
+		}
+		for j := range oa.X {
+			if math.Float64bits(oa.X[j]) != math.Float64bits(ob.X[j]) {
+				t.Fatalf("obs %d: x[%d] differs: %v vs %v", i, j, oa.X[j], ob.X[j])
+			}
+		}
+		if math.Float64bits(oa.Eval.Objective) != math.Float64bits(ob.Eval.Objective) {
+			t.Fatalf("obs %d: objective differs: %v vs %v", i, oa.Eval.Objective, ob.Eval.Objective)
+		}
+	}
+	if math.Float64bits(a.Best.Objective) != math.Float64bits(b.Best.Objective) {
+		t.Fatalf("best objective differs: %v vs %v", a.Best.Objective, b.Best.Objective)
+	}
+}
+
+// TestOptimizeParallelWorkersBitIdentical is the end-to-end determinism
+// guarantee: the full BO trajectory — every evaluated point, fidelity choice
+// and the final best — is bit-identical whether the hot paths run serially or
+// on 8 workers.
+func TestOptimizeParallelWorkersBitIdentical(t *testing.T) {
+	run := func(workers int) *Result {
+		cfg := fastCfg(8)
+		cfg.Workers = workers
+		rng := rand.New(rand.NewSource(17))
+		res, err := Optimize(testfunc.Forrester(), cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	historiesIdentical(t, run(1), run(8))
+}
+
+// TestChaosWithParallelWorkers exercises the interaction between the fault
+// runtime of the robustness layer and the parallel hot paths: with injected
+// low-fidelity failures and panics, the degraded-mode ladder must still
+// produce the same trajectory for every worker count, and the run must
+// complete its budget under the race detector.
+func TestChaosWithParallelWorkers(t *testing.T) {
+	const failRate = 0.15
+	run := func(workers int) *Result {
+		sp := chaoticProblem(testfunc.Forrester(), failRate, 3)
+		cfg := fastCfg(8)
+		cfg.Workers = workers
+		rng := rand.New(rand.NewSource(5))
+		res, err := OptimizeCtx(context.Background(), sp, cfg, rng)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.BestX == nil || math.IsNaN(res.Best.Objective) {
+			t.Fatalf("workers=%d: no usable best", workers)
+		}
+		return res
+	}
+	r1 := run(1)
+	r8 := run(8)
+	historiesIdentical(t, r1, r8)
+	if r1.Faults == nil || r8.Faults == nil {
+		t.Fatal("fault log not populated")
+	}
+}

@@ -13,10 +13,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/kernel"
 	"repro/internal/linalg"
 	"repro/internal/optimize"
+	"repro/internal/parallel"
 )
 
 // Config controls model training. The zero value of optional fields selects
@@ -48,6 +50,12 @@ type Config struct {
 	// BO loop uses it between periodic full refits: the covariance is
 	// re-factorized with the new data but hyperparameters stay put.
 	SkipTraining bool
+	// Workers bounds the goroutines used for multi-restart training and
+	// batched prediction: 0 selects parallel.DefaultWorkers(), 1 forces the
+	// serial path, n > 1 uses up to n goroutines. Results are bit-identical
+	// for every setting — restarts run on cloned kernels from pre-drawn
+	// starting points and reduce in restart order.
+	Workers int
 }
 
 func (c *Config) defaults() error {
@@ -87,6 +95,34 @@ type Model struct {
 	chol  *linalg.Cholesky
 	alpha []float64 // K⁻¹ y (standardized)
 	nlml  float64
+
+	// predPool holds *predictScratch buffers so that PredictLatent allocates
+	// nothing in steady state even under concurrent batch prediction.
+	predPool sync.Pool
+}
+
+// predictScratch is the per-goroutine buffer set for one posterior
+// evaluation: the standardized query point, the cross-covariance row, the
+// forward-solve vector, a difference vector for the kernel profile, and the
+// profile itself (profiles carry scratch and must not be shared across
+// goroutines).
+type predictScratch struct {
+	x, ks, v, diff []float64
+	prof           kernel.PairProfile
+}
+
+func (m *Model) getPredictScratch() *predictScratch {
+	if sc, ok := m.predPool.Get().(*predictScratch); ok {
+		return sc
+	}
+	n, d := len(m.xs), len(m.xMean)
+	return &predictScratch{
+		x:    make([]float64, d),
+		ks:   make([]float64, n),
+		v:    make([]float64, n),
+		diff: make([]float64, d),
+		prof: kernel.ProfileOf(m.kern), // nil for non-Pairwise kernels
+	}
 }
 
 // Fit trains a GP on the dataset (X, y). Hyperparameters are obtained by
@@ -135,35 +171,12 @@ func Fit(X [][]float64, y []float64, cfg Config, rng *rand.Rand) (*Model, error)
 		return m, nil
 	}
 
-	// Objective over the packed hyper vector [kernel hypers..., logNoise?].
-	obj := func(theta, grad []float64) float64 {
-		m.kern.SetHyper(theta[:nk])
-		if trainNoise {
-			m.logNoise = clamp(theta[nk], cfg.NoiseBounds[0], cfg.NoiseBounds[1])
-		}
-		v, g, err := m.nlmlGrad()
-		if err != nil {
-			for i := range grad {
-				grad[i] = 0
-			}
-			return math.Inf(1)
-		}
-		copy(grad, g[:len(grad)])
-		return v
-	}
-
 	loK, hiK := kernel.BoundsVectors(m.kern)
-	bestTheta := make([]float64, nTotal)
-	bestNLML := math.Inf(1)
-	tryFrom := func(theta0 []float64) {
-		r := optimize.LBFGS(obj, theta0, optimize.LBFGSConfig{MaxIter: cfg.MaxIter})
-		if r.F < bestNLML && !math.IsNaN(r.F) {
-			bestNLML = r.F
-			copy(bestTheta, r.X)
-		}
-	}
-	// Default start: zeros (unit amplitude/length scales), modest noise —
-	// or the caller's warm start.
+	// Pre-draw every starting point serially so the rng stream is consumed in
+	// the same order regardless of the worker count. Start 0 is the default
+	// initialization (zeros: unit amplitude/length scales, modest noise) or
+	// the caller's warm start; the rest are random restarts.
+	starts := make([][]float64, 1+cfg.Restarts)
 	start := make([]float64, nTotal)
 	if trainNoise {
 		start[nk] = math.Log(1e-2)
@@ -174,7 +187,7 @@ func Fit(X [][]float64, y []float64, cfg Config, rng *rand.Rand) (*Model, error)
 			start[nk] = clamp(cfg.WarmStart[nk], cfg.NoiseBounds[0], cfg.NoiseBounds[1])
 		}
 	}
-	tryFrom(start)
+	starts[0] = start
 	for r := 0; r < cfg.Restarts; r++ {
 		theta0 := make([]float64, nTotal)
 		for j := 0; j < nk; j++ {
@@ -184,7 +197,61 @@ func Fit(X [][]float64, y []float64, cfg Config, rng *rand.Rand) (*Model, error)
 			lo, hi := cfg.NoiseBounds[0], cfg.NoiseBounds[1]
 			theta0[nk] = lo + rng.Float64()*(hi-lo)
 		}
-		tryFrom(theta0)
+		starts[1+r] = theta0
+	}
+
+	// Geometry cache: the pairwise difference tensor is computed once and
+	// shared read-only by every restart and every L-BFGS iteration.
+	geo := newPairGeo(m.xs)
+
+	// Run every restart's L-BFGS concurrently on per-worker workspaces with
+	// cloned kernels. Task i writes only results[i]; the argmin reduction
+	// below runs in restart order, so the selected optimum is identical to
+	// the serial schedule for any worker count.
+	type fitResult struct {
+		f float64
+		x []float64
+	}
+	results := make([]fitResult, len(starts))
+	workers := parallel.Workers(cfg.Workers)
+	if workers > len(starts) {
+		workers = len(starts)
+	}
+	wss := make([]*fitWorkspace, workers)
+	for w := range wss {
+		wss[w] = newFitWorkspace(m.kern, geo, m.xs, m.ys)
+	}
+	fixedLogNoise := m.logNoise
+	parallel.ForEachWorker(workers, len(starts), func(w, idx int) {
+		ws := wss[w]
+		// Objective over the packed hyper vector [kernel hypers..., logNoise?].
+		obj := func(theta, grad []float64) float64 {
+			ws.kern.SetHyper(theta[:nk])
+			if trainNoise {
+				ws.logNoise = clamp(theta[nk], cfg.NoiseBounds[0], cfg.NoiseBounds[1])
+			} else {
+				ws.logNoise = fixedLogNoise
+			}
+			v, g, err := ws.nlmlGrad()
+			if err != nil {
+				for i := range grad {
+					grad[i] = 0
+				}
+				return math.Inf(1)
+			}
+			copy(grad, g[:len(grad)])
+			return v
+		}
+		r := optimize.LBFGS(obj, starts[idx], optimize.LBFGSConfig{MaxIter: cfg.MaxIter})
+		results[idx] = fitResult{f: r.F, x: r.X}
+	})
+	bestTheta := make([]float64, nTotal)
+	bestNLML := math.Inf(1)
+	for _, r := range results {
+		if r.f < bestNLML && !math.IsNaN(r.f) {
+			bestNLML = r.f
+			copy(bestTheta, r.x)
+		}
 	}
 	if math.IsInf(bestNLML, 1) {
 		return nil, errors.New("gp: training failed from every restart")
@@ -247,21 +314,41 @@ func (m *Model) standardize(X [][]float64, y []float64) {
 
 func (m *Model) toStdX(x []float64) []float64 {
 	out := make([]float64, len(x))
-	for j := range x {
-		out[j] = (x[j] - m.xMean[j]) / m.xStd[j]
-	}
+	m.toStdXInto(x, out)
 	return out
 }
 
+func (m *Model) toStdXInto(x, out []float64) {
+	for j := range x {
+		out[j] = (x[j] - m.xMean[j]) / m.xStd[j]
+	}
+}
+
 // factorize builds the Cholesky of K + σ_n²I and the alpha vector for the
-// current hyperparameters.
+// current hyperparameters, using the kernel's pair profile (hyperparameter
+// transcendentals hoisted out of the O(n²) loop) when available.
 func (m *Model) factorize() error {
 	n := len(m.xs)
 	K := linalg.NewMatrix(n, n)
 	noise2 := math.Exp(2 * m.logNoise)
+	prof := kernel.ProfileOf(m.kern)
+	var diff []float64
+	if prof != nil && n > 0 {
+		diff = make([]float64, len(m.xs[0]))
+	}
 	for i := 0; i < n; i++ {
+		xi := m.xs[i]
 		for j := i; j < n; j++ {
-			v := m.kern.Eval(m.xs[i], m.xs[j])
+			var v float64
+			if prof != nil {
+				xj := m.xs[j]
+				for t := range diff {
+					diff[t] = xi[t] - xj[t]
+				}
+				v = prof.Eval(diff)
+			} else {
+				v = m.kern.Eval(xi, m.xs[j])
+			}
 			K.Set(i, j, v)
 			K.Set(j, i, v)
 		}
@@ -277,62 +364,14 @@ func (m *Model) factorize() error {
 	return nil
 }
 
-// nlmlGrad returns the NLML and its gradient with respect to the packed
-// hyper vector [kernel hypers..., logNoise].
+// nlmlGrad evaluates the NLML and its gradient at the model's current kernel
+// hyperparameters and noise. Fit uses per-restart workspaces directly; this
+// entry point serves gradient-check tests and one-off evaluations.
 func (m *Model) nlmlGrad() (float64, []float64, error) {
-	n := len(m.xs)
-	nk := m.kern.NumHyper()
-	K := linalg.NewMatrix(n, n)
-	// dK[j] stacked as n×n matrices in one slice to limit allocations.
-	dK := make([]*linalg.Matrix, nk)
-	for j := range dK {
-		dK[j] = linalg.NewMatrix(n, n)
-	}
-	grad := make([]float64, nk)
-	noise2 := math.Exp(2 * m.logNoise)
-	gbuf := make([]float64, nk)
-	for i := 0; i < n; i++ {
-		for j := i; j < n; j++ {
-			v := m.kern.EvalGrad(m.xs[i], m.xs[j], gbuf)
-			K.Set(i, j, v)
-			K.Set(j, i, v)
-			for h := 0; h < nk; h++ {
-				dK[h].Set(i, j, gbuf[h])
-				dK[h].Set(j, i, gbuf[h])
-			}
-		}
-		K.Add(i, i, noise2)
-	}
-	chol, err := linalg.NewCholesky(K)
-	if err != nil {
-		return 0, nil, err
-	}
-	alpha := chol.SolveVec(m.ys)
-	nlml := 0.5*linalg.Dot(m.ys, alpha) + 0.5*chol.LogDet() + 0.5*float64(n)*math.Log(2*math.Pi)
-
-	// W = K⁻¹ − α·αᵀ ; grad_j = ½ tr(W · dK_j).
-	Kinv := chol.Inverse()
-	out := make([]float64, nk+1)
-	for h := 0; h < nk; h++ {
-		s := 0.0
-		for i := 0; i < n; i++ {
-			wi := Kinv.Row(i)
-			di := dK[h].Row(i)
-			ai := alpha[i]
-			for j := 0; j < n; j++ {
-				s += (wi[j] - ai*alpha[j]) * di[j]
-			}
-		}
-		out[h] = 0.5 * s
-	}
-	// Noise gradient: dK/dlogσ_n = 2σ_n² I.
-	s := 0.0
-	for i := 0; i < n; i++ {
-		s += Kinv.At(i, i) - alpha[i]*alpha[i]
-	}
-	out[nk] = 0.5 * s * 2 * noise2
-	copy(grad, out[:nk])
-	return nlml, out, nil
+	ws := newFitWorkspace(m.kern, newPairGeo(m.xs), m.xs, m.ys)
+	ws.kern = m.kern // evaluate the live kernel, not a clone
+	ws.logNoise = m.logNoise
+	return ws.nlmlGrad()
 }
 
 // Predict returns the posterior predictive mean and variance at x, including
@@ -344,31 +383,62 @@ func (m *Model) Predict(x []float64) (mean, variance float64) {
 }
 
 // PredictLatent returns the posterior mean and variance of the latent
-// function value f(x), excluding observation noise.
+// function value f(x), excluding observation noise. It is safe for
+// concurrent use and allocates nothing in steady state: all buffers (and the
+// kernel's pair profile) come from a per-model sync.Pool.
 func (m *Model) PredictLatent(x []float64) (mean, variance float64) {
-	xs := m.toStdX(x)
+	sc := m.getPredictScratch()
+	mean, variance = m.predictLatentInto(x, sc)
+	m.predPool.Put(sc)
+	return mean, variance
+}
+
+func (m *Model) predictLatentInto(x []float64, sc *predictScratch) (mean, variance float64) {
+	m.toStdXInto(x, sc.x)
 	n := len(m.xs)
-	ks := make([]float64, n)
-	for i := 0; i < n; i++ {
-		ks[i] = m.kern.Eval(xs, m.xs[i])
+	ks := sc.ks
+	if sc.prof != nil {
+		diff := sc.diff
+		for i := 0; i < n; i++ {
+			xi := m.xs[i]
+			for t := range diff {
+				diff[t] = sc.x[t] - xi[t]
+			}
+			ks[i] = sc.prof.Eval(diff)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			ks[i] = m.kern.Eval(sc.x, m.xs[i])
+		}
 	}
 	mu := linalg.Dot(ks, m.alpha)
-	v := m.chol.ForwardSolve(ks)
-	kss := m.kern.Eval(xs, xs)
-	va := kss - linalg.Dot(v, v)
+	m.chol.ForwardSolveInto(ks, sc.v)
+	var kss float64
+	if sc.prof != nil {
+		for t := range sc.diff {
+			sc.diff[t] = 0
+		}
+		kss = sc.prof.Eval(sc.diff)
+	} else {
+		kss = m.kern.Eval(sc.x, sc.x)
+	}
+	va := kss - linalg.Dot(sc.v, sc.v)
 	if va < 0 {
 		va = 0
 	}
 	return m.yMean + m.yStd*mu, va * m.yStd * m.yStd
 }
 
-// PredictBatch evaluates PredictLatent over many points.
+// PredictBatch evaluates PredictLatent over many points, fanning the grid
+// across the model's configured worker count. Each point's result depends
+// only on that point and the immutable trained model, so the output is
+// bit-identical to the serial loop for any worker count.
 func (m *Model) PredictBatch(xs [][]float64) (means, variances []float64) {
 	means = make([]float64, len(xs))
 	variances = make([]float64, len(xs))
-	for i, x := range xs {
-		means[i], variances[i] = m.PredictLatent(x)
-	}
+	parallel.ForEach(parallel.Workers(m.cfg.Workers), len(xs), func(i int) {
+		means[i], variances[i] = m.PredictLatent(xs[i])
+	})
 	return means, variances
 }
 

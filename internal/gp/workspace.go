@@ -1,0 +1,139 @@
+package gp
+
+import (
+	"math"
+
+	"repro/internal/kernel"
+	"repro/internal/linalg"
+)
+
+// fitWorkspace holds everything one training restart needs to evaluate the
+// NLML and its gradient without allocating: a cloned kernel (so concurrent
+// restarts never share mutable hyperparameter state), the covariance matrix,
+// a reusable Cholesky, the precision matrix, and gradient accumulators. The
+// geometry cache and the training data are shared read-only across all
+// workspaces.
+//
+// The arithmetic is ordered to be bit-identical to the original
+// matrix-per-hyperparameter implementation: the covariance is filled
+// symmetric-half-only (same values), and each gradient accumulator receives
+// its terms in full-matrix row-major (i, j) order — exactly the order the
+// reference tr(W·dK_h) loop used — so the optimizer walks the same
+// trajectory to the last ulp.
+type fitWorkspace struct {
+	kern     kernel.Kernel // private clone, mutated by SetHyper per objective call
+	logNoise float64
+
+	// Shared read-only state.
+	geo *pairGeo
+	xs  [][]float64
+	ys  []float64
+
+	// Reusable numerics.
+	K       *linalg.Matrix
+	chol    *linalg.Cholesky
+	alpha   []float64
+	Kinv    *linalg.Matrix
+	scratch []float64
+	gbuf    []float64 // one kernel gradient, length nk
+	out     []float64 // NLML gradient accumulators, length nk+1
+}
+
+func newFitWorkspace(kern kernel.Kernel, geo *pairGeo, xs [][]float64, ys []float64) *fitWorkspace {
+	n := len(xs)
+	nk := kern.NumHyper()
+	return &fitWorkspace{
+		kern:    kern.Clone(),
+		geo:     geo,
+		xs:      xs,
+		ys:      ys,
+		K:       linalg.NewMatrix(n, n),
+		alpha:   make([]float64, n),
+		Kinv:    linalg.NewMatrix(n, n),
+		scratch: make([]float64, n),
+		gbuf:    make([]float64, nk),
+		out:     make([]float64, nk+1),
+	}
+}
+
+// fillCovariance writes K + σ_n²·I into dst (symmetric-half evaluation, both
+// triangles stored) using prof when non-nil, else the direct kernel path.
+func fillCovariance(dst *linalg.Matrix, prof kernel.PairProfile, kern kernel.Kernel,
+	geo *pairGeo, xs [][]float64, noise2 float64) {
+	n := len(xs)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			var v float64
+			if prof != nil {
+				v = prof.Eval(geo.diff(i, j))
+			} else {
+				v = kern.Eval(xs[i], xs[j])
+			}
+			dst.Set(i, j, v)
+			dst.Set(j, i, v)
+		}
+		dst.Add(i, i, noise2)
+	}
+}
+
+// nlmlGrad returns the negative log marginal likelihood and its gradient with
+// respect to the packed hyper vector [kernel hypers..., logNoise] for the
+// workspace's current kernel state. The returned slice is w.out, valid until
+// the next call.
+func (w *fitWorkspace) nlmlGrad() (float64, []float64, error) {
+	n := len(w.xs)
+	nk := w.kern.NumHyper()
+	prof := kernel.ProfileOf(w.kern)
+	noise2 := math.Exp(2 * w.logNoise)
+
+	// Pass 1: covariance fill and factorization.
+	fillCovariance(w.K, prof, w.kern, w.geo, w.xs, noise2)
+	chol, err := linalg.NewCholeskyReuse(w.K, w.chol)
+	if err != nil {
+		return 0, nil, err
+	}
+	w.chol = chol
+	chol.SolveVecInto(w.ys, w.alpha)
+	nlml := 0.5*linalg.Dot(w.ys, w.alpha) + 0.5*chol.LogDet() + 0.5*float64(n)*math.Log(2*math.Pi)
+
+	// Pass 2: precision matrix (reused storage, no allocation).
+	chol.InverseInto(w.Kinv, w.scratch)
+
+	// Pass 3: grad_h = ½ Σ_ij (K⁻¹_ij − α_i α_j)·∂K_ij/∂logθ_h, accumulated
+	// in row-major (i, j) order per h. ∂K is symmetric, so entries below the
+	// diagonal reuse the (j, i) profile evaluation.
+	out := w.out
+	for h := 0; h <= nk; h++ {
+		out[h] = 0
+	}
+	alpha := w.alpha
+	for i := 0; i < n; i++ {
+		wi := w.Kinv.Row(i)
+		ai := alpha[i]
+		for j := 0; j < n; j++ {
+			lo, hi := i, j
+			if lo > hi {
+				lo, hi = j, i
+			}
+			if prof != nil {
+				prof.EvalGrad(w.geo.diff(lo, hi), w.gbuf)
+			} else {
+				w.kern.EvalGrad(w.xs[lo], w.xs[hi], w.gbuf)
+			}
+			wij := wi[j] - ai*alpha[j]
+			for h := 0; h < nk; h++ {
+				out[h] += wij * w.gbuf[h]
+			}
+		}
+	}
+	for h := 0; h < nk; h++ {
+		out[h] *= 0.5
+	}
+	// Noise gradient: ∂K/∂logσ_n = 2σ_n²·I.
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += w.Kinv.At(i, i) - alpha[i]*alpha[i]
+	}
+	out[nk] = 0.5 * s * 2 * noise2
+	return nlml, out, nil
+}

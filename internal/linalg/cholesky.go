@@ -19,15 +19,34 @@ type Cholesky struct {
 	Jitter float64
 }
 
+// cholBlock is the column-block width of the blocked factorization. Blocks
+// keep the active panel resident in cache; the accumulation order within
+// every dot product is unchanged versus the unblocked algorithm, so the
+// factor is bit-identical to the reference column-by-column code.
+const cholBlock = 48
+
 // NewCholesky factorizes the symmetric matrix a (only the lower triangle is
 // read). If the plain factorization fails, an escalating diagonal jitter
 // starting at 1e-10·mean(diag) is added, up to maxTries doublings by 10×.
 // a is not modified.
 func NewCholesky(a *Matrix) (*Cholesky, error) {
+	return NewCholeskyReuse(a, nil)
+}
+
+// NewCholeskyReuse is NewCholesky with buffer reuse: when reuse is non-nil
+// and has matching dimension, its L storage is overwritten in place and the
+// same *Cholesky is returned. The GP training loop calls this once per
+// objective evaluation, so reuse removes the dominant per-iteration
+// allocation.
+func NewCholeskyReuse(a *Matrix, reuse *Cholesky) (*Cholesky, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("linalg: cholesky of non-square %d×%d matrix", a.Rows, a.Cols)
 	}
 	n := a.Rows
+	c := reuse
+	if c == nil || c.N != n || c.L == nil || c.L.Rows != n || c.L.Cols != n {
+		c = &Cholesky{L: NewMatrix(n, n), N: n}
+	}
 	meanDiag := 0.0
 	for i := 0; i < n; i++ {
 		meanDiag += math.Abs(a.At(i, i))
@@ -41,9 +60,9 @@ func NewCholesky(a *Matrix) (*Cholesky, error) {
 	const maxTries = 8
 	jitter := 0.0
 	for try := 0; try <= maxTries; try++ {
-		L, ok := tryCholesky(a, jitter)
-		if ok {
-			return &Cholesky{L: L, N: n, Jitter: jitter}, nil
+		if choleskyInto(a, jitter, c.L) {
+			c.Jitter = jitter
+			return c, nil
 		}
 		if jitter == 0 {
 			jitter = 1e-10 * meanDiag
@@ -54,45 +73,110 @@ func NewCholesky(a *Matrix) (*Cholesky, error) {
 	return nil, ErrNotPositiveDefinite
 }
 
-func tryCholesky(a *Matrix, jitter float64) (*Matrix, bool) {
+// choleskyInto writes the lower-triangular factor of a + jitter·I into L
+// (upper triangle zeroed), using a right-looking blocked algorithm. Each
+// element's subtraction sequence runs over k ascending exactly as in the
+// textbook column algorithm, so the result is bit-identical to it.
+func choleskyInto(a *Matrix, jitter float64, L *Matrix) bool {
 	n := a.Rows
-	L := NewMatrix(n, n)
-	for j := 0; j < n; j++ {
-		d := a.At(j, j) + jitter
-		lj := L.Data[j*n : j*n+j]
-		for _, v := range lj {
-			d -= v * v
-		}
-		if d <= 0 || math.IsNaN(d) {
-			return nil, false
-		}
-		ljj := math.Sqrt(d)
-		L.Set(j, j, ljj)
-		for i := j + 1; i < n; i++ {
-			s := a.At(i, j)
-			li := L.Data[i*n : i*n+j]
-			for k, v := range lj {
-				s -= li[k] * v
-			}
-			L.Set(i, j, s/ljj)
+	// Seed L's lower triangle with a (+ jitter on the diagonal); the factor
+	// is computed in place by subtracting the already-final columns.
+	for i := 0; i < n; i++ {
+		ai := a.Data[i*n : i*n+i+1]
+		li := L.Data[i*n : (i+1)*n]
+		copy(li[:i+1], ai)
+		li[i] += jitter
+		for j := i + 1; j < n; j++ {
+			li[j] = 0
 		}
 	}
-	return L, true
+	for k0 := 0; k0 < n; k0 += cholBlock {
+		k1 := k0 + cholBlock
+		if k1 > n {
+			k1 = n
+		}
+		// Factor the diagonal block in place (columns k0..k1 only depend on
+		// columns ≥ k0 after the trailing updates of earlier blocks).
+		for j := k0; j < k1; j++ {
+			lj := L.Data[j*n+k0 : j*n+j]
+			d := L.Data[j*n+j]
+			for _, v := range lj {
+				d -= v * v
+			}
+			if d <= 0 || math.IsNaN(d) {
+				return false
+			}
+			ljj := math.Sqrt(d)
+			L.Data[j*n+j] = ljj
+			for i := j + 1; i < k1; i++ {
+				s := L.Data[i*n+j]
+				li := L.Data[i*n+k0 : i*n+j]
+				for t, v := range lj {
+					s -= li[t] * v
+				}
+				L.Data[i*n+j] = s / ljj
+			}
+		}
+		if k1 == n {
+			break
+		}
+		// Panel solve: rows below the block against the block's triangle.
+		for i := k1; i < n; i++ {
+			li := L.Data[i*n+k0 : i*n+k1]
+			for j := k0; j < k1; j++ {
+				s := li[j-k0]
+				lj := L.Data[j*n+k0 : j*n+j]
+				for t, v := range lj {
+					s -= li[t] * v
+				}
+				li[j-k0] = s / L.Data[j*n+j]
+			}
+		}
+		// Trailing update of the remaining lower triangle:
+		// A22 ← A22 − L21·L21ᵀ, row by contiguous row.
+		for i := k1; i < n; i++ {
+			li := L.Data[i*n+k0 : i*n+k1]
+			row := L.Data[i*n : i*n+i+1]
+			for j := k1; j <= i; j++ {
+				lj := L.Data[j*n+k0 : j*n+k1]
+				s := row[j]
+				for t, v := range li {
+					s -= v * lj[t]
+				}
+				row[j] = s
+			}
+		}
+	}
+	return true
 }
 
 // SolveVec solves A·x = b, returning x as a new vector.
 func (c *Cholesky) SolveVec(b []float64) []float64 {
-	y := c.ForwardSolve(b)
-	return c.BackwardSolve(y)
+	x := make([]float64, c.N)
+	c.SolveVecInto(b, x)
+	return x
+}
+
+// SolveVecInto solves A·x = b into x (len N). x may alias b.
+func (c *Cholesky) SolveVecInto(b, x []float64) {
+	c.ForwardSolveInto(b, x)
+	c.BackwardSolveInto(x, x)
 }
 
 // ForwardSolve solves L·y = b.
 func (c *Cholesky) ForwardSolve(b []float64) []float64 {
-	if len(b) != c.N {
-		panic(fmt.Sprintf("linalg: forward solve length %d != %d", len(b), c.N))
-	}
+	y := make([]float64, c.N)
+	c.ForwardSolveInto(b, y)
+	return y
+}
+
+// ForwardSolveInto solves L·y = b into y (len N). y may alias b: element i
+// is read before it is written and only already-final elements are consumed.
+func (c *Cholesky) ForwardSolveInto(b, y []float64) {
 	n := c.N
-	y := make([]float64, n)
+	if len(b) != n || len(y) != n {
+		panic(fmt.Sprintf("linalg: forward solve lengths %d/%d != %d", len(b), len(y), n))
+	}
 	for i := 0; i < n; i++ {
 		s := b[i]
 		row := c.L.Data[i*n : i*n+i]
@@ -101,16 +185,21 @@ func (c *Cholesky) ForwardSolve(b []float64) []float64 {
 		}
 		y[i] = s / c.L.Data[i*n+i]
 	}
-	return y
 }
 
 // BackwardSolve solves Lᵀ·x = y.
 func (c *Cholesky) BackwardSolve(y []float64) []float64 {
+	x := make([]float64, c.N)
+	c.BackwardSolveInto(y, x)
+	return x
+}
+
+// BackwardSolveInto solves Lᵀ·x = y into x (len N). x may alias y.
+func (c *Cholesky) BackwardSolveInto(y, x []float64) {
 	n := c.N
-	if len(y) != n {
-		panic(fmt.Sprintf("linalg: backward solve length %d != %d", len(y), n))
+	if len(y) != n || len(x) != n {
+		panic(fmt.Sprintf("linalg: backward solve lengths %d/%d != %d", len(y), len(x), n))
 	}
-	x := make([]float64, n)
 	for i := n - 1; i >= 0; i-- {
 		s := y[i]
 		for k := i + 1; k < n; k++ {
@@ -118,7 +207,6 @@ func (c *Cholesky) BackwardSolve(y []float64) []float64 {
 		}
 		x[i] = s / c.L.Data[i*n+i]
 	}
-	return x
 }
 
 // SolveMat solves A·X = B column by column, returning X.
@@ -132,9 +220,9 @@ func (c *Cholesky) SolveMat(b *Matrix) *Matrix {
 		for i := 0; i < b.Rows; i++ {
 			col[i] = b.At(i, j)
 		}
-		x := c.SolveVec(col)
+		c.SolveVecInto(col, col)
 		for i := 0; i < b.Rows; i++ {
-			out.Set(i, j, x[i])
+			out.Set(i, j, col[i])
 		}
 	}
 	return out
@@ -142,7 +230,31 @@ func (c *Cholesky) SolveMat(b *Matrix) *Matrix {
 
 // Inverse returns A⁻¹ as a new matrix.
 func (c *Cholesky) Inverse() *Matrix {
-	return c.SolveMat(Identity(c.N))
+	out := NewMatrix(c.N, c.N)
+	c.InverseInto(out, make([]float64, c.N))
+	return out
+}
+
+// InverseInto writes A⁻¹ into dst (N×N) using scratch (len N), allocating
+// nothing. The GP gradient loop calls this once per NLML evaluation.
+func (c *Cholesky) InverseInto(dst *Matrix, scratch []float64) {
+	n := c.N
+	if dst.Rows != n || dst.Cols != n {
+		panic(fmt.Sprintf("linalg: inverse into %d×%d, want %d×%d", dst.Rows, dst.Cols, n, n))
+	}
+	if len(scratch) != n {
+		panic(fmt.Sprintf("linalg: inverse scratch length %d != %d", len(scratch), n))
+	}
+	for j := 0; j < n; j++ {
+		for i := range scratch {
+			scratch[i] = 0
+		}
+		scratch[j] = 1
+		c.SolveVecInto(scratch, scratch)
+		for i := 0; i < n; i++ {
+			dst.Data[i*n+j] = scratch[i]
+		}
+	}
 }
 
 // LogDet returns log|A| = 2·Σ log L_ii.

@@ -171,3 +171,129 @@ func TestSolveMatColumns(t *testing.T) {
 		}
 	}
 }
+
+// unblockedCholesky is the reference column-by-column algorithm the blocked
+// factorization must reproduce bit-identically.
+func unblockedCholesky(a *Matrix) (*Matrix, bool) {
+	n := a.Rows
+	L := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		lj := L.Data[j*n : j*n+j]
+		for _, v := range lj {
+			d -= v * v
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, false
+		}
+		ljj := math.Sqrt(d)
+		L.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			li := L.Data[i*n : i*n+j]
+			for k, v := range lj {
+				s -= li[k] * v
+			}
+			L.Set(i, j, s/ljj)
+		}
+	}
+	return L, true
+}
+
+func TestBlockedCholeskyBitIdenticalToUnblocked(t *testing.T) {
+	for _, n := range []int{1, 7, cholBlock - 1, cholBlock, cholBlock + 1, 3*cholBlock + 5} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		a := randomSPD(rng, n)
+		c, err := NewCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		ref, ok := unblockedCholesky(a)
+		if !ok {
+			t.Fatalf("n=%d: reference factorization failed", n)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				if got, want := c.L.At(i, j), ref.At(i, j); got != want {
+					t.Fatalf("n=%d: L[%d,%d] = %v, reference %v", n, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a1 := randomSPD(rng, 20)
+	a2 := randomSPD(rng, 20)
+	fresh1, err := NewCholesky(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh2, err := NewCholesky(a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reuse fresh1's buffers for a2: result must match a fresh factorization
+	// and must reuse the same backing storage.
+	reused, err := NewCholeskyReuse(a2, fresh1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &reused.L.Data[0] != &fresh1.L.Data[0] {
+		t.Fatal("NewCholeskyReuse did not reuse the existing factor storage")
+	}
+	for i := range fresh2.L.Data {
+		if reused.L.Data[i] != fresh2.L.Data[i] {
+			t.Fatal("reused factorization differs from fresh factorization")
+		}
+	}
+	// Dimension mismatch must fall back to fresh allocation.
+	small := randomSPD(rng, 4)
+	c2, err := NewCholeskyReuse(small, fresh1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.N != 4 {
+		t.Fatalf("reuse with mismatched size returned N=%d", c2.N)
+	}
+}
+
+func TestSolveIntoVariantsMatchAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 10
+	a := randomSPD(rng, n)
+	c, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	want := c.SolveVec(b)
+	got := make([]float64, n)
+	c.SolveVecInto(b, got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("SolveVecInto disagrees with SolveVec")
+		}
+	}
+	// Aliased in-place solve.
+	inPlace := append([]float64(nil), b...)
+	c.SolveVecInto(inPlace, inPlace)
+	for i := range want {
+		if inPlace[i] != want[i] {
+			t.Fatal("aliased SolveVecInto disagrees with SolveVec")
+		}
+	}
+	// InverseInto against Inverse.
+	inv := c.Inverse()
+	dst := NewMatrix(n, n)
+	c.InverseInto(dst, make([]float64, n))
+	for i := range inv.Data {
+		if dst.Data[i] != inv.Data[i] {
+			t.Fatal("InverseInto disagrees with Inverse")
+		}
+	}
+}

@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/gp"
 	"repro/internal/kernel"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -62,16 +64,46 @@ type Config struct {
 	// fallback of the BO loop re-factorizes with frozen hyperparameters when
 	// a full refit fails (see gp.Config.SkipTraining).
 	SkipTraining bool
+	// Workers bounds the goroutines for GP training restarts and batched
+	// prediction (see gp.Config.Workers): 0 = default, 1 = serial. Results
+	// are bit-identical for every setting.
+	Workers int
 }
 
 // Model is a trained two-fidelity fusion model.
 type Model struct {
 	low, high *gp.Model
 	dim       int
+	workers   int
 
 	prop    Propagation
 	zs      []float64 // common standard-normal draws (MC)
 	weights []float64 // quadrature weights (GH); nil for MC
+
+	// predPool recycles *PredictScratch so Predict allocates nothing in
+	// steady state even when acquisition loops hammer it concurrently.
+	predPool sync.Pool
+}
+
+// PredictScratch is the reusable buffer set for one fused prediction — most
+// importantly the augmented point (x, f_l(x)) that Predict previously
+// rebuilt with append on every Monte-Carlo propagation. Obtain one with
+// NewPredictScratch and pass it to PredictInto; a scratch must not be used
+// from two goroutines at once.
+type PredictScratch struct {
+	aug []float64
+}
+
+// NewPredictScratch returns a scratch sized for the model's design space.
+func (m *Model) NewPredictScratch() *PredictScratch {
+	return &PredictScratch{aug: make([]float64, m.dim+1)}
+}
+
+func (m *Model) getPredictScratch() *PredictScratch {
+	if sc, ok := m.predPool.Get().(*PredictScratch); ok {
+		return sc
+	}
+	return m.NewPredictScratch()
 }
 
 // Fit trains the fusion model on a low-fidelity dataset (Xl, yl) and a
@@ -89,6 +121,7 @@ func Fit(Xl [][]float64, yl []float64, Xh [][]float64, yh []float64, cfg Config,
 	}
 	low, err := gp.Fit(Xl, yl, gp.Config{
 		Kernel: lowK, Restarts: cfg.Restarts, MaxIter: cfg.MaxIter, FixedNoise: cfg.FixedNoise,
+		Workers: cfg.Workers,
 	}, rng)
 	if err != nil {
 		return nil, fmt.Errorf("mfgp: low-fidelity fit: %w", err)
@@ -120,12 +153,13 @@ func FitWithLow(low *gp.Model, d int, Xh [][]float64, yh []float64, cfg Config, 
 		Kernel: highK, Restarts: cfg.Restarts, MaxIter: cfg.MaxIter,
 		FixedNoise: cfg.FixedNoise, WarmStart: cfg.WarmStartHigh,
 		SkipTraining: cfg.SkipTraining && cfg.WarmStartHigh != nil,
+		Workers:      cfg.Workers,
 	}, rng)
 	if err != nil {
 		return nil, fmt.Errorf("mfgp: high-fidelity fit: %w", err)
 	}
 
-	m := &Model{low: low, high: high, dim: d, prop: cfg.Propagation}
+	m := &Model{low: low, high: high, dim: d, workers: cfg.Workers, prop: cfg.Propagation}
 	n := cfg.NumSamples
 	switch cfg.Propagation {
 	case GaussHermite:
@@ -168,12 +202,24 @@ func (m *Model) PredictLow(x []float64) (mean, variance float64) {
 // within-sample predictive variance and between-sample mean spread (law of
 // total variance).
 func (m *Model) Predict(x []float64) (mean, variance float64) {
+	sc := m.getPredictScratch()
+	mean, variance = m.PredictInto(x, sc)
+	m.predPool.Put(sc)
+	return mean, variance
+}
+
+// PredictInto is Predict with caller-owned scratch: the augmented point
+// (x, f_l(x)) is assembled in sc.aug instead of a fresh allocation per call.
+// Acquisition loops and PredictBatch route every posterior evaluation
+// through here; results are identical to Predict.
+func (m *Model) PredictInto(x []float64, sc *PredictScratch) (mean, variance float64) {
 	muL, vaL := m.low.PredictLatent(x)
 	sdL := math.Sqrt(math.Max(vaL, 0))
 	if m.prop == PlugIn || sdL == 0 {
-		return m.predictAt(x, muL)
+		return m.predictAt(x, muL, sc)
 	}
-	aug := append(append(make([]float64, 0, m.dim+1), x...), 0)
+	aug := sc.aug
+	copy(aug, x)
 	var sumW, meanAcc, m2Acc float64
 	n := len(m.zs)
 	for i := 0; i < n; i++ {
@@ -196,17 +242,21 @@ func (m *Model) Predict(x []float64) (mean, variance float64) {
 }
 
 // predictAt evaluates the high-fidelity GP at the plug-in augmented point.
-func (m *Model) predictAt(x []float64, fl float64) (float64, float64) {
-	aug := append(append(make([]float64, 0, m.dim+1), x...), fl)
-	return m.high.PredictLatent(aug)
+func (m *Model) predictAt(x []float64, fl float64, sc *PredictScratch) (float64, float64) {
+	copy(sc.aug, x)
+	sc.aug[m.dim] = fl
+	return m.high.PredictLatent(sc.aug)
 }
 
-// PredictBatch evaluates Predict over many points.
+// PredictBatch evaluates Predict over many points, fanning the grid across
+// the model's configured worker count. Every point is an independent pure
+// function of the trained model, so the output is bit-identical to the
+// serial loop for any worker count.
 func (m *Model) PredictBatch(xs [][]float64) (means, variances []float64) {
 	means = make([]float64, len(xs))
 	variances = make([]float64, len(xs))
-	for i, x := range xs {
-		means[i], variances[i] = m.Predict(x)
-	}
+	parallel.ForEach(parallel.Workers(m.workers), len(xs), func(i int) {
+		means[i], variances[i] = m.Predict(xs[i])
+	})
 	return means, variances
 }

@@ -31,6 +31,9 @@ type MultiLevelConfig struct {
 	FixedNoise        *float64
 	// NumSamples is the Monte-Carlo cloud size per fused level (default 30).
 	NumSamples int
+	// Workers forwards to gp.Config.Workers at every level (0 = default,
+	// 1 = serial); results are bit-identical for every setting.
+	Workers int
 }
 
 // FitMultiLevel trains the recursive model on per-level datasets ordered
@@ -58,7 +61,8 @@ func FitMultiLevel(X [][][]float64, y [][]float64, cfg MultiLevelConfig, rng *ra
 	m := &MultiLevel{dim: d}
 	// Level 0: plain GP.
 	base, err := gp.Fit(X[0], y[0], gp.Config{
-		Kernel: kernel.NewSEARD(d), Restarts: cfg.Restarts, MaxIter: cfg.MaxIter, FixedNoise: cfg.FixedNoise,
+		Kernel: kernel.NewSEARD(d), Restarts: cfg.Restarts, MaxIter: cfg.MaxIter,
+		FixedNoise: cfg.FixedNoise, Workers: cfg.Workers,
 	}, rng)
 	if err != nil {
 		return nil, fmt.Errorf("mfgp: level 0 fit: %w", err)
@@ -80,7 +84,8 @@ func FitMultiLevel(X [][][]float64, y [][]float64, cfg MultiLevelConfig, rng *ra
 			Xaug[i] = append(append(make([]float64, 0, d+1), x...), mu)
 		}
 		model, err := gp.Fit(Xaug, y[l], gp.Config{
-			Kernel: kernel.NewNARGP(d), Restarts: cfg.Restarts, MaxIter: cfg.MaxIter, FixedNoise: cfg.FixedNoise,
+			Kernel: kernel.NewNARGP(d), Restarts: cfg.Restarts, MaxIter: cfg.MaxIter,
+			FixedNoise: cfg.FixedNoise, Workers: cfg.Workers,
 		}, rng)
 		if err != nil {
 			return nil, fmt.Errorf("mfgp: level %d fit: %w", l, err)

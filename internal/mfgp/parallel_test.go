@@ -1,0 +1,132 @@
+package mfgp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/stats"
+)
+
+// fusionSet builds a deterministic two-fidelity dataset on [0,1]^d.
+func fusionSet(seed int64, nl, nh, d int) (Xl [][]float64, yl []float64, Xh [][]float64, yh []float64, lo, hi []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	lo = make([]float64, d)
+	hi = make([]float64, d)
+	for j := range hi {
+		hi[j] = 1
+	}
+	f := func(x []float64, scale, shift float64) float64 {
+		s := 0.0
+		for j, v := range x {
+			s += math.Sin(3*v + float64(j))
+		}
+		return scale*s + shift
+	}
+	Xl = stats.LatinHypercube(rng, lo, hi, nl)
+	yl = make([]float64, nl)
+	for i, x := range Xl {
+		yl[i] = f(x, 1, 0)
+	}
+	Xh = stats.LatinHypercube(rng, lo, hi, nh)
+	yh = make([]float64, nh)
+	for i, x := range Xh {
+		yh[i] = f(x, 1.15, 0.05)
+	}
+	return Xl, yl, Xh, yh, lo, hi
+}
+
+// TestFusedPredictBatchParallelDeterminism is the prediction-side tentpole
+// guarantee for the fused model: training and batch prediction must be
+// bit-identical for every worker count, across propagation schemes.
+func TestFusedPredictBatchParallelDeterminism(t *testing.T) {
+	cases := []struct {
+		name string
+		prop Propagation
+	}{
+		{"plugin", PlugIn},
+		{"gauss-hermite", GaussHermite},
+		{"monte-carlo", MonteCarlo},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			Xl, yl, Xh, yh, lo, hi := fusionSet(21, 40, 12, 3)
+			grid := stats.LatinHypercube(rand.New(rand.NewSource(22)), lo, hi, 48)
+			fit := func(workers int) *Model {
+				m, err := Fit(Xl, yl, Xh, yh, Config{
+					MaxIter: 30, Propagation: tc.prop, NumSamples: 10, Workers: workers,
+				}, rand.New(rand.NewSource(23)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return m
+			}
+			m1 := fit(1)
+			m8 := fit(8)
+			mu1, v1 := m1.PredictBatch(grid)
+			mu8, v8 := m8.PredictBatch(grid)
+			for i := range grid {
+				if math.Float64bits(mu1[i]) != math.Float64bits(mu8[i]) ||
+					math.Float64bits(v1[i]) != math.Float64bits(v8[i]) {
+					t.Fatalf("point %d: (%v,%v) vs (%v,%v)", i, mu1[i], v1[i], mu8[i], v8[i])
+				}
+				sm, sv := m8.Predict(grid[i])
+				if math.Float64bits(sm) != math.Float64bits(mu8[i]) ||
+					math.Float64bits(sv) != math.Float64bits(v8[i]) {
+					t.Fatalf("single/batch mismatch at %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestPredictAllocationLean asserts the satellite fix for the augmented-point
+// allocation: after warmup, a fused prediction must run with (near) zero
+// allocations per call thanks to the pooled scratch.
+func TestPredictAllocationLean(t *testing.T) {
+	if parallel.RaceEnabled {
+		t.Skip("race runtime defeats sync.Pool reuse; alloc counts only hold without -race")
+	}
+	Xl, yl, Xh, yh, lo, hi := fusionSet(31, 30, 10, 3)
+	for _, tc := range []struct {
+		name string
+		prop Propagation
+	}{{"plugin", PlugIn}, {"gauss-hermite", GaussHermite}} {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := Fit(Xl, yl, Xh, yh, Config{
+				MaxIter: 30, Propagation: tc.prop, NumSamples: 10,
+			}, rand.New(rand.NewSource(32)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := stats.LatinHypercube(rand.New(rand.NewSource(33)), lo, hi, 1)[0]
+			m.Predict(x) // warm the scratch pools
+			allocs := testing.AllocsPerRun(200, func() { m.Predict(x) })
+			if allocs > 2 {
+				t.Fatalf("Predict allocates %.1f objects per call; want ≤ 2", allocs)
+			}
+		})
+	}
+}
+
+// TestPredictIntoMatchesPredict pins the caller-owned-scratch entry point
+// against the pooled path.
+func TestPredictIntoMatchesPredict(t *testing.T) {
+	Xl, yl, Xh, yh, lo, hi := fusionSet(41, 30, 10, 2)
+	m, err := Fit(Xl, yl, Xh, yh, Config{
+		MaxIter: 30, Propagation: GaussHermite, NumSamples: 8,
+	}, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := m.NewPredictScratch()
+	for _, x := range stats.LatinHypercube(rand.New(rand.NewSource(43)), lo, hi, 20) {
+		pm, pv := m.Predict(x)
+		im, iv := m.PredictInto(x, sc)
+		if math.Float64bits(pm) != math.Float64bits(im) ||
+			math.Float64bits(pv) != math.Float64bits(iv) {
+			t.Fatalf("PredictInto mismatch at %v: (%v,%v) vs (%v,%v)", x, pm, pv, im, iv)
+		}
+	}
+}

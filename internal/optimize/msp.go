@@ -1,8 +1,10 @@
 package optimize
 
 import (
+	"math"
 	"math/rand"
 
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -23,6 +25,12 @@ type MSPConfig struct {
 	// loop passes the low-fidelity acquisition optimum here (Algorithm 1,
 	// line 6: the high-fidelity acquisition is optimized "based on x*_l").
 	Extra [][]float64
+	// Workers bounds the goroutines running local searches (0 = default,
+	// 1 = serial). f must be safe for concurrent calls when Workers != 1;
+	// every surrogate posterior in this library is. The selected optimum is
+	// bit-identical for every worker count: start points are drawn serially
+	// before the fan-out and the argmax reduction runs in start order.
+	Workers int
 }
 
 func (c *MSPConfig) defaults() {
@@ -47,14 +55,26 @@ func (c *MSPConfig) defaults() {
 // strategy. incumbentHigh and incumbentLow may be nil when no incumbent is
 // known yet (their start-point shares then fall back to uniform sampling).
 // It returns the best point found and its objective value.
+//
+// Local searches from all starts run concurrently (see MSPConfig.Workers);
+// each start's refinement is a pure function of its starting point, and the
+// argmax reduction walks results in start order with a strict comparison, so
+// ties break toward the lowest start index and the outcome is independent of
+// the worker count. Non-finite local-search results (a diverged L-BFGS run)
+// are discarded so they can never win the argmax; if every start diverges,
+// the raw objective at the first start is returned as a safe fallback.
 func MaximizeMSP(rng *rand.Rand, f func([]float64) float64, box Box,
 	incumbentHigh, incumbentLow []float64, cfg MSPConfig) ([]float64, float64) {
 	cfg.defaults()
 	starts := mspStarts(rng, box, incumbentHigh, incumbentLow, cfg)
 	neg := func(x []float64) float64 { return -f(x) }
-	bestX := starts[0]
-	bestF := f(bestX)
-	for _, s := range starts {
+	type local struct {
+		x []float64
+		f float64 // maximized objective value
+	}
+	results := make([]local, len(starts))
+	parallel.ForEach(parallel.Workers(cfg.Workers), len(starts), func(i int) {
+		s := starts[i]
 		var r Result
 		if cfg.UseNM {
 			r = NelderMead(func(x []float64) float64 {
@@ -68,10 +88,26 @@ func MaximizeMSP(rng *rand.Rand, f func([]float64) float64, box Box,
 		} else {
 			r = MinimizeInBox(neg, box, s, LBFGSConfig{MaxIter: cfg.LocalIter})
 		}
-		if v := -r.F; v > bestF {
-			bestF = v
-			bestX = r.X
+		results[i] = local{x: r.X, f: -r.F}
+	})
+	var bestX []float64
+	bestF := math.Inf(-1)
+	for _, r := range results {
+		if math.IsNaN(r.f) || math.IsInf(r.f, 0) {
+			continue
 		}
+		if bestX == nil || r.f > bestF {
+			bestF = r.f
+			bestX = r.x
+		}
+	}
+	if bestX == nil {
+		// Every local search diverged: fall back to the first start itself.
+		// This is also the only raw (pre-refinement) objective evaluation —
+		// the common path no longer pays the duplicated f(starts[0]) call
+		// that the local search from starts[0] subsumes.
+		bestX = box.Clip(starts[0])
+		bestF = f(bestX)
 	}
 	return bestX, bestF
 }

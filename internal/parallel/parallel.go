@@ -1,0 +1,138 @@
+// Package parallel provides the deterministic worker-pool primitives used by
+// every hot path of the library (GP training restarts, acquisition
+// maximization, batched posterior prediction).
+//
+// # Determinism contract
+//
+// Every helper here guarantees that results are bit-identical regardless of
+// the worker count (including the serial Workers=1 path) as long as each task
+// i writes only to its own output slot and reads only immutable shared state.
+// Work distribution uses an atomic counter, so *which* goroutine runs a task
+// is scheduling-dependent — but per-worker scratch must carry no cross-task
+// state that can influence a task's output, and reductions are performed by
+// the caller in task-index order.
+//
+// Randomness inside tasks must come from per-task streams derived with
+// SeedFor (a SplitMix64 hash of a base seed and the task index), never from a
+// shared *rand.Rand: that keeps random draws a pure function of (base seed,
+// task index), independent of both GOMAXPROCS and scheduling order.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvWorkers is the environment variable that overrides DefaultWorkers —
+// CI sets it to force Workers>1 on every code path regardless of the
+// runner's core count.
+const EnvWorkers = "MFBO_WORKERS"
+
+// DefaultWorkers returns the default worker count: the EnvWorkers override
+// when set to a positive integer, otherwise runtime.NumCPU().
+func DefaultWorkers() int {
+	if s := os.Getenv(EnvWorkers); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.NumCPU()
+}
+
+// Workers normalizes a requested worker count: n > 0 is honored as given,
+// anything else selects DefaultWorkers(). Configs throughout the library use
+// 0 for "default" and 1 for "serial".
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return DefaultWorkers()
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to workers goroutines.
+// With workers <= 1 (or n <= 1) the tasks run inline on the caller's
+// goroutine in index order — the reference serial schedule that parallel
+// runs must reproduce bit-identically. A panic in any task is re-raised on
+// the caller's goroutine after all workers have drained.
+func ForEach(workers, n int, fn func(i int)) {
+	ForEachWorker(workers, n, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach with the worker slot exposed: fn(w, i) runs task i
+// on worker w ∈ [0, workers). The slot lets callers hand each worker its own
+// pre-allocated scratch state (cloned kernels, factorization buffers) without
+// locking. Slot 0 is the caller's goroutine on the serial path.
+func ForEachWorker(workers, n int, fn func(w, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var (
+		next int64 = 0
+		wg   sync.WaitGroup
+		pmu  sync.Mutex
+		pval any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					pmu.Lock()
+					if pval == nil {
+						pval = r
+					}
+					pmu.Unlock()
+					// Drain remaining tasks so sibling workers exit promptly.
+					atomic.StoreInt64(&next, int64(n))
+				}
+			}()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if pval != nil {
+		panic(pval)
+	}
+}
+
+// splitMix64Gamma is the Weyl-sequence increment of Steele, Lea & Flood's
+// SplitMix64 generator.
+const splitMix64Gamma = 0x9E3779B97F4A7C15
+
+// SplitMix64 is one step of the SplitMix64 mix function: a high-quality
+// 64-bit finalizer used to derive statistically independent seed streams
+// from (base, stream-index) pairs.
+func SplitMix64(x uint64) uint64 {
+	x += splitMix64Gamma
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// SeedFor derives the seed of per-task stream `stream` from a base seed.
+// The mapping is a pure function — the same (base, stream) always yields the
+// same seed, so task-local RNGs are reproducible for any worker count.
+func SeedFor(base int64, stream uint64) int64 {
+	z := SplitMix64(uint64(base) ^ splitMix64Gamma*(stream+1))
+	// Keep seeds positive for APIs that treat negative seeds specially.
+	return int64(z &^ (1 << 63))
+}

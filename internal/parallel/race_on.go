@@ -1,0 +1,8 @@
+//go:build race
+
+package parallel
+
+// RaceEnabled reports whether the binary was built with the race detector.
+// Allocation-count tests consult it: the race runtime intentionally defeats
+// sync.Pool reuse, so steady-state alloc assertions only hold without -race.
+const RaceEnabled = true
