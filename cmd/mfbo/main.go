@@ -30,13 +30,11 @@ import (
 	"time"
 
 	"repro/internal/baselines"
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/optimize"
-	"repro/internal/problem"
 	"repro/internal/robust"
-	"repro/internal/testbench"
-	"repro/internal/testfunc"
 )
 
 func main() {
@@ -58,7 +56,10 @@ func main() {
 	procs := flag.Int("procs", 0, "worker goroutines for surrogate training and acquisition maximization (0 = all CPUs, 1 = serial; the result is bit-identical for every setting)")
 	flag.Parse()
 
-	p := lookupProblem(*probName)
+	p, err := catalog.Lookup(*probName)
+	if err != nil {
+		log.Fatalf("mfbo: %v", err)
+	}
 	if *chaosRate > 0 {
 		p = robust.NewChaos(p, robust.ChaosConfig{
 			Low:  robust.FidelityChaos{FailRate: *chaosRate, PanicRate: *chaosRate / 4},
@@ -87,7 +88,6 @@ func main() {
 	}
 
 	var res *core.Result
-	var err error
 	msp := optimize.MSPConfig{Starts: 10, LocalIter: 30}
 	switch *algo {
 	case "mfbo":
@@ -158,36 +158,6 @@ func main() {
 	}
 	for _, d := range res.Degradations {
 		fmt.Printf("degraded:  iter %d output %d → %s (%s)\n", d.Iter, d.Output, d.Stage, d.Reason)
-	}
-}
-
-func lookupProblem(name string) problem.Problem {
-	switch name {
-	case "poweramp":
-		return testbench.NewPowerAmp()
-	case "chargepump":
-		return testbench.NewChargePump()
-	case "opamp":
-		return testbench.NewOpAmp()
-	case "pedagogical":
-		return testfunc.Pedagogical()
-	case "forrester":
-		return testfunc.Forrester()
-	case "branin":
-		return testfunc.BraninMF()
-	case "currin":
-		return testfunc.CurrinMF()
-	case "park":
-		return testfunc.ParkMF()
-	case "borehole":
-		return testfunc.BoreholeMF()
-	case "hartmann3":
-		return testfunc.Hartmann3()
-	case "constrained":
-		return testfunc.ConstrainedSynthetic()
-	default:
-		log.Fatalf("mfbo: unknown problem %q", name)
-		return nil
 	}
 }
 

@@ -1,0 +1,89 @@
+// Command mfbod is the optimization service daemon: it serves the JSON/HTTP
+// API of internal/server, turning the MFBO engine into
+// optimization-as-a-service for external evaluators (SPICE farms, job
+// schedulers, remote clients via internal/client).
+//
+//	mfbod -addr :8932 -checkpoint-dir /var/lib/mfbo
+//
+// Every session is persisted to -checkpoint-dir after each iteration; a
+// daemon restarted over the same directory restores its sessions lazily on
+// first touch, so crashed deployments resume exactly where their checkpoints
+// left off. SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests
+// (surrogate fits included) drain, then every live session is persisted.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+	log.SetPrefix("mfbod: ")
+
+	addr := flag.String("addr", ":8932", "listen address")
+	ckptDir := flag.String("checkpoint-dir", "", "persist sessions under this directory (empty = volatile)")
+	idle := flag.Duration("idle-timeout", 30*time.Minute, "persist+evict sessions idle for this long (0 = never)")
+	maxFits := flag.Int("max-fits", 0, "max concurrently fitting sessions (0 = number of CPUs)")
+	maxSessions := flag.Int("max-sessions", 0, "max live sessions (0 = unbounded)")
+	drain := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+	verbose := flag.Bool("v", false, "log every session event")
+	flag.Parse()
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = log.Printf
+	}
+
+	srv, err := server.New(server.Config{
+		CheckpointDir:     *ckptDir,
+		IdleTimeout:       *idle,
+		MaxConcurrentFits: *maxFits,
+		MaxSessions:       *maxSessions,
+		Logf:              logf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hs := &http.Server{
+		Addr:         *addr,
+		Handler:      srv,
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 10 * time.Minute, // suggests may wait on a fit slot
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("listening on %s (checkpoint dir %q)", *addr, *ckptDir)
+
+	select {
+	case <-ctx.Done():
+		log.Print("shutting down…")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
+	log.Print("bye")
+}

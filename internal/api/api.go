@@ -1,0 +1,168 @@
+// Package api defines the JSON wire types and error codes of the
+// optimization service. internal/server implements the endpoints,
+// internal/client consumes them; sharing the DTOs here keeps the two ends of
+// the wire in lockstep and gives external tooling a single import for the
+// protocol.
+//
+// All floating-point payloads round-trip exactly through encoding/json
+// (Go emits the shortest representation that parses back to the same
+// float64), which is what lets a remote session reproduce an in-process
+// trajectory bit-for-bit. Non-finite values are unrepresentable in JSON by
+// design: evaluators must sanitize failures into Failed observations (see
+// problem.PenaltyEvaluation) before posting.
+package api
+
+// Error codes carried by ErrorReply.Code. The client maps them back onto the
+// typed sentinel errors of internal/core so errors.Is works across the wire.
+const (
+	CodeBadRequest      = "bad_request"
+	CodeNotFound        = "not_found"
+	CodeConflict        = "conflict"
+	CodeBudgetExhausted = "budget_exhausted"
+	CodeInterrupted     = "interrupted"
+	CodeNoPendingAsk    = "no_pending_ask"
+	CodeTellMismatch    = "tell_mismatch"
+	CodeResumeMismatch  = "resume_mismatch"
+	CodeNoFeasible      = "no_feasible"
+	CodeInternal        = "internal"
+	CodeShuttingDown    = "shutting_down"
+)
+
+// ErrorReply is the body of every non-2xx response.
+type ErrorReply struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+// CreateSessionRequest opens (or, with Resume, reattaches to) a session.
+// Zero-valued tuning fields select the optimizer defaults of core.Config.
+type CreateSessionRequest struct {
+	// ID optionally pins the session identifier — required for clients that
+	// want to survive server restarts deterministically. Empty = generated.
+	ID string `json:"id,omitempty"`
+	// Problem is the catalog name of the problem (see GET /v1/problems).
+	Problem string `json:"problem"`
+	// Seed makes the whole trajectory deterministic.
+	Seed int64 `json:"seed"`
+	// Budget is the total simulation budget in equivalent high-fidelity
+	// simulations (required, > 0).
+	Budget float64 `json:"budget"`
+
+	InitLow       int     `json:"init_low,omitempty"`
+	InitHigh      int     `json:"init_high,omitempty"`
+	Gamma         float64 `json:"gamma,omitempty"`
+	MSPStarts     int     `json:"msp_starts,omitempty"`
+	MSPLocalIter  int     `json:"msp_local_iter,omitempty"`
+	GPRestarts    int     `json:"gp_restarts,omitempty"`
+	GPMaxIter     int     `json:"gp_max_iter,omitempty"`
+	RefitEvery    int     `json:"refit_every,omitempty"`
+	MaxLowData    int     `json:"max_low_data,omitempty"`
+	MaxIterations int     `json:"max_iterations,omitempty"`
+	Workers       int     `json:"workers,omitempty"`
+
+	// Resume reattaches to an existing session with this ID: if it is live
+	// (or persisted on disk) the server restores it instead of failing with
+	// a conflict. The tuning fields must match the original creation.
+	Resume bool `json:"resume,omitempty"`
+}
+
+// SessionInfo describes a created or restored session.
+type SessionInfo struct {
+	ID             string    `json:"id"`
+	Problem        string    `json:"problem"`
+	Dim            int       `json:"dim"`
+	NumConstraints int       `json:"num_constraints"`
+	BoundsLo       []float64 `json:"bounds_lo"`
+	BoundsHi       []float64 `json:"bounds_hi"`
+	CostLow        float64   `json:"cost_low"`
+	CostHigh       float64   `json:"cost_high"`
+	Budget         float64   `json:"budget"`
+	Seed           int64     `json:"seed"`
+	Resumed        bool      `json:"resumed,omitempty"`
+}
+
+// Suggestion is the reply of GET /v1/sessions/{id}/suggest. When the session
+// is terminal, Done is set and Reason explains why; otherwise X/Fidelity/Iter
+// carry the next query. Suggest is idempotent until the matching observation
+// arrives.
+type Suggestion struct {
+	Done     bool      `json:"done,omitempty"`
+	Reason   string    `json:"reason,omitempty"`
+	X        []float64 `json:"x,omitempty"`
+	Fidelity int       `json:"fidelity"`
+	Iter     int       `json:"iter"`
+}
+
+// Observation is the body of POST /v1/sessions/{id}/observations: the
+// outcome of evaluating the suggested point. X and Fidelity must echo the
+// suggestion exactly.
+type Observation struct {
+	X           []float64 `json:"x"`
+	Fidelity    int       `json:"fidelity"`
+	Objective   float64   `json:"objective"`
+	Constraints []float64 `json:"constraints,omitempty"`
+	// Failed marks a simulation that produced no usable result; it is
+	// charged against the budget but excluded from surrogate training.
+	Failed bool `json:"failed,omitempty"`
+}
+
+// ObserveReply acknowledges an ingested observation.
+type ObserveReply struct {
+	Cost   float64 `json:"cost"`
+	Budget float64 `json:"budget"`
+	Done   bool    `json:"done,omitempty"`
+}
+
+// StatusReply summarizes a session.
+type StatusReply struct {
+	ID           string    `json:"id"`
+	Problem      string    `json:"problem"`
+	Phase        string    `json:"phase"`
+	Iter         int       `json:"iter"`
+	Cost         float64   `json:"cost"`
+	Budget       float64   `json:"budget"`
+	NumLow       int       `json:"num_low"`
+	NumHigh      int       `json:"num_high"`
+	NumFailed    int       `json:"num_failed"`
+	Observations int       `json:"observations"`
+	HasBest      bool      `json:"has_best"`
+	BestX        []float64 `json:"best_x,omitempty"`
+	BestObj      float64   `json:"best_objective,omitempty"`
+	BestCons     []float64 `json:"best_constraints,omitempty"`
+	Feasible     bool      `json:"feasible"`
+	Degradations int       `json:"degradations"`
+	Interrupted  bool      `json:"interrupted"`
+}
+
+// HistoryObservation is one entry of the history reply.
+type HistoryObservation struct {
+	Iter        int       `json:"iter"`
+	X           []float64 `json:"x"`
+	Fidelity    int       `json:"fidelity"`
+	Objective   float64   `json:"objective"`
+	Constraints []float64 `json:"constraints,omitempty"`
+	Failed      bool      `json:"failed,omitempty"`
+	CumCost     float64   `json:"cum_cost"`
+}
+
+// HistoryReply is the reply of GET /v1/sessions/{id}/history.
+type HistoryReply struct {
+	ID           string               `json:"id"`
+	Observations []HistoryObservation `json:"observations"`
+}
+
+// ProblemsReply lists the server's problem catalog.
+type ProblemsReply struct {
+	Problems []string `json:"problems"`
+}
+
+// SessionsReply lists live session IDs.
+type SessionsReply struct {
+	Sessions []string `json:"sessions"`
+}
+
+// HealthReply is the reply of GET /v1/healthz.
+type HealthReply struct {
+	OK       bool `json:"ok"`
+	Sessions int  `json:"sessions"`
+}

@@ -1,0 +1,52 @@
+// Package catalog is the shared registry of built-in problems: the
+// single place where a problem name ("poweramp", "forrester", …) maps to a
+// constructor. The CLI (cmd/mfbo), the optimization service (internal/server,
+// cmd/mfbod) and remote clients all resolve names through it, so a session
+// created over HTTP refers to exactly the same problem instance semantics as
+// an in-process run.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/problem"
+	"repro/internal/testbench"
+	"repro/internal/testfunc"
+)
+
+// builtins maps names to fresh-instance constructors. Constructors (not
+// shared instances) matter: some problems carry mutable caches, and two
+// concurrent sessions must never share one.
+var builtins = map[string]func() problem.Problem{
+	"poweramp":    func() problem.Problem { return testbench.NewPowerAmp() },
+	"chargepump":  func() problem.Problem { return testbench.NewChargePump() },
+	"opamp":       func() problem.Problem { return testbench.NewOpAmp() },
+	"pedagogical": func() problem.Problem { return testfunc.Pedagogical() },
+	"forrester":   func() problem.Problem { return testfunc.Forrester() },
+	"branin":      func() problem.Problem { return testfunc.BraninMF() },
+	"currin":      func() problem.Problem { return testfunc.CurrinMF() },
+	"park":        func() problem.Problem { return testfunc.ParkMF() },
+	"borehole":    func() problem.Problem { return testfunc.BoreholeMF() },
+	"hartmann3":   func() problem.Problem { return testfunc.Hartmann3() },
+	"constrained": func() problem.Problem { return testfunc.ConstrainedSynthetic() },
+}
+
+// Lookup instantiates the named problem. The error lists the valid names.
+func Lookup(name string) (problem.Problem, error) {
+	mk, ok := builtins[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown problem %q (have %v)", name, Names())
+	}
+	return mk(), nil
+}
+
+// Names returns the sorted registry keys.
+func Names() []string {
+	names := make([]string, 0, len(builtins))
+	for n := range builtins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

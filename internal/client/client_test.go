@@ -1,0 +1,139 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/core"
+)
+
+func fastClient(url string, retries int) *Client {
+	return New(url, WithRetries(retries), WithBackoff(time.Microsecond, time.Millisecond))
+}
+
+// TestClientRetriesTransientFailures: 503s (a restarting server) are retried
+// until the server comes back, transparently to the caller.
+func TestClientRetriesTransientFailures(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"ok":true,"sessions":0}`))
+	}))
+	defer ts.Close()
+
+	h, err := fastClient(ts.URL, 4).Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK {
+		t.Fatalf("unexpected reply: %+v", h)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("expected 3 attempts, got %d", got)
+	}
+}
+
+// TestClientRetriesConnectionRefused: a dead listener is a transport error,
+// retried like a 503 — the client survives a server restart window.
+func TestClientRetriesConnectionRefused(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"ok":true}`))
+	}))
+	url := ts.URL
+	ts.Close() // kill it: every attempt is refused
+
+	_, err := fastClient(url, 2).Health(context.Background())
+	if err == nil {
+		t.Fatal("refused connection must eventually error")
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		t.Fatalf("transport error misreported as API error: %v", err)
+	}
+}
+
+// TestClientDoesNotRetryPermanentErrors: a 4xx is the server's final word.
+func TestClientDoesNotRetryPermanentErrors(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusConflict)
+		_, _ = w.Write([]byte(`{"error":"no ask","code":"no_pending_ask"}`))
+	}))
+	defer ts.Close()
+
+	_, err := fastClient(ts.URL, 5).Health(context.Background())
+	if err == nil {
+		t.Fatal("conflict must surface as an error")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("permanent error retried: %d attempts", got)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusConflict || apiErr.Code != api.CodeNoPendingAsk {
+		t.Fatalf("wrong error: %v", err)
+	}
+	if !errors.Is(err, core.ErrNoPendingAsk) {
+		t.Fatal("wire code did not unwrap to core.ErrNoPendingAsk")
+	}
+}
+
+// TestAPIErrorUnwrapMapping: every wire code maps onto its core sentinel.
+func TestAPIErrorUnwrapMapping(t *testing.T) {
+	cases := []struct {
+		code string
+		want error
+	}{
+		{api.CodeBudgetExhausted, core.ErrBudgetExhausted},
+		{api.CodeInterrupted, core.ErrInterrupted},
+		{api.CodeNoPendingAsk, core.ErrNoPendingAsk},
+		{api.CodeTellMismatch, core.ErrTellMismatch},
+		{api.CodeResumeMismatch, core.ErrResumeMismatch},
+		{api.CodeNoFeasible, core.ErrNoFeasible},
+	}
+	for _, tc := range cases {
+		err := &APIError{Status: 409, Code: tc.code, Message: "x"}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("code %s did not unwrap to %v", tc.code, tc.want)
+		}
+	}
+	if errors.Is(&APIError{Status: 400, Code: api.CodeBadRequest}, core.ErrBudgetExhausted) {
+		t.Error("unrelated code matched a sentinel")
+	}
+}
+
+// TestClientRetryRespectsContext: cancellation during backoff aborts the
+// retry loop promptly.
+func TestClientRetryRespectsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	cl := New(ts.URL, WithRetries(1000), WithBackoff(50*time.Millisecond, time.Second))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := cl.Health(ctx)
+	if err == nil {
+		t.Fatal("cancelled retry loop must error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded in chain, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retry loop ignored cancellation for %v", elapsed)
+	}
+}

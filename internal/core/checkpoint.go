@@ -118,8 +118,12 @@ func UnmarshalCheckpoint(data []byte) (*Checkpoint, error) {
 	return ck, nil
 }
 
-// SaveCheckpoint writes the checkpoint atomically (temp file + rename) so a
-// crash mid-write never corrupts the previous snapshot.
+// SaveCheckpoint writes the checkpoint atomically and durably: the data is
+// written to a temp file, fsynced, renamed over the destination, and the
+// parent directory is fsynced as well — so the snapshot survives not only a
+// process crash mid-write but also a power loss right after the rename (an
+// unsynced directory entry can otherwise vanish on crash-recovering
+// filesystems).
 func SaveCheckpoint(path string, ck *Checkpoint) error {
 	data, err := ck.Marshal()
 	if err != nil {
@@ -136,6 +140,14 @@ func SaveCheckpoint(path string, ck *Checkpoint) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("core: write checkpoint: %w", err)
 	}
+	// Flush file contents to stable storage before the rename publishes the
+	// new name: rename-before-sync can leave a zero-length file after power
+	// loss.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("core: sync checkpoint: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("core: close checkpoint: %w", err)
@@ -144,7 +156,22 @@ func SaveCheckpoint(path string, ck *Checkpoint) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("core: commit checkpoint: %w", err)
 	}
+	// Persist the rename itself: the directory entry is metadata owned by
+	// the parent directory, which has its own write-back cache.
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("core: sync checkpoint directory: %w", err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory so recently renamed entries survive power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // LoadCheckpoint reads a snapshot written by SaveCheckpoint.
@@ -163,22 +190,24 @@ func FileCheckpointer(path string) func(*Checkpoint) error {
 }
 
 // validateResume cross-checks the snapshot against the live problem/config.
+// Every failure wraps ErrResumeMismatch so callers can classify it with
+// errors.Is instead of matching message strings.
 func validateResume(p problem.Problem, cfg *Config, ck *Checkpoint) error {
 	if ck.Version != CheckpointVersion {
-		return fmt.Errorf("core: checkpoint version %d, want %d", ck.Version, CheckpointVersion)
+		return fmt.Errorf("%w: checkpoint version %d, want %d", ErrResumeMismatch, ck.Version, CheckpointVersion)
 	}
 	if ck.Problem != p.Name() {
-		return fmt.Errorf("core: checkpoint is for problem %q, not %q", ck.Problem, p.Name())
+		return fmt.Errorf("%w: checkpoint is for problem %q, not %q", ErrResumeMismatch, ck.Problem, p.Name())
 	}
 	if ck.Dim != p.Dim() || ck.NumConstraints != p.NumConstraints() {
-		return fmt.Errorf("core: checkpoint shape (d=%d, nc=%d) does not match problem (d=%d, nc=%d)",
-			ck.Dim, ck.NumConstraints, p.Dim(), p.NumConstraints())
+		return fmt.Errorf("%w: checkpoint shape (d=%d, nc=%d) does not match problem (d=%d, nc=%d)",
+			ErrResumeMismatch, ck.Dim, ck.NumConstraints, p.Dim(), p.NumConstraints())
 	}
 	if ck.Budget != cfg.Budget {
-		return fmt.Errorf("core: checkpoint budget %v != config budget %v", ck.Budget, cfg.Budget)
+		return fmt.Errorf("%w: checkpoint budget %v != config budget %v", ErrResumeMismatch, ck.Budget, cfg.Budget)
 	}
 	if ck.Gamma != cfg.Gamma {
-		return fmt.Errorf("core: checkpoint gamma %v != config gamma %v", ck.Gamma, cfg.Gamma)
+		return fmt.Errorf("%w: checkpoint gamma %v != config gamma %v", ErrResumeMismatch, ck.Gamma, cfg.Gamma)
 	}
 	return nil
 }
@@ -187,36 +216,15 @@ func validateResume(p problem.Problem, cfg *Config, ck *Checkpoint) error {
 // incumbents, spent budget and warm hyperparameters are restored exactly, and
 // the adaptive loop picks up at the snapshot's iteration until the remaining
 // budget is spent. The caller supplies the same problem and an equivalent
-// Config (scalar fields are validated against the snapshot); rng seeds the
-// continuation — the history prefix is bit-identical to the snapshot
-// regardless.
+// Config (scalar fields are validated against the snapshot — mismatches
+// return ErrResumeMismatch); rng seeds the continuation — the history prefix
+// is bit-identical to the snapshot regardless. Snapshots taken before the
+// initialization phase completed resume by finishing the initialization
+// first (see RestoreEngine).
 func Resume(ctx context.Context, p problem.Problem, cfg Config, rng *rand.Rand, ck *Checkpoint) (*Result, error) {
-	if err := cfg.defaults(); err != nil {
+	eng, err := RestoreEngine(p, cfg, rng, ck)
+	if err != nil {
 		return nil, err
 	}
-	if err := validateResume(p, &cfg, ck); err != nil {
-		return nil, err
-	}
-	st := newState(p, cfg, rng)
-	st.iter = ck.Iter
-	st.cost = ck.Cost
-	st.low = &dataset{X: cloneMatrix(ck.LowX), Y: cloneMatrix(ck.LowY)}
-	st.high = &dataset{X: cloneMatrix(ck.HighX), Y: cloneMatrix(ck.HighY)}
-	if len(ck.WarmLow) == st.nOut {
-		st.warmLow = cloneMatrix(ck.WarmLow)
-	}
-	if len(ck.WarmHigh) == st.nOut {
-		st.warmHigh = cloneMatrix(ck.WarmHigh)
-	}
-	st.res.NumLow = ck.NumLow
-	st.res.NumHigh = ck.NumHigh
-	st.res.NumFailed = ck.NumFailed
-	st.res.History = make([]Observation, len(ck.History))
-	for i, ob := range ck.History {
-		ob.X = append([]float64(nil), ob.X...)
-		ob.Eval.Constraints = append([]float64(nil), ob.Eval.Constraints...)
-		st.res.History[i] = ob
-	}
-	st.res.Degradations = append([]Degradation(nil), ck.Degradations...)
-	return st.loop(ctx)
+	return eng.drive(ctx)
 }

@@ -200,17 +200,17 @@ func TestResumeValidation(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 
 	// Wrong problem.
-	if _, err := Resume(context.Background(), testfunc.Forrester(), fastCfg(6), rng, ck); err == nil {
-		t.Fatal("resume must reject a mismatched problem")
+	if _, err := Resume(context.Background(), testfunc.Forrester(), fastCfg(6), rng, ck); !errors.Is(err, ErrResumeMismatch) {
+		t.Fatalf("resume must reject a mismatched problem with ErrResumeMismatch, got %v", err)
 	}
 	// Wrong budget.
-	if _, err := Resume(context.Background(), testfunc.ConstrainedSynthetic(), fastCfg(99), rng, ck); err == nil {
-		t.Fatal("resume must reject a mismatched budget")
+	if _, err := Resume(context.Background(), testfunc.ConstrainedSynthetic(), fastCfg(99), rng, ck); !errors.Is(err, ErrResumeMismatch) {
+		t.Fatalf("resume must reject a mismatched budget with ErrResumeMismatch, got %v", err)
 	}
 	// Wrong version.
 	bad := *ck
 	bad.Version = 999
-	if _, err := Resume(context.Background(), testfunc.ConstrainedSynthetic(), fastCfg(6), rng, &bad); err == nil {
-		t.Fatal("resume must reject an unknown version")
+	if _, err := Resume(context.Background(), testfunc.ConstrainedSynthetic(), fastCfg(6), rng, &bad); !errors.Is(err, ErrResumeMismatch) {
+		t.Fatalf("resume must reject an unknown version with ErrResumeMismatch, got %v", err)
 	}
 }

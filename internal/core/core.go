@@ -303,11 +303,12 @@ func (st *state) evaluate(ctx context.Context, x []float64, fid problem.Fidelity
 	return problem.EvaluateRich(st.p, x, fid)
 }
 
-// record runs one simulation, charges its cost, files it in History and —
-// when it succeeded — in the fidelity's training set.
-func (st *state) record(ctx context.Context, iter int, x []float64, fid problem.Fidelity) problem.Evaluation {
-	e, err := st.evaluate(ctx, x, fid)
-	failed := err != nil || e.Failed || !e.IsFinite()
+// ingest charges one completed simulation against the budget, files it in
+// History and — when it succeeded — in the fidelity's training set. It is the
+// sanitation boundary of the loop: explicitly Failed or non-finite outcomes
+// are charged and logged but never reach surrogate training.
+func (st *state) ingest(iter int, x []float64, fid problem.Fidelity, e problem.Evaluation) problem.Evaluation {
+	failed := e.Failed || !e.IsFinite()
 	if failed {
 		e.Failed = true
 		st.res.NumFailed++
@@ -350,30 +351,17 @@ func Optimize(p problem.Problem, cfg Config, rng *rand.Rand) (*Result, error) {
 
 // OptimizeCtx is the context-aware Optimize: cancelling ctx stops the run
 // gracefully after the in-flight simulation, returning the partial result
-// with Interrupted set.
+// with Interrupted set. It is a thin driver over the ask/tell Engine — the
+// loop asks for the next query, evaluates it on p, and tells the outcome
+// back; external evaluators can run the identical trajectory through
+// Engine (or the service layers in internal/session and internal/server)
+// directly.
 func OptimizeCtx(ctx context.Context, p problem.Problem, cfg Config, rng *rand.Rand) (*Result, error) {
-	if err := cfg.defaults(); err != nil {
+	eng, err := NewEngine(p, cfg, rng)
+	if err != nil {
 		return nil, err
 	}
-	st := newState(p, cfg, rng)
-
-	// Initialization designs at both fidelities.
-	for _, x := range cfg.InitSampler(rng, st.lo, st.hi, cfg.InitLow) {
-		if ctx.Err() != nil {
-			break
-		}
-		st.record(ctx, -1, x, problem.Low)
-	}
-	for _, x := range cfg.InitSampler(rng, st.lo, st.hi, cfg.InitHigh) {
-		if ctx.Err() != nil {
-			break
-		}
-		st.record(ctx, -1, x, problem.High)
-	}
-	if err := st.checkpoint(); err != nil {
-		return st.finish(ctx), err
-	}
-	return st.loop(ctx)
+	return eng.drive(ctx)
 }
 
 // fitSurrogates builds the per-output low and fused models, walking the
@@ -460,126 +448,102 @@ func (st *state) fitSurrogates(iter int, fullRefit bool) (lowGPs []*gp.Model, fu
 	return lowGPs, fused, true
 }
 
-// loop runs adaptive iterations until the budget, MaxIterations, or ctx stops
-// the run, then assembles the result.
-func (st *state) loop(ctx context.Context) (*Result, error) {
+// propose computes the next adaptive query — the body of one Algorithm 1
+// iteration up to (but excluding) the simulation itself: fit the surrogates
+// (walking the degradation ladder on failure), maximize the low- and
+// high-fidelity acquisitions with the §4.1 multiple-starting-point strategy,
+// and pick the evaluation fidelity by the §3.4 criterion.
+func (st *state) propose() ([]float64, problem.Fidelity) {
 	cfg := &st.cfg
-	for st.cost < cfg.Budget {
-		if cfg.MaxIterations > 0 && st.iter >= cfg.MaxIterations {
-			break
+	iter := st.iter
+	fullRefit := iter%cfg.RefitEvery == 0
+	lowGPs, fused, ok := st.fitSurrogates(iter, fullRefit)
+	if !ok {
+		// Random exploration keeps the budget moving while the training
+		// sets recover (e.g. after a burst of failed evaluations).
+		xt := stats.UniformInBox(st.rng, st.lo, st.hi, 1)[0]
+		fid := problem.Low
+		if cfg.ForceHighFidelity {
+			fid = problem.High
 		}
-		if ctx.Err() != nil {
-			st.res.Interrupted = true
-			break
-		}
-		iter := st.iter
-		fullRefit := iter%cfg.RefitEvery == 0
-		lowGPs, fused, ok := st.fitSurrogates(iter, fullRefit)
-		if !ok {
-			// Random exploration keeps the budget moving while the training
-			// sets recover (e.g. after a burst of failed evaluations).
-			xt := stats.UniformInBox(st.rng, st.lo, st.hi, 1)[0]
-			fid := problem.Low
-			if cfg.ForceHighFidelity {
-				fid = problem.High
-			}
-			st.record(ctx, iter, xt, fid)
-			st.iter++ // advance before checkpointing: snapshots store the next iteration
-			if err := st.checkpoint(); err != nil {
-				return st.finish(ctx), err
-			}
-			continue
-		}
-
-		// Incumbents.
-		tauLowX, tauLowEval, hasLowFeasible := bestOf(st.low)
-		tauHighX, tauHighEval, hasHighFeasible := bestOf(st.high)
-
-		// Posterior adapters. A nil fused[k] (low-only degradation) aliases
-		// the low-fidelity posterior.
-		nc := st.nc
-		lowObj := func(x []float64) (float64, float64) { return lowGPs[0].PredictLatent(x) }
-		lowCons := make([]acq.Posterior, nc)
-		for i := 0; i < nc; i++ {
-			m := lowGPs[1+i]
-			lowCons[i] = func(x []float64) (float64, float64) { return m.PredictLatent(x) }
-		}
-		fusedObj := lowObj
-		if fused[0] != nil {
-			m := fused[0]
-			fusedObj = func(x []float64) (float64, float64) { return m.Predict(x) }
-		}
-		fusedCons := make([]acq.Posterior, nc)
-		for i := 0; i < nc; i++ {
-			if fused[1+i] != nil {
-				m := fused[1+i]
-				fusedCons[i] = func(x []float64) (float64, float64) { return m.Predict(x) }
-			} else {
-				fusedCons[i] = lowCons[i]
-			}
-		}
-
-		mspCfg := cfg.MSP
-		var incHigh, incLow []float64
-		if !cfg.DisableIncumbentSeeding {
-			if hasHighFeasible {
-				incHigh = tauHighX
-			}
-			if hasLowFeasible {
-				incLow = tauLowX
-			}
-		}
-
-		// Step 5: low-fidelity acquisition → x*_l.
-		var acqLow func([]float64) float64
-		switch {
-		case hasLowFeasible:
-			acqLow = acq.WEI(lowObj, lowCons, tauLowEval.Objective)
-		case nc > 0:
-			fo := acq.FeasibilityObjective(lowCons)
-			acqLow = func(x []float64) float64 { return -fo(x) }
-		default:
-			acqLow = acq.WEI(lowObj, nil, math.Inf(1))
-		}
-		xStarLow, _ := optimize.MaximizeMSP(st.rng, acqLow, st.box, incHigh, incLow, mspCfg)
-
-		// Step 6: high-fidelity acquisition seeded with x*_l.
-		var acqHigh func([]float64) float64
-		switch {
-		case hasHighFeasible:
-			acqHigh = acq.WEI(fusedObj, fusedCons, tauHighEval.Objective)
-		case nc > 0:
-			// §4.2: no feasible point yet — chase predicted feasibility.
-			fo := acq.FeasibilityObjective(fusedCons)
-			acqHigh = func(x []float64) float64 { return -fo(x) }
-		default:
-			acqHigh = acq.WEI(fusedObj, nil, math.Inf(1))
-		}
-		mspCfg.Extra = append(append([][]float64(nil), cfg.MSP.Extra...), xStarLow)
-		xt, _ := optimize.MaximizeMSP(st.rng, acqHigh, st.box, incHigh, incLow, mspCfg)
-
-		// Degenerate-query guard: re-sampling an existing point adds no
-		// information; fall back to a random exploration point.
-		fid := cfg.selectFidelity(lowGPs, xt, nc)
-		if isDuplicate(xt, st.low, st.high, fid) {
-			xt = stats.UniformInBox(st.rng, st.lo, st.hi, 1)[0]
-			fid = cfg.selectFidelity(lowGPs, xt, nc)
-		}
-		st.record(ctx, iter, xt, fid)
-		st.iter++ // advance before checkpointing: snapshots store the next iteration
-		if err := st.checkpoint(); err != nil {
-			return st.finish(ctx), err
-		}
-	}
-	if ctx.Err() != nil {
-		st.res.Interrupted = true
+		return xt, fid
 	}
 
-	res := st.finish(ctx)
-	if res.BestX == nil {
-		return res, errors.New("core: no successful high-fidelity observations recorded")
+	// Incumbents.
+	tauLowX, tauLowEval, hasLowFeasible := bestOf(st.low)
+	tauHighX, tauHighEval, hasHighFeasible := bestOf(st.high)
+
+	// Posterior adapters. A nil fused[k] (low-only degradation) aliases
+	// the low-fidelity posterior.
+	nc := st.nc
+	lowObj := func(x []float64) (float64, float64) { return lowGPs[0].PredictLatent(x) }
+	lowCons := make([]acq.Posterior, nc)
+	for i := 0; i < nc; i++ {
+		m := lowGPs[1+i]
+		lowCons[i] = func(x []float64) (float64, float64) { return m.PredictLatent(x) }
 	}
-	return res, nil
+	fusedObj := lowObj
+	if fused[0] != nil {
+		m := fused[0]
+		fusedObj = func(x []float64) (float64, float64) { return m.Predict(x) }
+	}
+	fusedCons := make([]acq.Posterior, nc)
+	for i := 0; i < nc; i++ {
+		if fused[1+i] != nil {
+			m := fused[1+i]
+			fusedCons[i] = func(x []float64) (float64, float64) { return m.Predict(x) }
+		} else {
+			fusedCons[i] = lowCons[i]
+		}
+	}
+
+	mspCfg := cfg.MSP
+	var incHigh, incLow []float64
+	if !cfg.DisableIncumbentSeeding {
+		if hasHighFeasible {
+			incHigh = tauHighX
+		}
+		if hasLowFeasible {
+			incLow = tauLowX
+		}
+	}
+
+	// Step 5: low-fidelity acquisition → x*_l.
+	var acqLow func([]float64) float64
+	switch {
+	case hasLowFeasible:
+		acqLow = acq.WEI(lowObj, lowCons, tauLowEval.Objective)
+	case nc > 0:
+		fo := acq.FeasibilityObjective(lowCons)
+		acqLow = func(x []float64) float64 { return -fo(x) }
+	default:
+		acqLow = acq.WEI(lowObj, nil, math.Inf(1))
+	}
+	xStarLow, _ := optimize.MaximizeMSP(st.rng, acqLow, st.box, incHigh, incLow, mspCfg)
+
+	// Step 6: high-fidelity acquisition seeded with x*_l.
+	var acqHigh func([]float64) float64
+	switch {
+	case hasHighFeasible:
+		acqHigh = acq.WEI(fusedObj, fusedCons, tauHighEval.Objective)
+	case nc > 0:
+		// §4.2: no feasible point yet — chase predicted feasibility.
+		fo := acq.FeasibilityObjective(fusedCons)
+		acqHigh = func(x []float64) float64 { return -fo(x) }
+	default:
+		acqHigh = acq.WEI(fusedObj, nil, math.Inf(1))
+	}
+	mspCfg.Extra = append(append([][]float64(nil), cfg.MSP.Extra...), xStarLow)
+	xt, _ := optimize.MaximizeMSP(st.rng, acqHigh, st.box, incHigh, incLow, mspCfg)
+
+	// Degenerate-query guard: re-sampling an existing point adds no
+	// information; fall back to a random exploration point.
+	fid := cfg.selectFidelity(lowGPs, xt, nc)
+	if isDuplicate(xt, st.low, st.high, fid) {
+		xt = stats.UniformInBox(st.rng, st.lo, st.hi, 1)[0]
+		fid = cfg.selectFidelity(lowGPs, xt, nc)
+	}
+	return xt, fid
 }
 
 // finish assembles the terminal Result fields from the current state.

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/problem"
+)
+
+// Suggestion is one query proposed by the optimizer: evaluate X at fidelity
+// Fid and feed the outcome back through Engine.Tell. Iter is the adaptive
+// iteration the suggestion belongs to; initialization-design points carry
+// Iter == -1.
+type Suggestion struct {
+	X    []float64
+	Fid  problem.Fidelity
+	Iter int
+}
+
+// Engine is the explicit ask/tell state machine behind Optimize: the same
+// fit → acquire → fidelity-select pipeline of Algorithm 1, but with the
+// "run the simulation" step inverted out of the loop so that external
+// evaluators (HTTP clients, job schedulers, distributed SPICE farms) can
+// drive it.
+//
+// The protocol is strict alternation:
+//
+//	for {
+//		s, err := eng.Ask(ctx)        // errors.Is(err, ErrBudgetExhausted) → done
+//		ev := <evaluate s.X at s.Fid> // anywhere, any way
+//		eng.Tell(s.X, s.Fid, ev)
+//	}
+//	res, err := eng.Result()
+//
+// Ask is idempotent: until the pending suggestion is told, repeated Asks
+// return the same Suggestion without recomputing (and without consuming
+// randomness), so a polling client that crashes between ask and tell can
+// simply ask again. Tell validates that the observation matches the pending
+// suggestion (ErrTellMismatch otherwise) — the trajectory of an engine-driven
+// run is bit-identical to the in-process Optimize under the same seed.
+//
+// Engine is not safe for concurrent use; callers that share one across
+// goroutines (e.g. the session layer in internal/session) must serialize
+// access.
+type Engine struct {
+	st *state
+
+	// Remaining initialization design points, handed out low first, then
+	// high — the same order OptimizeCtx evaluates them.
+	initLow, initHigh [][]float64
+	// initDone records that the post-initialization checkpoint was taken
+	// and the engine is in (or past) the adaptive phase.
+	initDone bool
+
+	// pending is the outstanding suggestion awaiting its Tell.
+	pending *Suggestion
+
+	interrupted bool
+	// termErr, once set, makes the engine terminal: Ask keeps returning it.
+	// ErrBudgetExhausted / ErrInterrupted are normal terminations; anything
+	// else (checkpoint failure) is a fault that Result propagates.
+	termErr error
+}
+
+// NewEngine validates cfg and builds a fresh engine for p. The
+// initialization designs are drawn from rng immediately (low design first,
+// then high), so the RNG consumption matches OptimizeCtx exactly.
+func NewEngine(p problem.Problem, cfg Config, rng *rand.Rand) (*Engine, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	st := newState(p, cfg, rng)
+	return &Engine{
+		st:       st,
+		initLow:  cfg.InitSampler(rng, st.lo, st.hi, cfg.InitLow),
+		initHigh: cfg.InitSampler(rng, st.lo, st.hi, cfg.InitHigh),
+	}, nil
+}
+
+// RestoreEngine rebuilds an engine from a Checkpoint: datasets, history,
+// spent budget and warm hyperparameters are restored exactly, and the next
+// Ask picks up where the snapshot left off. The caller supplies the same
+// problem and an equivalent Config (scalar fields are validated against the
+// snapshot — mismatches return ErrResumeMismatch); rng seeds the
+// continuation.
+//
+// Snapshots taken mid-initialization are supported: the initialization
+// designs are redrawn from rng and the already-evaluated prefix (derived
+// from the history, failures included) is skipped, so restoring with the
+// original seed continues the exact original design.
+func RestoreEngine(p problem.Problem, cfg Config, rng *rand.Rand, ck *Checkpoint) (*Engine, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	if err := validateResume(p, &cfg, ck); err != nil {
+		return nil, err
+	}
+	st := newState(p, cfg, rng)
+	st.iter = ck.Iter
+	st.cost = ck.Cost
+	st.low = &dataset{X: cloneMatrix(ck.LowX), Y: cloneMatrix(ck.LowY)}
+	st.high = &dataset{X: cloneMatrix(ck.HighX), Y: cloneMatrix(ck.HighY)}
+	if len(ck.WarmLow) == st.nOut {
+		st.warmLow = cloneMatrix(ck.WarmLow)
+	}
+	if len(ck.WarmHigh) == st.nOut {
+		st.warmHigh = cloneMatrix(ck.WarmHigh)
+	}
+	st.res.NumLow = ck.NumLow
+	st.res.NumHigh = ck.NumHigh
+	st.res.NumFailed = ck.NumFailed
+	st.res.History = make([]Observation, len(ck.History))
+	for i, ob := range ck.History {
+		ob.X = append([]float64(nil), ob.X...)
+		ob.Eval.Constraints = append([]float64(nil), ob.Eval.Constraints...)
+		st.res.History[i] = ob
+	}
+	st.res.Degradations = append([]Degradation(nil), ck.Degradations...)
+
+	e := &Engine{st: st}
+	// Initialization progress is derived from the restored history: every
+	// initialization observation was recorded there (failures included).
+	doneLow, doneHigh := 0, 0
+	for _, ob := range st.res.History {
+		if ob.Iter == -1 {
+			if ob.Fid == problem.Low {
+				doneLow++
+			} else {
+				doneHigh++
+			}
+		}
+	}
+	if doneLow >= cfg.InitLow && doneHigh >= cfg.InitHigh {
+		// Initialization complete: no RNG consumption on restore, matching
+		// the historical Resume trajectory exactly.
+		e.initDone = true
+		return e, nil
+	}
+	lows := cfg.InitSampler(rng, st.lo, st.hi, cfg.InitLow)
+	highs := cfg.InitSampler(rng, st.lo, st.hi, cfg.InitHigh)
+	if doneLow < len(lows) {
+		e.initLow = lows[doneLow:]
+	}
+	if doneHigh < len(highs) {
+		e.initHigh = highs[doneHigh:]
+	}
+	return e, nil
+}
+
+// finishInit takes the post-initialization checkpoint and flips the engine
+// into the adaptive phase.
+func (e *Engine) finishInit() error {
+	e.initDone = true
+	if err := e.st.checkpoint(); err != nil {
+		e.termErr = err
+		return err
+	}
+	return nil
+}
+
+// Ask returns the next query. Terminal conditions surface as errors:
+// ErrBudgetExhausted when the budget (or Config.MaxIterations) is spent,
+// ErrInterrupted when ctx was cancelled, and the underlying fault when a
+// checkpoint write failed — classify with errors.Is. A non-terminal Ask
+// either replays the pending suggestion or computes a new one (running the
+// full surrogate-fit/acquisition pipeline, which can take a while).
+//
+// ctx only gates the decision to keep going; it is not threaded into the
+// surrogate fits. Long-running services should pass context.Background()
+// and handle their own request deadlines, because a cancelled ctx
+// terminally interrupts the engine (matching OptimizeCtx semantics).
+func (e *Engine) Ask(ctx context.Context) (Suggestion, error) {
+	if e.termErr != nil {
+		return Suggestion{}, e.termErr
+	}
+	if e.pending != nil {
+		return *e.pending, nil
+	}
+	if !e.initDone {
+		if ctx.Err() != nil {
+			// Match OptimizeCtx: skip the remaining initialization
+			// evaluations, still take the post-init checkpoint, and
+			// report interruption.
+			e.initLow, e.initHigh = nil, nil
+			e.interrupted = true
+			if err := e.finishInit(); err != nil {
+				return Suggestion{}, err
+			}
+			e.termErr = ErrInterrupted
+			return Suggestion{}, e.termErr
+		}
+		if len(e.initLow) > 0 {
+			e.pending = &Suggestion{X: append([]float64(nil), e.initLow[0]...), Fid: problem.Low, Iter: -1}
+			return *e.pending, nil
+		}
+		if len(e.initHigh) > 0 {
+			e.pending = &Suggestion{X: append([]float64(nil), e.initHigh[0]...), Fid: problem.High, Iter: -1}
+			return *e.pending, nil
+		}
+		// Degenerate designs (both queues empty before any Tell): close the
+		// initialization phase and fall through to the adaptive one.
+		if err := e.finishInit(); err != nil {
+			return Suggestion{}, err
+		}
+	}
+	// Adaptive-phase termination checks, in the same order as the loop
+	// condition of Algorithm 1's driver.
+	cfg := &e.st.cfg
+	if e.st.cost >= cfg.Budget {
+		e.termErr = ErrBudgetExhausted
+		return Suggestion{}, e.termErr
+	}
+	if cfg.MaxIterations > 0 && e.st.iter >= cfg.MaxIterations {
+		e.termErr = fmt.Errorf("%w (iteration cap %d reached)", ErrBudgetExhausted, cfg.MaxIterations)
+		return Suggestion{}, e.termErr
+	}
+	if ctx.Err() != nil {
+		e.interrupted = true
+		e.termErr = ErrInterrupted
+		return Suggestion{}, e.termErr
+	}
+	x, fid := e.st.propose()
+	e.pending = &Suggestion{X: x, Fid: fid, Iter: e.st.iter}
+	return *e.pending, nil
+}
+
+// Tell ingests the outcome of the pending suggestion: the evaluation is
+// routed through the same sanitation as the in-process loop (non-finite or
+// explicitly Failed outcomes are charged but excluded from surrogate
+// training), the budget is charged, the history extended, and — after
+// adaptive iterations and at the end of initialization — a checkpoint is
+// taken. x and fid must match the pending suggestion exactly
+// (ErrTellMismatch); a Tell without a pending Ask returns ErrNoPendingAsk.
+func (e *Engine) Tell(x []float64, fid problem.Fidelity, ev problem.Evaluation) error {
+	if e.pending == nil {
+		if e.termErr != nil {
+			return e.termErr
+		}
+		return ErrNoPendingAsk
+	}
+	sug := *e.pending
+	if fid != sug.Fid || len(x) != len(sug.X) {
+		return fmt.Errorf("%w: got fidelity %v dim %d, want %v dim %d",
+			ErrTellMismatch, fid, len(x), sug.Fid, len(sug.X))
+	}
+	for i := range x {
+		if x[i] != sug.X[i] {
+			return fmt.Errorf("%w: coordinate %d is %v, suggested %v",
+				ErrTellMismatch, i, x[i], sug.X[i])
+		}
+	}
+	e.pending = nil
+	e.st.ingest(sug.Iter, sug.X, sug.Fid, ev)
+	if sug.Iter < 0 {
+		if sug.Fid == problem.Low {
+			e.initLow = e.initLow[1:]
+		} else {
+			e.initHigh = e.initHigh[1:]
+		}
+		if len(e.initLow) == 0 && len(e.initHigh) == 0 {
+			return e.finishInit()
+		}
+		return nil
+	}
+	e.st.iter++ // advance before checkpointing: snapshots store the next iteration
+	if err := e.st.checkpoint(); err != nil {
+		e.termErr = err
+		return err
+	}
+	return nil
+}
+
+// Done reports whether the engine reached a terminal state (budget spent,
+// interrupted, or faulted) and will produce no further suggestions.
+func (e *Engine) Done() bool { return e.termErr != nil }
+
+// Snapshot returns a deep-copied checkpoint of the current state. A pending
+// (asked-but-untold) suggestion is not part of the snapshot: a restored
+// engine recomputes its next suggestion from the continuation RNG.
+func (e *Engine) Snapshot() *Checkpoint { return e.st.snapshot() }
+
+// History returns the live observation log (shared storage — callers must
+// not mutate it and must serialize access with Ask/Tell).
+func (e *Engine) History() []Observation { return e.st.res.History }
+
+// Progress is a cheap point-in-time summary of a run, suitable for status
+// endpoints.
+type Progress struct {
+	// Phase is "initializing", "running" or "done".
+	Phase string
+	// Iter is the next adaptive iteration.
+	Iter int
+	// Cost is the budget spent so far, Budget the configured total, both in
+	// equivalent high-fidelity simulations.
+	Cost, Budget               float64
+	NumLow, NumHigh, NumFailed int
+	// HasBest reports whether a successful high-fidelity observation exists;
+	// BestX/Best/Feasible describe it when it does.
+	HasBest  bool
+	BestX    []float64
+	Best     problem.Evaluation
+	Feasible bool
+	// Degradations counts graceful downgrades taken so far.
+	Degradations int
+	Interrupted  bool
+}
+
+// Progress summarizes the current state without mutating it.
+func (e *Engine) Progress() Progress {
+	p := Progress{
+		Iter:         e.st.iter,
+		Cost:         e.st.cost,
+		Budget:       e.st.cfg.Budget,
+		NumLow:       e.st.res.NumLow,
+		NumHigh:      e.st.res.NumHigh,
+		NumFailed:    e.st.res.NumFailed,
+		Degradations: len(e.st.res.Degradations),
+		Interrupted:  e.interrupted,
+	}
+	switch {
+	case e.termErr != nil:
+		p.Phase = "done"
+	case !e.initDone:
+		p.Phase = "initializing"
+	default:
+		p.Phase = "running"
+	}
+	if bx, be, feas := bestOf(e.st.high); bx != nil {
+		p.HasBest = true
+		p.BestX = append([]float64(nil), bx...)
+		p.Best = be
+		p.Feasible = feas
+	}
+	return p
+}
+
+// Result assembles the final Result. It may be called at any time (the
+// session layer uses it for status of live runs); on a terminal engine it
+// reports exactly what Optimize would have returned: the terminal fault if
+// one occurred, ErrNoFeasible when no successful high-fidelity observation
+// exists, the completed Result otherwise.
+func (e *Engine) Result() (*Result, error) {
+	res := e.st.finish(context.Background())
+	res.Interrupted = e.interrupted
+	if e.termErr != nil && !errors.Is(e.termErr, ErrBudgetExhausted) && !errors.Is(e.termErr, ErrInterrupted) {
+		return res, e.termErr
+	}
+	if res.BestX == nil {
+		return res, ErrNoFeasible
+	}
+	return res, nil
+}
+
+// drive runs the classic in-process loop on top of the ask/tell machine:
+// ask, evaluate on the problem itself, tell, until a terminal condition.
+// OptimizeCtx and Resume are thin wrappers over it.
+func (e *Engine) drive(ctx context.Context) (*Result, error) {
+	for {
+		sug, err := e.Ask(ctx)
+		if err != nil {
+			break
+		}
+		ev, everr := e.st.evaluate(ctx, sug.X, sug.Fid)
+		if everr != nil {
+			ev.Failed = true
+		}
+		if err := e.Tell(sug.X, sug.Fid, ev); err != nil {
+			break
+		}
+	}
+	if ctx.Err() != nil {
+		e.interrupted = true
+	}
+	return e.Result()
+}

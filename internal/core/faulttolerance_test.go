@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -243,8 +244,8 @@ func TestAllHighFailuresErrorCleanly(t *testing.T) {
 	cfg := fastCfg(4)
 	cfg.MaxIterations = 2
 	res, err := OptimizeCtx(context.Background(), sp, cfg, rand.New(rand.NewSource(37)))
-	if err == nil {
-		t.Fatal("run with zero successful high-fidelity observations must error")
+	if !errors.Is(err, ErrNoFeasible) {
+		t.Fatalf("run with zero successful high-fidelity observations must return ErrNoFeasible, got %v", err)
 	}
 	if res == nil || res.NumFailed == 0 {
 		t.Fatal("error path must still return the partial result")

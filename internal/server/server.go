@@ -1,0 +1,628 @@
+// Package server exposes optimization sessions over a JSON/HTTP API — the
+// service face of the MFBO engine. External evaluators create a session,
+// poll it for suggestions, run the (SPICE-class) simulations on their own
+// infrastructure, and post the outcomes back:
+//
+//	POST   /v1/sessions                    create / resume a session
+//	GET    /v1/sessions                    list live sessions
+//	GET    /v1/sessions/{id}/suggest       next query (idempotent until told)
+//	POST   /v1/sessions/{id}/observations  report an evaluation
+//	GET    /v1/sessions/{id}/status        progress summary
+//	GET    /v1/sessions/{id}/history       full observation log
+//	DELETE /v1/sessions/{id}               evict and forget a session
+//	GET    /v1/problems                    problem catalog
+//	GET    /v1/healthz                     liveness
+//
+// The registry is concurrency-bounded: sessions serialize their own engine
+// behind a per-session mutex, and a global session.Limiter caps how many
+// sessions may run their surrogate-fit pipeline at once. Every session is
+// persisted to CheckpointDir after each iteration; a server restarted over
+// the same directory restores sessions lazily on first touch, so a killed
+// deployment resumes exactly where its checkpoints left off. Idle sessions
+// are persisted and evicted from memory by a janitor, and Close drains the
+// registry through one final persistence pass.
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/optimize"
+	"repro/internal/problem"
+	"repro/internal/session"
+)
+
+// Config tunes the service.
+type Config struct {
+	// CheckpointDir persists every session (checkpoint + manifest) under
+	// this directory. Empty = volatile sessions (lost on restart/eviction).
+	CheckpointDir string
+	// IdleTimeout evicts sessions untouched for this long from memory
+	// (after persisting them; durable sessions restore lazily on next
+	// touch). 0 disables eviction.
+	IdleTimeout time.Duration
+	// MaxConcurrentFits bounds sessions running their surrogate-fit
+	// pipeline simultaneously; 0 selects parallel.DefaultWorkers().
+	MaxConcurrentFits int
+	// MaxSessions rejects new sessions beyond this many live ones
+	// (0 = unbounded).
+	MaxSessions int
+	// Lookup resolves problem names; nil selects catalog.Lookup.
+	Lookup func(name string) (problem.Problem, error)
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// Server is the HTTP handler plus its session registry.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	limiter *session.Limiter
+
+	mu       sync.RWMutex
+	sessions map[string]*entry
+	closed   bool
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+}
+
+// entry pairs a live session with the request that created it (needed to
+// rebuild its config on restore and to answer status queries).
+type entry struct {
+	sess *session.Session
+	req  api.CreateSessionRequest
+}
+
+// New builds the server and, when CheckpointDir is set, ensures the
+// directory exists. Sessions persisted by a previous process are NOT loaded
+// eagerly — they restore lazily on first touch.
+func New(cfg Config) (*Server, error) {
+	if cfg.Lookup == nil {
+		cfg.Lookup = catalog.Lookup
+	}
+	if cfg.CheckpointDir != "" {
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: checkpoint dir: %w", err)
+		}
+	}
+	s := &Server{
+		cfg:         cfg,
+		limiter:     session.NewLimiter(cfg.MaxConcurrentFits),
+		sessions:    make(map[string]*entry),
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", s.handleList)
+	mux.HandleFunc("GET /v1/sessions/{id}/suggest", s.handleSuggest)
+	mux.HandleFunc("POST /v1/sessions/{id}/observations", s.handleObserve)
+	mux.HandleFunc("GET /v1/sessions/{id}/status", s.handleStatus)
+	mux.HandleFunc("GET /v1/sessions/{id}/history", s.handleHistory)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	mux.HandleFunc("GET /v1/problems", s.handleProblems)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	s.mux = mux
+	if cfg.IdleTimeout > 0 {
+		go s.janitor()
+	} else {
+		close(s.janitorDone)
+	}
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Close persists every live session and stops the janitor. Call it after
+// http.Server.Shutdown has drained in-flight requests (fits included).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	entries := make([]*entry, 0, len(s.sessions))
+	for _, e := range s.sessions {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	close(s.janitorStop)
+	<-s.janitorDone
+
+	var errs []error
+	for _, e := range entries {
+		if err := e.sess.Persist(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// janitor periodically persists and evicts idle sessions.
+func (s *Server) janitor() {
+	defer close(s.janitorDone)
+	tick := time.NewTicker(s.cfg.IdleTimeout / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-tick.C:
+			s.evictIdle(time.Now().Add(-s.cfg.IdleTimeout))
+		}
+	}
+}
+
+// evictIdle persists and drops sessions untouched since the deadline.
+func (s *Server) evictIdle(deadline time.Time) {
+	s.mu.Lock()
+	var victims []*entry
+	var ids []string
+	for id, e := range s.sessions {
+		if e.sess.LastUsed().Before(deadline) {
+			victims = append(victims, e)
+			ids = append(ids, id)
+		}
+	}
+	for _, id := range ids {
+		delete(s.sessions, id)
+	}
+	s.mu.Unlock()
+	for i, e := range victims {
+		if err := e.sess.Persist(); err != nil {
+			s.logf("server: persist evicted session %s: %v", ids[i], err)
+		} else {
+			s.logf("server: evicted idle session %s", ids[i])
+		}
+	}
+}
+
+// ---- persistence layout ----
+
+func (s *Server) checkpointPath(id string) string {
+	if s.cfg.CheckpointDir == "" {
+		return ""
+	}
+	return filepath.Join(s.cfg.CheckpointDir, id+".ckpt.json")
+}
+
+func (s *Server) manifestPath(id string) string {
+	return filepath.Join(s.cfg.CheckpointDir, id+".session.json")
+}
+
+// saveManifest records the creation request so a restarted server can
+// rebuild the session config.
+func (s *Server) saveManifest(id string, req *api.CreateSessionRequest) error {
+	if s.cfg.CheckpointDir == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(req, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(s.manifestPath(id), data, 0o644)
+}
+
+func (s *Server) loadManifest(id string) (*api.CreateSessionRequest, error) {
+	data, err := os.ReadFile(s.manifestPath(id))
+	if err != nil {
+		return nil, err
+	}
+	req := &api.CreateSessionRequest{}
+	if err := json.Unmarshal(data, req); err != nil {
+		return nil, fmt.Errorf("server: corrupt session manifest %s: %w", id, err)
+	}
+	return req, nil
+}
+
+// ---- session construction ----
+
+// coreConfig maps wire tuning fields onto the optimizer config.
+func coreConfig(req *api.CreateSessionRequest) core.Config {
+	return core.Config{
+		Budget:        req.Budget,
+		InitLow:       req.InitLow,
+		InitHigh:      req.InitHigh,
+		Gamma:         req.Gamma,
+		MSP:           optimize.MSPConfig{Starts: req.MSPStarts, LocalIter: req.MSPLocalIter},
+		GPRestarts:    req.GPRestarts,
+		GPMaxIter:     req.GPMaxIter,
+		RefitEvery:    req.RefitEvery,
+		MaxLowData:    req.MaxLowData,
+		MaxIterations: req.MaxIterations,
+		Workers:       req.Workers,
+	}
+}
+
+// buildSession instantiates (or restores, when its checkpoint exists) the
+// session described by req.
+func (s *Server) buildSession(id string, req *api.CreateSessionRequest) (*entry, error) {
+	p, err := s.cfg.Lookup(req.Problem)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := session.Open(session.Config{
+		Problem:        p,
+		Core:           coreConfig(req),
+		Seed:           req.Seed,
+		CheckpointPath: s.checkpointPath(id),
+		Limiter:        s.limiter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &entry{sess: sess, req: *req}, nil
+}
+
+// getSession resolves id, lazily restoring a persisted session after a
+// restart or eviction.
+func (s *Server) getSession(id string) (*entry, error) {
+	s.mu.RLock()
+	e, ok := s.sessions[id]
+	closed := s.closed
+	s.mu.RUnlock()
+	if ok {
+		return e, nil
+	}
+	if closed {
+		return nil, errShuttingDown
+	}
+	if s.cfg.CheckpointDir == "" {
+		return nil, errNotFound
+	}
+	req, err := s.loadManifest(id)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, errNotFound
+		}
+		return nil, err
+	}
+	fresh, err := s.buildSession(id, req)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errShuttingDown
+	}
+	if e, ok := s.sessions[id]; ok { // lost the race: use the winner
+		return e, nil
+	}
+	s.sessions[id] = fresh
+	s.logf("server: restored session %s (problem %s)", id, req.Problem)
+	return fresh, nil
+}
+
+var (
+	errNotFound     = errors.New("server: session not found")
+	errShuttingDown = errors.New("server: shutting down")
+)
+
+func newID() string {
+	b := make([]byte, 8)
+	if _, err := rand.Read(b); err != nil {
+		panic(err) // crypto/rand failure is unrecoverable
+	}
+	return "s" + hex.EncodeToString(b)
+}
+
+func validID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ---- handlers ----
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req api.CreateSessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if req.Budget <= 0 {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "budget must be positive")
+		return
+	}
+	id := req.ID
+	if id == "" {
+		if req.Resume {
+			writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "resume requires an explicit session id")
+			return
+		}
+		id = newID()
+	} else if !validID(id) {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "session id must be 1-64 chars of [A-Za-z0-9_-]")
+		return
+	}
+	req.ID = id
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, api.CodeShuttingDown, "server is shutting down")
+		return
+	}
+	if _, exists := s.sessions[id]; exists && !req.Resume {
+		s.mu.Unlock()
+		writeErr(w, http.StatusConflict, api.CodeConflict, "session "+id+" already exists")
+		return
+	}
+	if s.cfg.MaxSessions > 0 && len(s.sessions) >= s.cfg.MaxSessions {
+		if _, exists := s.sessions[id]; !exists {
+			s.mu.Unlock()
+			writeErr(w, http.StatusTooManyRequests, api.CodeConflict, "session limit reached")
+			return
+		}
+	}
+	s.mu.Unlock()
+
+	resumed := false
+	var e *entry
+	if req.Resume {
+		// Reattach: live session wins, then a persisted one.
+		if live, err := s.getSession(id); err == nil {
+			e, resumed = live, true
+		} else if !errors.Is(err, errNotFound) {
+			s.writeSessionErr(w, err)
+			return
+		}
+	} else if s.cfg.CheckpointDir != "" {
+		// Fresh create must not silently adopt stale on-disk state.
+		if _, err := os.Stat(s.manifestPath(id)); err == nil {
+			writeErr(w, http.StatusConflict, api.CodeConflict,
+				"session "+id+" exists on disk; pass resume or delete it first")
+			return
+		}
+	}
+	if e == nil {
+		fresh, err := s.buildSession(id, &req)
+		if err != nil {
+			s.writeSessionErr(w, err)
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			writeErr(w, http.StatusServiceUnavailable, api.CodeShuttingDown, "server is shutting down")
+			return
+		}
+		if live, ok := s.sessions[id]; ok {
+			if !req.Resume {
+				s.mu.Unlock()
+				writeErr(w, http.StatusConflict, api.CodeConflict, "session "+id+" already exists")
+				return
+			}
+			e, resumed = live, true
+		} else {
+			s.sessions[id] = fresh
+			e = fresh
+		}
+		s.mu.Unlock()
+	}
+	if err := s.saveManifest(id, &e.req); err != nil {
+		s.logf("server: save manifest %s: %v", id, err)
+	}
+	s.logf("server: session %s created (problem %s, budget %g, seed %d, resumed %v)",
+		id, e.req.Problem, e.req.Budget, e.req.Seed, resumed)
+
+	p := e.sess.Problem()
+	lo, hi := p.Bounds()
+	writeJSON(w, http.StatusCreated, api.SessionInfo{
+		ID:             id,
+		Problem:        p.Name(),
+		Dim:            p.Dim(),
+		NumConstraints: p.NumConstraints(),
+		BoundsLo:       lo,
+		BoundsHi:       hi,
+		CostLow:        p.Cost(problem.Low),
+		CostHigh:       p.Cost(problem.High),
+		Budget:         e.req.Budget,
+		Seed:           e.req.Seed,
+		Resumed:        resumed,
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, api.SessionsReply{Sessions: ids})
+}
+
+func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	e, err := s.getSession(r.PathValue("id"))
+	if err != nil {
+		s.writeSessionErr(w, err)
+		return
+	}
+	sug, err := e.sess.Ask(r.Context())
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, api.Suggestion{X: sug.X, Fidelity: int(sug.Fid), Iter: sug.Iter})
+	case errors.Is(err, core.ErrBudgetExhausted):
+		writeJSON(w, http.StatusOK, api.Suggestion{Done: true, Reason: api.CodeBudgetExhausted})
+	case errors.Is(err, core.ErrInterrupted):
+		writeJSON(w, http.StatusOK, api.Suggestion{Done: true, Reason: api.CodeInterrupted})
+	case errors.Is(err, r.Context().Err()):
+		// Client went away while waiting for a fit slot; nothing to write.
+	default:
+		writeErr(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
+	}
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, err := s.getSession(id)
+	if err != nil {
+		s.writeSessionErr(w, err)
+		return
+	}
+	var ob api.Observation
+	if err := json.NewDecoder(r.Body).Decode(&ob); err != nil {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	ev := problem.Evaluation{Objective: ob.Objective, Constraints: ob.Constraints, Failed: ob.Failed}
+	err = e.sess.Tell(ob.X, problem.Fidelity(ob.Fidelity), ev)
+	switch {
+	case err == nil:
+		st := e.sess.Status()
+		writeJSON(w, http.StatusOK, api.ObserveReply{Cost: st.Cost, Budget: st.Budget, Done: st.Phase == "done"})
+	case errors.Is(err, core.ErrNoPendingAsk):
+		writeErr(w, http.StatusConflict, api.CodeNoPendingAsk, err.Error())
+	case errors.Is(err, core.ErrTellMismatch):
+		writeErr(w, http.StatusConflict, api.CodeTellMismatch, err.Error())
+	case errors.Is(err, core.ErrBudgetExhausted):
+		writeErr(w, http.StatusConflict, api.CodeBudgetExhausted, err.Error())
+	default:
+		writeErr(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, err := s.getSession(id)
+	if err != nil {
+		s.writeSessionErr(w, err)
+		return
+	}
+	st := e.sess.Status()
+	writeJSON(w, http.StatusOK, api.StatusReply{
+		ID:           id,
+		Problem:      e.req.Problem,
+		Phase:        st.Phase,
+		Iter:         st.Iter,
+		Cost:         st.Cost,
+		Budget:       st.Budget,
+		NumLow:       st.NumLow,
+		NumHigh:      st.NumHigh,
+		NumFailed:    st.NumFailed,
+		Observations: st.Observations,
+		HasBest:      st.HasBest,
+		BestX:        st.BestX,
+		BestObj:      st.Best.Objective,
+		BestCons:     st.Best.Constraints,
+		Feasible:     st.Feasible,
+		Degradations: st.Degradations,
+		Interrupted:  st.Interrupted,
+	})
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, err := s.getSession(id)
+	if err != nil {
+		s.writeSessionErr(w, err)
+		return
+	}
+	hist := e.sess.History()
+	obs := make([]api.HistoryObservation, len(hist))
+	for i, h := range hist {
+		obs[i] = api.HistoryObservation{
+			Iter:        h.Iter,
+			X:           h.X,
+			Fidelity:    int(h.Fid),
+			Objective:   h.Eval.Objective,
+			Constraints: h.Eval.Constraints,
+			Failed:      h.Eval.Failed,
+			CumCost:     h.CumCost,
+		}
+	}
+	writeJSON(w, http.StatusOK, api.HistoryReply{ID: id, Observations: obs})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if s.cfg.CheckpointDir != "" {
+		for _, path := range []string{s.checkpointPath(id), s.manifestPath(id)} {
+			if err := os.Remove(path); err == nil {
+				ok = true
+			} else if !errors.Is(err, fs.ErrNotExist) {
+				s.logf("server: delete %s: %v", path, err)
+			}
+		}
+	}
+	if !ok {
+		writeErr(w, http.StatusNotFound, api.CodeNotFound, "session "+id+" not found")
+		return
+	}
+	s.logf("server: session %s deleted", id)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleProblems(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, api.ProblemsReply{Problems: catalog.Names()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	n := len(s.sessions)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, api.HealthReply{OK: true, Sessions: n})
+}
+
+// writeSessionErr maps registry/session-construction failures onto wire
+// errors.
+func (s *Server) writeSessionErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errNotFound):
+		writeErr(w, http.StatusNotFound, api.CodeNotFound, err.Error())
+	case errors.Is(err, errShuttingDown):
+		writeErr(w, http.StatusServiceUnavailable, api.CodeShuttingDown, err.Error())
+	case errors.Is(err, core.ErrResumeMismatch):
+		writeErr(w, http.StatusConflict, api.CodeResumeMismatch, err.Error())
+	case strings.Contains(err.Error(), "unknown problem"):
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+	default:
+		writeErr(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, api.ErrorReply{Error: msg, Code: code})
+}

@@ -1,0 +1,413 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/optimize"
+	"repro/internal/problem"
+	"repro/internal/server"
+	"repro/internal/testfunc"
+)
+
+// fastReq mirrors the fastCfg used by the core tests on the wire, so a remote
+// session and an in-process core.Optimize resolve to the same core.Config.
+func fastReq(name string, budget float64, seed int64) api.CreateSessionRequest {
+	return api.CreateSessionRequest{
+		Problem:      name,
+		Seed:         seed,
+		Budget:       budget,
+		InitLow:      8,
+		InitHigh:     4,
+		MSPStarts:    6,
+		MSPLocalIter: 25,
+		GPMaxIter:    40,
+	}
+}
+
+func fastCfg(budget float64) core.Config {
+	return core.Config{
+		Budget:    budget,
+		InitLow:   8,
+		InitHigh:  4,
+		MSP:       optimize.MSPConfig{Starts: 6, LocalIter: 25},
+		GPMaxIter: 40,
+	}
+}
+
+// newTestServer boots a server over an httptest listener and returns a client
+// for it.
+func newTestServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server, *client.Client) {
+	t.Helper()
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		if err := srv.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+	})
+	cl := client.New(ts.URL, client.WithBackoff(time.Millisecond, 10*time.Millisecond))
+	return srv, ts, cl
+}
+
+func sameHistory(t *testing.T, hist []api.HistoryObservation, ref []core.Observation) {
+	t.Helper()
+	if len(hist) != len(ref) {
+		t.Fatalf("history lengths differ: remote %d vs in-process %d", len(hist), len(ref))
+	}
+	for i := range hist {
+		h, r := hist[i], ref[i]
+		if h.Fidelity != int(r.Fid) || h.Iter != r.Iter || h.Failed != r.Eval.Failed {
+			t.Fatalf("obs %d: metadata differs: %+v vs %+v", i, h, r)
+		}
+		for j := range h.X {
+			if math.Float64bits(h.X[j]) != math.Float64bits(r.X[j]) {
+				t.Fatalf("obs %d: x[%d] differs: %v vs %v", i, j, h.X[j], r.X[j])
+			}
+		}
+		if math.Float64bits(h.Objective) != math.Float64bits(r.Eval.Objective) {
+			t.Fatalf("obs %d: objective differs: %v vs %v", i, h.Objective, r.Eval.Objective)
+		}
+		for j := range h.Constraints {
+			if math.Float64bits(h.Constraints[j]) != math.Float64bits(r.Eval.Constraints[j]) {
+				t.Fatalf("obs %d: constraint %d differs", i, j)
+			}
+		}
+		if math.Float64bits(h.CumCost) != math.Float64bits(r.CumCost) {
+			t.Fatalf("obs %d: cumulative cost differs", i)
+		}
+	}
+}
+
+// TestRemoteTrajectoryMatchesInProcess is the headline acceptance test: a
+// client-driven HTTP session reproduces the in-process core.Optimize
+// trajectory bit-for-bit — every point, fidelity choice, objective,
+// constraint value and cumulative cost — under the same seed. JSON float64
+// round-tripping is exact, so nothing is lost on the wire.
+func TestRemoteTrajectoryMatchesInProcess(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() problem.Problem
+	}{
+		{"forrester", func() problem.Problem { return testfunc.Forrester() }},
+		{"constrained", func() problem.Problem { return testfunc.ConstrainedSynthetic() }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ref, err := core.Optimize(tc.mk(), fastCfg(8), rand.New(rand.NewSource(42)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, _, cl := newTestServer(t, server.Config{})
+			ctx := context.Background()
+			info, err := cl.CreateSession(ctx, fastReq(tc.name, 8, 42))
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := cl.Drive(ctx, info.ID, tc.mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Phase != "done" {
+				t.Fatalf("remote run did not finish: %+v", st)
+			}
+			hist, err := cl.History(ctx, info.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameHistory(t, hist.Observations, ref.History)
+			if math.Float64bits(st.BestObj) != math.Float64bits(ref.Best.Objective) {
+				t.Fatalf("best objective differs: remote %v vs in-process %v", st.BestObj, ref.Best.Objective)
+			}
+		})
+	}
+}
+
+// TestServerKillResume: a server killed mid-run (after a handful of
+// observations) restarts over the same checkpoint directory, the client
+// reattaches with resume, and the completed trajectory is bit-identical to an
+// uninterrupted in-process run — the crash leaves no trace in the math.
+func TestServerKillResume(t *testing.T) {
+	ref, err := core.Optimize(testfunc.Forrester(), fastCfg(6), rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	ctx := context.Background()
+	req := fastReq("forrester", 6, 9)
+	req.ID = "kill-resume"
+
+	// First server: evaluate 6 points, then die without ceremony.
+	srv1, err := server.New(server.Config{CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1)
+	cl1 := client.New(ts1.URL)
+	if _, err := cl1.CreateSession(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	p := testfunc.Forrester()
+	for i := 0; i < 6; i++ {
+		sug, err := cl1.Suggest(ctx, req.ID)
+		if err != nil || sug.Done {
+			t.Fatalf("suggest %d: done=%v err=%v", i, sug.Done, err)
+		}
+		ev := p.Evaluate(sug.X, problem.Fidelity(sug.Fidelity))
+		if _, err := cl1.Observe(ctx, req.ID, api.Observation{
+			X: sug.X, Fidelity: sug.Fidelity,
+			Objective: ev.Objective, Constraints: ev.Constraints,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts1.Close()
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second server over the same directory: resume and run to completion.
+	_, _, cl2 := newTestServer(t, server.Config{CheckpointDir: dir})
+	req.Resume = true
+	info, err := cl2.CreateSession(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Resumed {
+		t.Fatal("reattach did not report resumed")
+	}
+	pre, err := cl2.History(ctx, req.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pre.Observations) != 6 {
+		t.Fatalf("restored session has %d observations, want 6", len(pre.Observations))
+	}
+	st, err := cl2.Drive(ctx, req.ID, testfunc.Forrester())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Phase != "done" {
+		t.Fatalf("resumed run did not finish: %+v", st)
+	}
+	hist, err := cl2.History(ctx, req.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameHistory(t, hist.Observations, ref.History)
+}
+
+// TestServerLazyRestoreWithoutResumeFlag: after a restart, plain requests
+// against a persisted session id transparently restore it from disk — no
+// explicit resume handshake required.
+func TestServerLazyRestoreWithoutResumeFlag(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	req := fastReq("forrester", 6, 13)
+	req.ID = "lazy"
+
+	srv1, err := server.New(server.Config{CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1)
+	cl1 := client.New(ts1.URL)
+	if _, err := cl1.CreateSession(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	p := testfunc.Forrester()
+	sug, err := cl1.Suggest(ctx, req.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := p.Evaluate(sug.X, problem.Fidelity(sug.Fidelity))
+	if _, err := cl1.Observe(ctx, req.ID, api.Observation{
+		X: sug.X, Fidelity: sug.Fidelity, Objective: ev.Objective, Constraints: ev.Constraints,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, cl2 := newTestServer(t, server.Config{CheckpointDir: dir})
+	st, err := cl2.Status(ctx, req.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Observations != 1 {
+		t.Fatalf("lazy restore lost observations: %+v", st)
+	}
+}
+
+// TestServerConcurrentSessions drives four sessions in parallel through one
+// server — the race-detector workout for the registry, the per-session
+// mutexes and the shared fit limiter.
+func TestServerConcurrentSessions(t *testing.T) {
+	_, _, cl := newTestServer(t, server.Config{MaxConcurrentFits: 2})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			info, err := cl.CreateSession(ctx, fastReq("forrester", 4, seed))
+			if err != nil {
+				errs <- err
+				return
+			}
+			st, err := cl.Drive(ctx, info.ID, testfunc.Forrester())
+			if err != nil {
+				errs <- err
+				return
+			}
+			if st.Phase != "done" {
+				errs <- errors.New("session " + info.ID + " did not finish")
+			}
+		}(int64(i + 1))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestServerAPIValidation covers the error surface of the HTTP API and the
+// errors.Is mapping of wire codes back onto core sentinels.
+func TestServerAPIValidation(t *testing.T) {
+	_, _, cl := newTestServer(t, server.Config{})
+	ctx := context.Background()
+
+	// Unknown session → 404.
+	if _, err := cl.Status(ctx, "nope"); !isStatus(err, 404, api.CodeNotFound) {
+		t.Fatalf("unknown session: %v", err)
+	}
+	// Bad budget → 400.
+	if _, err := cl.CreateSession(ctx, api.CreateSessionRequest{Problem: "forrester"}); !isStatus(err, 400, api.CodeBadRequest) {
+		t.Fatalf("zero budget: %v", err)
+	}
+	// Unknown problem → 400.
+	if _, err := cl.CreateSession(ctx, fastReq("nonesuch", 5, 1)); !isStatus(err, 400, api.CodeBadRequest) {
+		t.Fatalf("unknown problem: %v", err)
+	}
+	// Invalid explicit id → 400.
+	bad := fastReq("forrester", 5, 1)
+	bad.ID = "no/slashes"
+	if _, err := cl.CreateSession(ctx, bad); !isStatus(err, 400, api.CodeBadRequest) {
+		t.Fatalf("invalid id: %v", err)
+	}
+
+	req := fastReq("forrester", 5, 1)
+	req.ID = "alpha"
+	if _, err := cl.CreateSession(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate id without resume → 409.
+	if _, err := cl.CreateSession(ctx, req); !isStatus(err, 409, api.CodeConflict) {
+		t.Fatalf("duplicate id: %v", err)
+	}
+	// Tell without a pending ask → 409 mapping to core.ErrNoPendingAsk.
+	_, err := cl.Observe(ctx, "alpha", api.Observation{X: []float64{0.5}, Objective: 1})
+	if !isStatus(err, 409, api.CodeNoPendingAsk) || !errors.Is(err, core.ErrNoPendingAsk) {
+		t.Fatalf("observe without ask: %v", err)
+	}
+	// Tell for the wrong point → 409 mapping to core.ErrTellMismatch.
+	sug, err := cl.Suggest(ctx, "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := append([]float64(nil), sug.X...)
+	wrong[0] += 0.25
+	_, err = cl.Observe(ctx, "alpha", api.Observation{X: wrong, Fidelity: sug.Fidelity, Objective: 1})
+	if !isStatus(err, 409, api.CodeTellMismatch) || !errors.Is(err, core.ErrTellMismatch) {
+		t.Fatalf("mismatched observe: %v", err)
+	}
+	// The pending suggestion survives the rejected tell (idempotent suggest).
+	again, err := cl.Suggest(ctx, "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(again.X[0]) != math.Float64bits(sug.X[0]) {
+		t.Fatal("rejected observe disturbed the pending suggestion")
+	}
+
+	// Catalog + liveness + listing.
+	probs, err := cl.Problems(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range probs {
+		if p == "forrester" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("catalog missing forrester: %v", probs)
+	}
+	h, err := cl.Health(ctx)
+	if err != nil || !h.OK || h.Sessions != 1 {
+		t.Fatalf("health: %+v err=%v", h, err)
+	}
+	ids, err := cl.Sessions(ctx)
+	if err != nil || len(ids) != 1 || ids[0] != "alpha" {
+		t.Fatalf("sessions: %v err=%v", ids, err)
+	}
+
+	// Delete → gone.
+	if err := cl.Delete(ctx, "alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Status(ctx, "alpha"); !isStatus(err, 404, api.CodeNotFound) {
+		t.Fatalf("deleted session still answers: %v", err)
+	}
+	if err := cl.Delete(ctx, "alpha"); !isStatus(err, 404, api.CodeNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+// TestServerSuggestAfterDone: a finished session answers suggest with a
+// terminal Done marker rather than an error.
+func TestServerSuggestAfterDone(t *testing.T) {
+	_, _, cl := newTestServer(t, server.Config{})
+	ctx := context.Background()
+	info, err := cl.CreateSession(ctx, fastReq("forrester", 4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Drive(ctx, info.ID, testfunc.Forrester()); err != nil {
+		t.Fatal(err)
+	}
+	sug, err := cl.Suggest(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sug.Done || sug.Reason != api.CodeBudgetExhausted {
+		t.Fatalf("terminal suggest: %+v", sug)
+	}
+}
+
+// isStatus reports whether err is an *client.APIError with the given HTTP
+// status and wire code.
+func isStatus(err error, status int, code string) bool {
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		return false
+	}
+	return apiErr.Status == status && apiErr.Code == code
+}

@@ -1,0 +1,264 @@
+// Package session wraps the ask/tell core.Engine into a long-lived,
+// concurrency-safe optimization session — the unit of work of the
+// optimization-as-a-service subsystem (internal/server exposes sessions over
+// HTTP, internal/client consumes them).
+//
+// A Session decouples "suggest" from "evaluate": external evaluators (SPICE
+// farms, job schedulers, remote clients) poll Ask for the next query,
+// run the simulation wherever they like, and feed the outcome back through
+// Tell. The underlying engine guarantees that a session-driven trajectory is
+// bit-identical to the in-process core.Optimize under the same seed.
+//
+// Sessions are durable: when Config.CheckpointPath is set, every completed
+// iteration is persisted through core.SaveCheckpoint (atomic, fsynced), and
+// Open restores a previously persisted session transparently — a process
+// killed mid-run resumes exactly where its last checkpoint left off.
+//
+// Surrogate fitting is the expensive step of Ask. Sessions sharing one
+// *Limiter bound the number of concurrently fitting sessions process-wide,
+// so a server with hundreds of live sessions degrades gracefully instead of
+// oversubscribing the CPU (each fit itself parallelizes via
+// internal/parallel up to Config.Core.Workers).
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/problem"
+)
+
+// Limiter is a counting semaphore bounding how many sessions may run their
+// surrogate-fit/acquisition pipeline at once. A nil *Limiter imposes no
+// bound.
+type Limiter struct {
+	sem chan struct{}
+}
+
+// NewLimiter builds a limiter admitting n concurrent fits; n <= 0 selects
+// parallel.DefaultWorkers().
+func NewLimiter(n int) *Limiter {
+	if n <= 0 {
+		n = parallel.DefaultWorkers()
+	}
+	return &Limiter{sem: make(chan struct{}, n)}
+}
+
+// Acquire blocks until a fit slot is free or ctx is done.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	if l == nil {
+		return nil
+	}
+	select {
+	case l.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot taken by Acquire.
+func (l *Limiter) Release() {
+	if l == nil {
+		return
+	}
+	<-l.sem
+}
+
+// Config describes one session.
+type Config struct {
+	// Problem is the optimization problem evaluators will be asked to
+	// simulate (required). For service deployments this is the server-side
+	// twin of whatever the evaluator runs; only its identity/shape and cost
+	// model are consulted — evaluations arrive through Tell.
+	Problem problem.Problem
+	// Core tunes the optimizer. Core.Checkpointer is overridden when
+	// CheckpointPath is set.
+	Core core.Config
+	// Seed seeds the session RNG; the whole trajectory is a deterministic
+	// function of (Problem, Core, Seed).
+	Seed int64
+	// CheckpointPath, when non-empty, persists a snapshot after every
+	// completed iteration and enables Open to restore the session.
+	CheckpointPath string
+	// Limiter, when non-nil, bounds concurrent surrogate fits across all
+	// sessions sharing it.
+	Limiter *Limiter
+}
+
+// Session is a thread-safe, persistent ask/tell optimization run.
+type Session struct {
+	mu  sync.Mutex
+	eng *core.Engine
+	cfg Config
+
+	created  time.Time
+	lastUsed time.Time
+}
+
+// Status is a point-in-time summary of a session.
+type Status struct {
+	core.Progress
+	Observations int
+	Created      time.Time
+	LastUsed     time.Time
+}
+
+func (c *Config) prepare() error {
+	if c.Problem == nil {
+		return errors.New("session: Config.Problem is required")
+	}
+	if c.CheckpointPath != "" {
+		c.Core.Checkpointer = core.FileCheckpointer(c.CheckpointPath)
+	}
+	return nil
+}
+
+// New starts a fresh session.
+func New(cfg Config) (*Session, error) {
+	if err := cfg.prepare(); err != nil {
+		return nil, err
+	}
+	eng, err := core.NewEngine(cfg.Problem, cfg.Core, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	return &Session{eng: eng, cfg: cfg, created: now, lastUsed: now}, nil
+}
+
+// Restore rebuilds a session from a snapshot (validated against cfg;
+// mismatches return core.ErrResumeMismatch).
+func Restore(cfg Config, ck *core.Checkpoint) (*Session, error) {
+	if err := cfg.prepare(); err != nil {
+		return nil, err
+	}
+	eng, err := core.RestoreEngine(cfg.Problem, cfg.Core, rand.New(rand.NewSource(cfg.Seed)), ck)
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	return &Session{eng: eng, cfg: cfg, created: now, lastUsed: now}, nil
+}
+
+// Open restores the session persisted at cfg.CheckpointPath when such a
+// snapshot exists, and starts a fresh session otherwise — the idempotent
+// entry point for servers recovering their session inventory after a
+// restart.
+func Open(cfg Config) (*Session, error) {
+	if cfg.CheckpointPath != "" {
+		switch ck, err := core.LoadCheckpoint(cfg.CheckpointPath); {
+		case err == nil:
+			return Restore(cfg, ck)
+		case errors.Is(err, fs.ErrNotExist):
+			// No snapshot yet: fresh session.
+		default:
+			return nil, fmt.Errorf("session: open %s: %w", cfg.CheckpointPath, err)
+		}
+	}
+	return New(cfg)
+}
+
+// touch records activity; callers hold s.mu.
+func (s *Session) touch() { s.lastUsed = time.Now() }
+
+// Ask returns the pending suggestion, computing the next one when none is
+// outstanding. The fit budget (Config.Limiter) is acquired for the duration
+// of the computation; ctx bounds only the wait for that slot plus the
+// caller's patience — cancellation does NOT terminate the session, so an
+// impatient HTTP client merely abandons its poll and can retry.
+func (s *Session) Ask(ctx context.Context) (core.Suggestion, error) {
+	if err := s.cfg.Limiter.Acquire(ctx); err != nil {
+		return core.Suggestion{}, err
+	}
+	defer s.cfg.Limiter.Release()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touch()
+	// The engine gets a background context on purpose: a per-request ctx
+	// would terminally interrupt the run on client disconnect.
+	return s.eng.Ask(context.Background())
+}
+
+// Tell ingests the outcome of the pending suggestion (see core.Engine.Tell
+// for the validation and sanitation contract) and persists a checkpoint when
+// the session is durable.
+func (s *Session) Tell(x []float64, fid problem.Fidelity, ev problem.Evaluation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touch()
+	return s.eng.Tell(x, fid, ev)
+}
+
+// Status summarizes the session.
+func (s *Session) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Status{
+		Progress:     s.eng.Progress(),
+		Observations: len(s.eng.History()),
+		Created:      s.created,
+		LastUsed:     s.lastUsed,
+	}
+}
+
+// History returns a copy of the observation log.
+func (s *Session) History() []core.Observation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]core.Observation(nil), s.eng.History()...)
+}
+
+// Done reports whether the session reached a terminal state.
+func (s *Session) Done() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Done()
+}
+
+// Result assembles the run outcome (see core.Engine.Result).
+func (s *Session) Result() (*core.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Result()
+}
+
+// Snapshot returns a deep-copied checkpoint of the current state.
+func (s *Session) Snapshot() *core.Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Snapshot()
+}
+
+// Persist force-writes the current snapshot to CheckpointPath (a no-op for
+// non-durable sessions). Servers call it before evicting idle sessions and
+// during graceful shutdown so that even the mid-initialization phase — which
+// has no natural checkpoint boundary yet — survives.
+func (s *Session) Persist() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.CheckpointPath == "" {
+		return nil
+	}
+	return core.SaveCheckpoint(s.cfg.CheckpointPath, s.eng.Snapshot())
+}
+
+// LastUsed reports the time of the most recent Ask/Tell.
+func (s *Session) LastUsed() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastUsed
+}
+
+// CheckpointPath returns the session's persistence file ("" when volatile).
+func (s *Session) CheckpointPath() string { return s.cfg.CheckpointPath }
+
+// Problem returns the session's problem.
+func (s *Session) Problem() problem.Problem { return s.cfg.Problem }
