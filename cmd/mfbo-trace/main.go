@@ -1,0 +1,77 @@
+// Command mfbo-trace renders a structured telemetry event log (the JSONL
+// stream written by `mfbo -telemetry run.jsonl` or by a telemetry-enabled
+// service session) into human-readable reports:
+//
+//	mfbo-trace run.jsonl            per-iteration convergence/fidelity table
+//	mfbo-trace -spans run.jsonl     span timing aggregates
+//	mfbo-trace -faults run.jsonl    robust-layer fault events
+//	mfbo-trace -raw run.jsonl       re-emit events as indented JSON
+//
+// The iteration table shows, per adaptive iteration, the §3.4 fidelity
+// decision (σ²_max vs (1+Nc)·γ), the wEI acquisition value at the argmax,
+// the observed objective, the running best and any notes (bootstrap mode,
+// degradation rung, duplicate fallback, failures). It reads from stdin when
+// the path is "-".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	spans := flag.Bool("spans", false, "print span timing aggregates instead of the iteration table")
+	faults := flag.Bool("faults", false, "print robust-layer fault events")
+	raw := flag.Bool("raw", false, "re-emit every event as indented JSON")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: mfbo-trace [-spans|-faults|-raw] <events.jsonl | ->")
+	}
+
+	var events []telemetry.Event
+	var err error
+	if path := flag.Arg(0); path == "-" {
+		events, err = telemetry.ReadJSONL(os.Stdin)
+	} else {
+		events, err = telemetry.ReadJSONLFile(path)
+	}
+	if err != nil {
+		log.Fatalf("mfbo-trace: %v", err)
+	}
+	if len(events) == 0 {
+		log.Fatal("mfbo-trace: no events")
+	}
+
+	switch {
+	case *raw:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		for _, ev := range events {
+			if err := enc.Encode(ev); err != nil {
+				log.Fatalf("mfbo-trace: %v", err)
+			}
+		}
+	case *faults:
+		n := 0
+		for _, ev := range events {
+			if ev.Fault == nil {
+				continue
+			}
+			n++
+			fmt.Printf("%-8s %-8s attempt=%d %s\n", ev.Fault.Fidelity, ev.Fault.Kind, ev.Fault.Attempt, ev.Fault.Err)
+		}
+		if n == 0 {
+			fmt.Println("no fault events")
+		}
+	case *spans:
+		fmt.Print(telemetry.Summarize(events).SpanTable())
+	default:
+		fmt.Print(telemetry.Summarize(events).Table())
+	}
+}

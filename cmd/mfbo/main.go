@@ -35,6 +35,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/optimize"
 	"repro/internal/robust"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -54,12 +55,30 @@ func main() {
 	resume := flag.Bool("resume", false, "resume the mfbo run from the -checkpoint file")
 	chaosRate := flag.Float64("chaos", 0, "inject this low-fidelity failure rate (plus panics at a quarter of it); implies a fault-tolerance demo")
 	procs := flag.Int("procs", 0, "worker goroutines for surrogate training and acquisition maximization (0 = all CPUs, 1 = serial; the result is bit-identical for every setting)")
+	telemetryPath := flag.String("telemetry", "", "write the structured per-iteration event log (JSONL) here (mfbo algorithm; render with mfbo-trace)")
+	traceSample := flag.Int("trace-sample", 1, "with -telemetry: emit every n-th root trace span (1 = all)")
 	flag.Parse()
 
 	p, err := catalog.Lookup(*probName)
 	if err != nil {
 		log.Fatalf("mfbo: %v", err)
 	}
+
+	// Telemetry: a JSONL event sink (the on-disk log mfbo-trace renders)
+	// plus an in-memory ring for the end-of-run convergence table. Enabling
+	// it never changes the optimization trajectory.
+	var rec *telemetry.Recorder
+	var evlog *telemetry.JSONL
+	var evring *telemetry.Ring
+	if *telemetryPath != "" {
+		evlog, err = telemetry.OpenJSONL(*telemetryPath)
+		if err != nil {
+			log.Fatalf("mfbo: %v", err)
+		}
+		evring = telemetry.NewRing(4096)
+		rec = telemetry.NewRecorder(telemetry.Multi(evlog, evring), *traceSample)
+	}
+
 	if *chaosRate > 0 {
 		p = robust.NewChaos(p, robust.ChaosConfig{
 			Low:  robust.FidelityChaos{FailRate: *chaosRate, PanicRate: *chaosRate / 4},
@@ -71,6 +90,7 @@ func main() {
 			MaxRetries: *retries,
 			Timeout:    *evalTimeout,
 			Seed:       *seed,
+			Telemetry:  rec,
 		})
 	}
 	rng := rand.New(rand.NewSource(*seed))
@@ -94,6 +114,7 @@ func main() {
 		cfg := core.Config{
 			Budget: *budget, InitLow: *initLow, InitHigh: *initHigh,
 			Gamma: *gamma, MSP: msp, Callback: cb, Workers: *procs,
+			Telemetry: rec,
 		}
 		if *ckptPath != "" {
 			cfg.Checkpointer = core.FileCheckpointer(*ckptPath)
@@ -158,6 +179,16 @@ func main() {
 	}
 	for _, d := range res.Degradations {
 		fmt.Printf("degraded:  iter %d output %d → %s (%s)\n", d.Iter, d.Output, d.Stage, d.Reason)
+	}
+	if rec != nil {
+		sum := telemetry.Summarize(evring.Snapshot())
+		fmt.Println()
+		fmt.Print(sum.Table())
+		if err := evlog.Close(); err != nil {
+			log.Printf("mfbo: telemetry log: %v", err)
+		} else {
+			fmt.Printf("telemetry: event log written to %s (render with mfbo-trace)\n", *telemetryPath)
+		}
 	}
 }
 

@@ -10,20 +10,31 @@
 // first touch, so crashed deployments resume exactly where their checkpoints
 // left off. SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests
 // (surrogate fits included) drain, then every live session is persisted.
+//
+// The daemon is live-introspectable (see DESIGN.md "Observability"):
+//
+//	GET /metrics                        Prometheus text exposition
+//	GET /debug/vars                     the same registry as expvar JSON
+//	GET /debug/pprof/...                with -pprof
+//	GET /v1/sessions/{id}/telemetry     per-session structured event ring
+//	GET /v1/healthz                     uptime, sessions, checkpoint-dir probe
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -37,11 +48,22 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 0, "max live sessions (0 = unbounded)")
 	drain := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
 	verbose := flag.Bool("v", false, "log every session event")
+	metrics := flag.Bool("metrics", true, "serve Prometheus metrics at /metrics and expvar JSON at /debug/vars")
+	ringSize := flag.Int("event-ring", 512, "per-session telemetry event-ring capacity (<0 disables)")
+	traceSample := flag.Int("trace-sample", 16, "emit every n-th root trace span into session event streams (1 = all)")
+	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
 	flag.Parse()
 
 	logf := func(string, ...any) {}
 	if *verbose {
 		logf = log.Printf
+	}
+
+	// The process-wide recorder: one metrics registry shared by the HTTP
+	// layer and every session, sampled trace spans into each session's ring.
+	var rec *telemetry.Recorder
+	if *metrics {
+		rec = telemetry.NewRecorder(nil, *traceSample)
 	}
 
 	srv, err := server.New(server.Config{
@@ -50,14 +72,33 @@ func main() {
 		MaxConcurrentFits: *maxFits,
 		MaxSessions:       *maxSessions,
 		Logf:              logf,
+		Telemetry:         rec,
+		EventRingSize:     *ringSize,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	// Mount the introspection surface next to the API. The API keeps the
+	// whole /v1/ prefix; observability lives under /metrics and /debug/.
+	root := http.NewServeMux()
+	root.Handle("/v1/", srv)
+	if rec != nil {
+		root.Handle("GET /metrics", rec.Metrics.Handler())
+		expvar.Publish("mfbo", expvar.Func(func() any { return rec.Metrics.Snapshot() }))
+		root.Handle("GET /debug/vars", expvar.Handler())
+	}
+	if *enablePprof {
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
 	hs := &http.Server{
 		Addr:         *addr,
-		Handler:      srv,
+		Handler:      root,
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 10 * time.Minute, // suggests may wait on a fit slot
 	}

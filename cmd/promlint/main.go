@@ -1,0 +1,350 @@
+// Command promlint validates Prometheus text-exposition output — the CI
+// gate that keeps /metrics scrapeable without pulling in a Prometheus
+// dependency:
+//
+//	curl -s localhost:8932/metrics | promlint -require mfbo_http_requests_total,mfbo_sessions_live
+//	promlint -url http://localhost:8932/metrics
+//
+// It checks the subset of the format contract that scrapes actually break
+// on: metric/label naming, HELP/TYPE comment structure, sample syntax,
+// duplicate series, histogram completeness (_bucket/_sum/_count present,
+// cumulative non-decreasing buckets ending in le="+Inf"), and — with
+// -require — that the named families are present with at least one sample.
+// Exit status 0 means clean; 1 lists every violation on stderr.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var (
+	metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelName  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	// sampleLine captures name, optional label block and the rest
+	// (value [timestamp]).
+	sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)(\s+-?\d+)?\s*$`)
+)
+
+type linter struct {
+	problems []string
+	types    map[string]string // family -> TYPE
+	helps    map[string]bool
+	samples  map[string]int            // family (bucket/sum/count folded) -> sample count
+	series   map[string]int            // full series key -> line no (duplicate detection)
+	buckets  map[string][]bucketSample // histogram family -> le buckets in order
+	sums     map[string]bool
+	counts   map[string]float64
+}
+
+type bucketSample struct {
+	le    float64
+	value float64
+	key   string // series key without the le label
+}
+
+func (l *linter) errf(line int, format string, args ...any) {
+	l.problems = append(l.problems, fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+}
+
+// base folds histogram suffixes onto their family name when the family is a
+// declared histogram.
+func (l *linter) base(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if fam, ok := strings.CutSuffix(name, suf); ok && l.types[fam] == "histogram" {
+			return fam
+		}
+	}
+	return name
+}
+
+func (l *linter) lint(r io.Reader) {
+	l.types = make(map[string]string)
+	l.helps = make(map[string]bool)
+	l.samples = make(map[string]int)
+	l.series = make(map[string]int)
+	l.buckets = make(map[string][]bucketSample)
+	l.sums = make(map[string]bool)
+	l.counts = make(map[string]float64)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			l.lintComment(n, line)
+			continue
+		}
+		l.lintSample(n, line)
+	}
+	if err := sc.Err(); err != nil {
+		l.problems = append(l.problems, "read: "+err.Error())
+	}
+	l.lintHistograms()
+}
+
+func (l *linter) lintComment(n int, line string) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return // bare comment: allowed
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !metricName.MatchString(fields[2]) {
+			l.errf(n, "malformed HELP comment: %q", line)
+			return
+		}
+		if l.helps[fields[2]] {
+			l.errf(n, "duplicate HELP for %s", fields[2])
+		}
+		l.helps[fields[2]] = true
+	case "TYPE":
+		if len(fields) != 4 || !metricName.MatchString(fields[2]) {
+			l.errf(n, "malformed TYPE comment: %q", line)
+			return
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			l.errf(n, "invalid TYPE %q for %s", fields[3], fields[2])
+		}
+		if _, dup := l.types[fields[2]]; dup {
+			l.errf(n, "duplicate TYPE for %s", fields[2])
+		}
+		if l.samples[fields[2]] > 0 {
+			l.errf(n, "TYPE for %s appears after its samples", fields[2])
+		}
+		l.types[fields[2]] = fields[3]
+	}
+}
+
+func (l *linter) lintSample(n int, line string) {
+	m := sampleLine.FindStringSubmatch(line)
+	if m == nil {
+		l.errf(n, "unparsable sample: %q", line)
+		return
+	}
+	name, labels, valStr := m[1], m[2], m[3]
+	val, err := parseValue(valStr)
+	if err != nil {
+		l.errf(n, "bad sample value %q: %v", valStr, err)
+		return
+	}
+	var le = math.NaN()
+	seriesKey := name
+	var leStripped string
+	if labels != "" {
+		pairs, perr := parseLabels(labels)
+		if perr != "" {
+			l.errf(n, "%s: %s", name, perr)
+			return
+		}
+		var parts, stripped []string
+		for _, kv := range pairs {
+			parts = append(parts, kv[0]+"="+kv[1])
+			if kv[0] == "le" {
+				if v, err := parseValue(strings.Trim(kv[1], `"`)); err == nil {
+					le = v
+				} else {
+					l.errf(n, "%s: unparsable le bucket %s", name, kv[1])
+				}
+				continue
+			}
+			stripped = append(stripped, kv[0]+"="+kv[1])
+		}
+		sort.Strings(parts)
+		sort.Strings(stripped)
+		seriesKey = name + "{" + strings.Join(parts, ",") + "}"
+		leStripped = name + "{" + strings.Join(stripped, ",") + "}"
+	}
+	if prev, dup := l.series[seriesKey]; dup {
+		l.errf(n, "duplicate series %s (first at line %d)", seriesKey, prev)
+	}
+	l.series[seriesKey] = n
+
+	fam := l.base(name)
+	l.samples[fam]++
+	if l.types[fam] == "histogram" {
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			if math.IsNaN(le) {
+				l.errf(n, "%s: histogram bucket without le label", name)
+			} else {
+				l.buckets[fam] = append(l.buckets[fam], bucketSample{le: le, value: val, key: leStripped})
+			}
+		case strings.HasSuffix(name, "_sum"):
+			l.sums[fam] = true
+		case strings.HasSuffix(name, "_count"):
+			l.counts[fam] = val
+		}
+	}
+}
+
+// lintHistograms verifies bucket structure per histogram family: cumulative
+// non-decreasing counts, a terminal le="+Inf" bucket matching _count, and
+// the _sum/_count pair present.
+func (l *linter) lintHistograms() {
+	for fam, typ := range l.types {
+		if typ != "histogram" || l.samples[fam] == 0 {
+			continue
+		}
+		bks := l.buckets[fam]
+		if len(bks) == 0 {
+			l.problems = append(l.problems, fmt.Sprintf("histogram %s has no _bucket samples", fam))
+			continue
+		}
+		if !l.sums[fam] {
+			l.problems = append(l.problems, fmt.Sprintf("histogram %s is missing its _sum sample", fam))
+		}
+		if _, ok := l.counts[fam]; !ok {
+			l.problems = append(l.problems, fmt.Sprintf("histogram %s is missing its _count sample", fam))
+		}
+		// Group buckets by their non-le labels (one group per labeled series).
+		groups := make(map[string][]bucketSample)
+		for _, b := range bks {
+			groups[b.key] = append(groups[b.key], b)
+		}
+		for key, g := range groups {
+			hasInf := false
+			for i, b := range g {
+				if math.IsInf(b.le, 1) {
+					hasInf = true
+				}
+				if i > 0 {
+					if b.le <= g[i-1].le {
+						l.problems = append(l.problems, fmt.Sprintf("histogram %s: le buckets not increasing (%g after %g)", key, b.le, g[i-1].le))
+					}
+					if b.value < g[i-1].value {
+						l.problems = append(l.problems, fmt.Sprintf("histogram %s: bucket counts not cumulative (%g < %g at le=%g)", key, b.value, g[i-1].value, b.le))
+					}
+				}
+			}
+			if !hasInf {
+				l.problems = append(l.problems, fmt.Sprintf("histogram %s is missing its le=\"+Inf\" bucket", key))
+			}
+		}
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels splits a {k="v",...} block into [name, quotedValue] pairs,
+// validating names and quoting. Returns a non-empty error string on failure.
+func parseLabels(block string) ([][2]string, string) {
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	if inner == "" {
+		return nil, ""
+	}
+	var pairs [][2]string
+	rest := inner
+	for rest != "" {
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			return nil, fmt.Sprintf("malformed label block %q", block)
+		}
+		name := rest[:eq]
+		if !labelName.MatchString(name) {
+			return nil, fmt.Sprintf("invalid label name %q", name)
+		}
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Sprintf("unquoted value for label %q", name)
+		}
+		// Scan the quoted value honoring backslash escapes.
+		i := 1
+		for i < len(rest) {
+			if rest[i] == '\\' {
+				i += 2
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(rest) {
+			return nil, fmt.Sprintf("unterminated value for label %q", name)
+		}
+		pairs = append(pairs, [2]string{name, rest[:i+1]})
+		rest = rest[i+1:]
+		if rest != "" {
+			if rest[0] != ',' {
+				return nil, fmt.Sprintf("malformed label block %q", block)
+			}
+			rest = rest[1:]
+		}
+	}
+	return pairs, ""
+}
+
+func main() {
+	log.SetFlags(0)
+	url := flag.String("url", "", "scrape this URL instead of reading stdin/file")
+	require := flag.String("require", "", "comma-separated metric families that must be present with samples")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	switch {
+	case *url != "":
+		resp, err := http.Get(*url)
+		if err != nil {
+			log.Fatalf("promlint: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("promlint: GET %s: %s", *url, resp.Status)
+		}
+		r = resp.Body
+	case flag.NArg() == 1 && flag.Arg(0) != "-":
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatalf("promlint: %v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	l := &linter{}
+	l.lint(r)
+	for _, fam := range strings.Split(*require, ",") {
+		fam = strings.TrimSpace(fam)
+		if fam == "" {
+			continue
+		}
+		if l.samples[fam] == 0 {
+			l.problems = append(l.problems, fmt.Sprintf("required family %s has no samples", fam))
+		}
+	}
+	if len(l.problems) > 0 {
+		for _, p := range l.problems {
+			fmt.Fprintln(os.Stderr, "promlint: "+p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("promlint: OK (%d series across %d families)\n", len(l.series), len(l.samples))
+}

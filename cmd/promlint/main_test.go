@@ -1,0 +1,130 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintString(s string) *linter {
+	l := &linter{}
+	l.lint(strings.NewReader(s))
+	return l
+}
+
+func TestCleanExposition(t *testing.T) {
+	l := lintString(`# HELP app_requests_total total requests
+# TYPE app_requests_total counter
+app_requests_total{route="create",code="201"} 3
+app_requests_total{route="delete"} 1
+# TYPE app_live gauge
+app_live 2
+# HELP app_latency_seconds latency
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.5"} 1
+app_latency_seconds_bucket{le="1"} 2
+app_latency_seconds_bucket{le="+Inf"} 3
+app_latency_seconds_sum 3.5
+app_latency_seconds_count 3
+`)
+	if len(l.problems) != 0 {
+		t.Fatalf("clean input flagged: %v", l.problems)
+	}
+	if l.samples["app_latency_seconds"] != 5 {
+		t.Fatalf("histogram samples folded = %d", l.samples["app_latency_seconds"])
+	}
+}
+
+func TestDuplicateSeriesDetected(t *testing.T) {
+	l := lintString(`# TYPE x_total counter
+x_total{a="1",b="2"} 1
+x_total{b="2",a="1"} 2
+`)
+	if len(l.problems) != 1 || !strings.Contains(l.problems[0], "duplicate series") {
+		t.Fatalf("problems = %v", l.problems)
+	}
+}
+
+func TestHistogramViolations(t *testing.T) {
+	for name, tc := range map[string]struct{ in, want string }{
+		"missing inf": {
+			in: `# TYPE h histogram
+h_bucket{le="1"} 1
+h_sum 1
+h_count 1
+`,
+			want: `le="+Inf"`,
+		},
+		"non cumulative": {
+			in: `# TYPE h histogram
+h_bucket{le="1"} 5
+h_bucket{le="2"} 3
+h_bucket{le="+Inf"} 5
+h_sum 1
+h_count 5
+`,
+			want: "not cumulative",
+		},
+		"missing sum": {
+			in: `# TYPE h histogram
+h_bucket{le="+Inf"} 1
+h_count 1
+`,
+			want: "missing its _sum",
+		},
+		"missing count": {
+			in: `# TYPE h histogram
+h_bucket{le="+Inf"} 1
+h_sum 0.5
+`,
+			want: "missing its _count",
+		},
+	} {
+		l := lintString(tc.in)
+		found := false
+		for _, p := range l.problems {
+			if strings.Contains(p, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s: problems = %v, want one containing %q", name, l.problems, tc.want)
+		}
+	}
+}
+
+func TestSyntaxViolations(t *testing.T) {
+	for name, tc := range map[string]struct{ in, want string }{
+		"bad type":          {"# TYPE x flux\n", "invalid TYPE"},
+		"type after sample": {"x_total 1\n# TYPE x_total counter\n", "after its samples"},
+		"bad value":         {"# TYPE x gauge\nx notanumber\n", "bad sample value"},
+		"unquoted label":    {"# TYPE x gauge\nx{a=1} 2\n", "unquoted value"},
+		"bad label name":    {"# TYPE x gauge\nx{0a=\"1\"} 2\n", "invalid label name"},
+		"unparsable":        {"!!! garbage\n", "unparsable sample"},
+		"duplicate help":    {"# HELP x a\n# HELP x b\n", "duplicate HELP"},
+	} {
+		l := lintString(tc.in)
+		found := false
+		for _, p := range l.problems {
+			if strings.Contains(p, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s: problems = %v, want one containing %q", name, l.problems, tc.want)
+		}
+	}
+}
+
+func TestEscapedLabelValues(t *testing.T) {
+	l := lintString("# TYPE x gauge\nx{msg=\"a\\\"b\\\\c\"} 1\n")
+	if len(l.problems) != 0 {
+		t.Fatalf("escaped label flagged: %v", l.problems)
+	}
+}
+
+func TestSpecialValues(t *testing.T) {
+	l := lintString("# TYPE x gauge\nx{k=\"a\"} +Inf\nx{k=\"b\"} -Inf\nx{k=\"c\"} NaN\n")
+	if len(l.problems) != 0 {
+		t.Fatalf("special float values flagged: %v", l.problems)
+	}
+}

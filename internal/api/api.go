@@ -12,6 +12,8 @@
 // problem.PenaltyEvaluation) before posting.
 package api
 
+import "encoding/json"
+
 // Error codes carried by ErrorReply.Code. The client maps them back onto the
 // typed sentinel errors of internal/core so errors.Is works across the wire.
 const (
@@ -161,8 +163,35 @@ type SessionsReply struct {
 	Sessions []string `json:"sessions"`
 }
 
-// HealthReply is the reply of GET /v1/healthz.
+// HealthReply is the reply of GET /v1/healthz. Beyond liveness it carries
+// the readiness facts a load balancer or operator wants: how long the
+// process has been up, how many sessions are live, and whether the
+// checkpoint directory (when configured) is actually writable — a full disk
+// or permission regression turns OK false before it corrupts a run.
 type HealthReply struct {
-	OK       bool `json:"ok"`
-	Sessions int  `json:"sessions"`
+	OK            bool    `json:"ok"`
+	Sessions      int     `json:"sessions"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// CheckpointDir echoes the configured persistence directory ("" when
+	// sessions are volatile); CheckpointWritable reports the result of a
+	// write probe against it and is omitted when no directory is configured.
+	CheckpointDir      string `json:"checkpoint_dir,omitempty"`
+	CheckpointWritable *bool  `json:"checkpoint_writable,omitempty"`
+	// FitSlotsInUse / FitSlotsWaiting / FitSlots expose the surrogate-fit
+	// limiter queue.
+	FitSlotsInUse   int `json:"fit_slots_in_use"`
+	FitSlotsWaiting int `json:"fit_slots_waiting"`
+	FitSlots        int `json:"fit_slots"`
+}
+
+// TelemetryReply is the reply of GET /v1/sessions/{id}/telemetry: the
+// newest buffered events of the session (oldest first) plus how many older
+// ones the bounded ring has already overwritten. Each event is relayed
+// verbatim as raw JSON — unmarshal into internal/telemetry.Event for the
+// typed schema; keeping them raw here means the wire package does not pin
+// the event schema.
+type TelemetryReply struct {
+	ID      string            `json:"id"`
+	Events  []json.RawMessage `json:"events"`
+	Dropped uint64            `json:"dropped"`
 }

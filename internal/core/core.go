@@ -44,6 +44,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"repro/internal/acq"
 	"repro/internal/gp"
@@ -53,6 +54,7 @@ import (
 	"repro/internal/problem"
 	"repro/internal/robust"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Config tunes the optimizer. Zero values select the paper's settings where
@@ -120,6 +122,16 @@ type Config struct {
 	// count resume correctly under any other. When MSP.Workers is unset it
 	// inherits this value.
 	Workers int
+	// Telemetry, when non-nil, wires full-loop observability into the run:
+	// a structured event per iteration (the §3.4 σ²_l-vs-(1+Nc)γ fidelity
+	// comparison, wEI values at the argmax, incumbents, surrogate NLML and
+	// restart bookkeeping, degradation rungs, MSP convergence counts),
+	// metrics into Telemetry.Metrics, and trace spans through Ask/Tell,
+	// gp.Fit and optimize.MaximizeMSP. Telemetry never consumes optimizer
+	// randomness or adds floating-point work, so the trajectory is
+	// bit-identical with it on or off; nil (the default) is a
+	// zero-allocation no-op on every hot path.
+	Telemetry *telemetry.Recorder
 }
 
 func (c *Config) defaults() error {
@@ -258,6 +270,48 @@ func (d *dataset) window(max int) ([][]float64, *dataset) {
 	return view.X, view
 }
 
+// coreMetrics caches the optimizer's metric handles so the hot path never
+// hits the registry's lock. All fields are nil (and every operation a no-op)
+// when telemetry is off.
+type coreMetrics struct {
+	iterations  *telemetry.Counter
+	evalsLow    *telemetry.Counter
+	evalsHigh   *telemetry.Counter
+	evalsFailed *telemetry.Counter
+	degrade     map[DegradeStage]*telemetry.Counter
+	fitRestarts *telemetry.Counter
+	fitDiverged *telemetry.Counter
+	fitSeconds  *telemetry.Histogram
+	acqSeconds  *telemetry.Histogram
+	askSeconds  *telemetry.Histogram
+	cost        *telemetry.Gauge
+	best        *telemetry.Gauge
+}
+
+func newCoreMetrics(reg *telemetry.Registry) *coreMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &coreMetrics{
+		iterations:  reg.Counter("mfbo_iterations_total", "adaptive optimizer iterations completed"),
+		evalsLow:    reg.Counter("mfbo_evaluations_total", "simulations by fidelity", "fidelity", "low"),
+		evalsHigh:   reg.Counter("mfbo_evaluations_total", "simulations by fidelity", "fidelity", "high"),
+		evalsFailed: reg.Counter("mfbo_evaluations_failed_total", "evaluations that failed (charged, excluded from training)"),
+		degrade: map[DegradeStage]*telemetry.Counter{
+			DegradeWarmHypers: reg.Counter("mfbo_degradations_total", "graceful surrogate downgrades by ladder rung", "stage", string(DegradeWarmHypers)),
+			DegradeLowOnly:    reg.Counter("mfbo_degradations_total", "graceful surrogate downgrades by ladder rung", "stage", string(DegradeLowOnly)),
+			DegradeRandom:     reg.Counter("mfbo_degradations_total", "graceful surrogate downgrades by ladder rung", "stage", string(DegradeRandom)),
+		},
+		fitRestarts: reg.Counter("mfbo_fit_restarts_total", "GP hyperparameter-training starts run"),
+		fitDiverged: reg.Counter("mfbo_fit_diverged_total", "GP training starts that diverged to a non-finite NLML"),
+		fitSeconds:  reg.Histogram("mfbo_fit_seconds", "surrogate-fit wall time per iteration", nil),
+		acqSeconds:  reg.Histogram("mfbo_acq_seconds", "acquisition-maximization wall time per iteration", nil),
+		askSeconds:  reg.Histogram("mfbo_ask_seconds", "end-to-end Ask wall time (adaptive iterations)", nil),
+		cost:        reg.Gauge("mfbo_cost_equivalent_sims", "budget spent, summed across runs sharing the registry"),
+		best:        reg.Gauge("mfbo_best_objective", "best feasible high-fidelity objective (last run to update wins)"),
+	}
+}
+
 // state is the live optimizer: everything a Checkpoint snapshots.
 type state struct {
 	p   problem.Problem
@@ -275,13 +329,21 @@ type state struct {
 	iter      int // next adaptive iteration
 
 	warmLow, warmHigh [][]float64
+
+	// Telemetry plumbing (all nil when Config.Telemetry is nil; never part
+	// of a Checkpoint). ev is the in-flight iteration event: propose fills
+	// the decision fields, ingest completes it with the observation and
+	// emits it.
+	telem *telemetry.Recorder
+	met   *coreMetrics
+	ev    *telemetry.IterationEvent
 }
 
 func newState(p problem.Problem, cfg Config, rng *rand.Rand) *state {
 	d := p.Dim()
 	nc := p.NumConstraints()
 	lo, hi := p.Bounds()
-	return &state{
+	st := &state{
 		p: p, cfg: cfg, rng: rng,
 		d: d, nc: nc, nOut: 1 + nc,
 		lo: lo, hi: hi,
@@ -292,6 +354,11 @@ func newState(p problem.Problem, cfg Config, rng *rand.Rand) *state {
 		costLow: p.Cost(problem.Low) / p.Cost(problem.High),
 		warmLow: make([][]float64, 1+nc), warmHigh: make([][]float64, 1+nc),
 	}
+	if cfg.Telemetry != nil {
+		st.telem = cfg.Telemetry
+		st.met = newCoreMetrics(cfg.Telemetry.Metrics)
+	}
+	return st
 }
 
 // evaluate dispatches to the richest evaluation interface the problem
@@ -329,10 +396,78 @@ func (st *state) ingest(iter int, x []float64, fid problem.Fidelity, e problem.E
 	}
 	ob := Observation{Iter: iter, X: append([]float64(nil), x...), Fid: fid, Eval: e, CumCost: st.cost}
 	st.res.History = append(st.res.History, ob)
+	if st.telem != nil {
+		st.observeTelemetry(&ob, failed)
+	}
 	if st.cfg.Callback != nil {
 		st.cfg.Callback(ob)
 	}
 	return e
+}
+
+// observeTelemetry completes (or, for initialization points, creates) the
+// iteration event for one ingested observation, emits it, and updates the
+// optimizer metrics. Called only when telemetry is on; it reads — never
+// mutates — optimizer state.
+func (st *state) observeTelemetry(ob *Observation, failed bool) {
+	ev := st.ev
+	if ev == nil || ev.Iter != ob.Iter {
+		// Initialization point (or an observation without a matching
+		// propose, e.g. right after a resume): emit a minimal event.
+		ev = &telemetry.IterationEvent{Iter: ob.Iter, Nc: st.nc, Fidelity: ob.Fid.String()}
+	}
+	st.ev = nil
+	ev.X = ob.X
+	ev.Objective = ob.Eval.Objective
+	ev.Constraints = ob.Eval.Constraints
+	ev.Failed = failed
+	ev.CumCost = ob.CumCost
+	if fp, ok := st.p.(interface{ Faults() *robust.FaultLog }); ok {
+		fl := fp.Faults()
+		ev.RetriesCum = fl.TotalRetries()
+		ev.FailuresCum = fl.TotalFailures()
+	}
+	st.telem.EmitIteration(ev)
+
+	m := st.met
+	if m == nil {
+		return
+	}
+	if ob.Fid == problem.Low {
+		m.evalsLow.Inc()
+	} else {
+		m.evalsHigh.Inc()
+	}
+	if failed {
+		m.evalsFailed.Inc()
+	}
+	if ob.Iter >= 0 {
+		m.iterations.Inc()
+	}
+	if ob.Fid == problem.Low {
+		m.cost.Add(st.costLow)
+	} else {
+		m.cost.Add(1)
+	}
+	if ob.Fid == problem.High && !failed {
+		if _, be, feas := bestOf(st.high); feas {
+			m.best.Set(be.Objective)
+		}
+	}
+}
+
+// degradeRank orders the ladder rungs from mild to severe so the iteration
+// event can record the worst one taken.
+func degradeRank(s DegradeStage) int {
+	switch s {
+	case DegradeWarmHypers:
+		return 1
+	case DegradeLowOnly:
+		return 2
+	case DegradeRandom:
+		return 3
+	}
+	return 0
 }
 
 func (st *state) degrade(iter int, stage DegradeStage, output int, reason error) {
@@ -342,6 +477,12 @@ func (st *state) degrade(iter int, stage DegradeStage, output int, reason error)
 	}
 	st.res.Degradations = append(st.res.Degradations,
 		Degradation{Iter: iter, Stage: stage, Output: output, Reason: msg})
+	if st.met != nil {
+		st.met.degrade[stage].Inc()
+	}
+	if ev := st.ev; ev != nil && ev.Iter == iter && degradeRank(stage) > degradeRank(DegradeStage(ev.Degrade)) {
+		ev.Degrade = string(stage)
+	}
 }
 
 // Optimize runs Algorithm 1 on p until the simulation budget is exhausted.
@@ -368,7 +509,7 @@ func OptimizeCtx(ctx context.Context, p problem.Problem, cfg Config, rng *rand.R
 // degradation ladder on failure. ok=false means not even the low-fidelity
 // surrogates are usable and the iteration must fall back to random
 // exploration. fused[k] may be nil (low-fidelity-only mode for output k).
-func (st *state) fitSurrogates(iter int, fullRefit bool) (lowGPs []*gp.Model, fused []*mfgp.Model, ok bool) {
+func (st *state) fitSurrogates(iter int, fullRefit bool, span *telemetry.Span) (lowGPs []*gp.Model, fused []*mfgp.Model, ok bool) {
 	cfg := &st.cfg
 	lowX, lowYs := st.low.window(cfg.MaxLowData)
 	lowGPs = make([]*gp.Model, st.nOut)
@@ -382,6 +523,7 @@ func (st *state) fitSurrogates(iter int, fullRefit bool) (lowGPs []*gp.Model, fu
 			WarmStart:    st.warmLow[k],
 			SkipTraining: !fullRefit && st.warmLow[k] != nil,
 			Workers:      cfg.Workers,
+			Span:         span,
 		}, st.rng)
 		if err != nil && st.warmLow[k] != nil {
 			// Rung 1: freeze last iteration's hyperparameters.
@@ -394,6 +536,7 @@ func (st *state) fitSurrogates(iter int, fullRefit bool) (lowGPs []*gp.Model, fu
 				WarmStart:    st.warmLow[k],
 				SkipTraining: true,
 				Workers:      cfg.Workers,
+				Span:         span,
 			}, st.rng)
 			if err2 == nil {
 				st.degrade(iter, DegradeWarmHypers, k, fmt.Errorf("low fit: %w", err))
@@ -408,6 +551,7 @@ func (st *state) fitSurrogates(iter int, fullRefit bool) (lowGPs []*gp.Model, fu
 		}
 		st.warmLow[k] = lm.Hyper()
 		lowGPs[k] = lm
+		st.noteFit(iter, lm, false)
 
 		fm, err := mfgp.FitWithLow(lm, st.d, st.high.X, st.high.column(k), mfgp.Config{
 			Restarts:      cfg.GPRestarts,
@@ -417,6 +561,7 @@ func (st *state) fitSurrogates(iter int, fullRefit bool) (lowGPs []*gp.Model, fu
 			NumSamples:    cfg.NumSamples,
 			WarmStartHigh: st.warmHigh[k],
 			Workers:       cfg.Workers,
+			Span:          span,
 		}, st.rng)
 		if err != nil && st.warmHigh[k] != nil {
 			// Rung 1 for the fused level.
@@ -430,6 +575,7 @@ func (st *state) fitSurrogates(iter int, fullRefit bool) (lowGPs []*gp.Model, fu
 				WarmStartHigh: st.warmHigh[k],
 				SkipTraining:  true,
 				Workers:       cfg.Workers,
+				Span:          span,
 			}, st.rng)
 			if err2 == nil {
 				st.degrade(iter, DegradeWarmHypers, k, fmt.Errorf("fusion fit: %w", err))
@@ -444,8 +590,32 @@ func (st *state) fitSurrogates(iter int, fullRefit bool) (lowGPs []*gp.Model, fu
 		}
 		st.warmHigh[k] = fm.High().Hyper()
 		fused[k] = fm
+		st.noteFit(iter, fm.High(), true)
 	}
 	return lowGPs, fused, true
+}
+
+// noteFit records one fitted model's NLML and restart bookkeeping into the
+// in-flight iteration event and the fit counters. No-op when telemetry is
+// off; it only reads values the fit already computed.
+func (st *state) noteFit(iter int, m *gp.Model, fusedHigh bool) {
+	if st.telem == nil {
+		return
+	}
+	info := m.FitInfo()
+	if ev := st.ev; ev != nil && ev.Iter == iter {
+		if fusedHigh {
+			ev.NLMLHigh = append(ev.NLMLHigh, m.NLML())
+		} else {
+			ev.NLMLLow = append(ev.NLMLLow, m.NLML())
+		}
+		ev.FitRestarts += info.Restarts
+		ev.FitDiverged += info.Diverged
+	}
+	if st.met != nil {
+		st.met.fitRestarts.Add(uint64(info.Restarts))
+		st.met.fitDiverged.Add(uint64(info.Diverged))
+	}
 }
 
 // propose computes the next adaptive query — the body of one Algorithm 1
@@ -453,11 +623,29 @@ func (st *state) fitSurrogates(iter int, fullRefit bool) (lowGPs []*gp.Model, fu
 // (walking the degradation ladder on failure), maximize the low- and
 // high-fidelity acquisitions with the §4.1 multiple-starting-point strategy,
 // and pick the evaluation fidelity by the §3.4 criterion.
-func (st *state) propose() ([]float64, problem.Fidelity) {
+func (st *state) propose(span *telemetry.Span) ([]float64, problem.Fidelity) {
 	cfg := &st.cfg
 	iter := st.iter
+	var ev *telemetry.IterationEvent
+	if st.telem != nil {
+		// The in-flight event: decision fields are filled here, the outcome
+		// fields when the observation is told back (observeTelemetry).
+		ev = &telemetry.IterationEvent{Iter: iter, Nc: st.nc, Gamma: cfg.Gamma}
+		st.ev = ev
+	}
 	fullRefit := iter%cfg.RefitEvery == 0
-	lowGPs, fused, ok := st.fitSurrogates(iter, fullRefit)
+	var tFit time.Time
+	if ev != nil {
+		tFit = time.Now()
+	}
+	lowGPs, fused, ok := st.fitSurrogates(iter, fullRefit, span)
+	if ev != nil {
+		d := time.Since(tFit)
+		ev.FitMs = float64(d.Nanoseconds()) / 1e6
+		if st.met != nil {
+			st.met.fitSeconds.Observe(d.Seconds())
+		}
+	}
 	if !ok {
 		// Random exploration keeps the budget moving while the training
 		// sets recover (e.g. after a burst of failed evaluations).
@@ -466,12 +654,26 @@ func (st *state) propose() ([]float64, problem.Fidelity) {
 		if cfg.ForceHighFidelity {
 			fid = problem.High
 		}
+		if ev != nil {
+			ev.Fidelity = fid.String()
+			ev.ForcedHigh = cfg.ForceHighFidelity
+		}
 		return xt, fid
 	}
 
 	// Incumbents.
 	tauLowX, tauLowEval, hasLowFeasible := bestOf(st.low)
 	tauHighX, tauHighEval, hasHighFeasible := bestOf(st.high)
+	if ev != nil {
+		if hasLowFeasible {
+			ev.HasTauLow = true
+			ev.TauLow = tauLowEval.Objective
+		}
+		if hasHighFeasible {
+			ev.HasTauHigh = true
+			ev.TauHigh = tauHighEval.Objective
+		}
+	}
 
 	// Posterior adapters. A nil fused[k] (low-only degradation) aliases
 	// the low-fidelity posterior.
@@ -510,19 +712,29 @@ func (st *state) propose() ([]float64, problem.Fidelity) {
 
 	// Step 5: low-fidelity acquisition → x*_l.
 	var acqLow func([]float64) float64
+	bootstrapLow := false
 	switch {
 	case hasLowFeasible:
 		acqLow = acq.WEI(lowObj, lowCons, tauLowEval.Objective)
 	case nc > 0:
 		fo := acq.FeasibilityObjective(lowCons)
 		acqLow = func(x []float64) float64 { return -fo(x) }
+		bootstrapLow = true
 	default:
 		acqLow = acq.WEI(lowObj, nil, math.Inf(1))
 	}
-	xStarLow, _ := optimize.MaximizeMSP(st.rng, acqLow, st.box, incHigh, incLow, mspCfg)
+	var tAcq time.Time
+	var mspLow, mspHigh optimize.MSPStats
+	if ev != nil {
+		tAcq = time.Now()
+		mspCfg.Stats = &mspLow
+		mspCfg.Span = span
+	}
+	xStarLow, acqLowVal := optimize.MaximizeMSP(st.rng, acqLow, st.box, incHigh, incLow, mspCfg)
 
 	// Step 6: high-fidelity acquisition seeded with x*_l.
 	var acqHigh func([]float64) float64
+	bootstrap := false
 	switch {
 	case hasHighFeasible:
 		acqHigh = acq.WEI(fusedObj, fusedCons, tauHighEval.Objective)
@@ -530,20 +742,50 @@ func (st *state) propose() ([]float64, problem.Fidelity) {
 		// §4.2: no feasible point yet — chase predicted feasibility.
 		fo := acq.FeasibilityObjective(fusedCons)
 		acqHigh = func(x []float64) float64 { return -fo(x) }
+		bootstrap = true
 	default:
 		acqHigh = acq.WEI(fusedObj, nil, math.Inf(1))
 	}
 	mspCfg.Extra = append(append([][]float64(nil), cfg.MSP.Extra...), xStarLow)
-	xt, _ := optimize.MaximizeMSP(st.rng, acqHigh, st.box, incHigh, incLow, mspCfg)
+	if ev != nil {
+		mspCfg.Stats = &mspHigh
+	}
+	xt, acqHighVal := optimize.MaximizeMSP(st.rng, acqHigh, st.box, incHigh, incLow, mspCfg)
+	if ev != nil {
+		d := time.Since(tAcq)
+		ev.AcqMs = float64(d.Nanoseconds()) / 1e6
+		if st.met != nil {
+			st.met.acqSeconds.Observe(d.Seconds())
+		}
+		ev.AcqLow = acqLowVal
+		ev.AcqHigh = acqHighVal
+		ev.Bootstrap = bootstrap
+		ev.BootstrapLow = bootstrapLow
+		ev.MSPStartsLow = mspLow.Starts
+		ev.MSPDivergedLow = mspLow.Diverged
+		ev.MSPStartsHigh = mspHigh.Starts
+		ev.MSPDivergedHigh = mspHigh.Diverged
+	}
 
 	// Degenerate-query guard: re-sampling an existing point adds no
 	// information; fall back to a random exploration point.
-	fid := cfg.selectFidelity(lowGPs, xt, nc)
-	if isDuplicate(xt, st.low, st.high, fid) {
+	dec := cfg.selectFidelity(lowGPs, xt, nc)
+	if isDuplicate(xt, st.low, st.high, dec.fid) {
 		xt = stats.UniformInBox(st.rng, st.lo, st.hi, 1)[0]
-		fid = cfg.selectFidelity(lowGPs, xt, nc)
+		dec = cfg.selectFidelity(lowGPs, xt, nc)
+		if ev != nil {
+			ev.DuplicateFallback = true
+		}
 	}
-	return xt, fid
+	if ev != nil {
+		// §3.4 decision record: the final comparison that chose the fidelity.
+		ev.Fidelity = dec.fid.String()
+		ev.Sigma2Max = dec.sigma2Max
+		ev.Threshold = dec.threshold
+		ev.HasSigma2 = dec.hasSigma2
+		ev.ForcedHigh = dec.forced
+	}
+	return xt, dec.fid
 }
 
 // finish assembles the terminal Result fields from the current state.
@@ -561,13 +803,24 @@ func (st *state) finish(context.Context) *Result {
 	return res
 }
 
+// fidelityDecision is the outcome of one §3.4 fidelity selection, with the
+// comparison values behind it (for telemetry). hasSigma2 is false when the
+// variance comparison was skipped (ForceHighFidelity ablation).
+type fidelityDecision struct {
+	fid       problem.Fidelity
+	sigma2Max float64 // max standardized low-fidelity posterior variance at x
+	threshold float64 // (1+Nc)·γ
+	hasSigma2 bool
+	forced    bool
+}
+
 // selectFidelity applies the §3.4 criterion (eqs. 11–12): evaluate at HIGH
 // fidelity when every low-fidelity posterior variance (standardized) is
 // below (1+Nc)·γ — i.e. when more cheap data would not improve the
 // low-fidelity models around xt.
-func (c *Config) selectFidelity(lowGPs []*gp.Model, x []float64, nc int) problem.Fidelity {
+func (c *Config) selectFidelity(lowGPs []*gp.Model, x []float64, nc int) fidelityDecision {
 	if c.ForceHighFidelity {
-		return problem.High
+		return fidelityDecision{fid: problem.High, forced: true}
 	}
 	maxVar := 0.0
 	for _, m := range lowGPs {
@@ -578,10 +831,11 @@ func (c *Config) selectFidelity(lowGPs []*gp.Model, x []float64, nc int) problem
 		}
 	}
 	threshold := (1 + float64(nc)) * c.Gamma
+	fid := problem.Low
 	if maxVar < threshold {
-		return problem.High
+		fid = problem.High
 	}
-	return problem.Low
+	return fidelityDecision{fid: fid, sigma2Max: maxVar, threshold: threshold, hasSigma2: true}
 }
 
 // bestOf returns the best observation of a dataset under the constrained

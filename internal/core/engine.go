@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/problem"
+	"repro/internal/telemetry"
 )
 
 // Suggestion is one query proposed by the optimizer: evaluate X at fidelity
@@ -72,11 +74,30 @@ func NewEngine(p problem.Problem, cfg Config, rng *rand.Rand) (*Engine, error) {
 		return nil, err
 	}
 	st := newState(p, cfg, rng)
+	st.emitRun(false)
 	return &Engine{
 		st:       st,
 		initLow:  cfg.InitSampler(rng, st.lo, st.hi, cfg.InitLow),
 		initHigh: cfg.InitSampler(rng, st.lo, st.hi, cfg.InitHigh),
 	}, nil
+}
+
+// emitRun publishes the run-metadata event that makes an event log
+// self-describing. No-op when telemetry is off.
+func (st *state) emitRun(resumed bool) {
+	if st.telem == nil {
+		return
+	}
+	st.telem.EmitRun(&telemetry.RunEvent{
+		Problem:        st.p.Name(),
+		Dim:            st.d,
+		NumConstraints: st.nc,
+		Budget:         st.cfg.Budget,
+		Gamma:          st.cfg.Gamma,
+		InitLow:        st.cfg.InitLow,
+		InitHigh:       st.cfg.InitHigh,
+		Resumed:        resumed,
+	})
 }
 
 // RestoreEngine rebuilds an engine from a Checkpoint: datasets, history,
@@ -118,6 +139,7 @@ func RestoreEngine(p problem.Problem, cfg Config, rng *rand.Rand, ck *Checkpoint
 		st.res.History[i] = ob
 	}
 	st.res.Degradations = append([]Degradation(nil), ck.Degradations...)
+	st.emitRun(true)
 
 	e := &Engine{st: st}
 	// Initialization progress is derived from the restored history: every
@@ -221,7 +243,21 @@ func (e *Engine) Ask(ctx context.Context) (Suggestion, error) {
 		e.termErr = ErrInterrupted
 		return Suggestion{}, e.termErr
 	}
-	x, fid := e.st.propose()
+	// Compute the next suggestion, traced and timed when telemetry is on.
+	var span *telemetry.Span
+	var t0 time.Time
+	if e.st.telem != nil {
+		span = e.st.telem.StartSpan("engine.ask")
+		span.Attr("iter", float64(e.st.iter))
+		t0 = time.Now()
+	}
+	x, fid := e.st.propose(span)
+	if e.st.telem != nil {
+		span.End()
+		if e.st.met != nil {
+			e.st.met.askSeconds.Observe(time.Since(t0).Seconds())
+		}
+	}
 	e.pending = &Suggestion{X: x, Fid: fid, Iter: e.st.iter}
 	return *e.pending, nil
 }
@@ -252,6 +288,12 @@ func (e *Engine) Tell(x []float64, fid problem.Fidelity, ev problem.Evaluation) 
 		}
 	}
 	e.pending = nil
+	var span *telemetry.Span
+	if e.st.telem != nil {
+		span = e.st.telem.StartSpan("engine.tell")
+		span.Attr("iter", float64(sug.Iter))
+		defer span.End()
+	}
 	e.st.ingest(sug.Iter, sug.X, sug.Fid, ev)
 	if sug.Iter < 0 {
 		if sug.Fid == problem.Low {

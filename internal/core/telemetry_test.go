@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/testfunc"
+)
+
+// TestTelemetryOracle is the bit-identity oracle: a seeded run with full
+// telemetry (metrics + event ring + unsampled tracing) must produce exactly
+// the same trajectory as the same seed with telemetry off. Telemetry only
+// captures values the optimizer computed anyway and never consumes optimizer
+// RNG, so any divergence here is a bug in the instrumentation.
+func TestTelemetryOracle(t *testing.T) {
+	p := testfunc.Pedagogical()
+	run := func(rec *telemetry.Recorder) *Result {
+		cfg := fastCfg(12)
+		cfg.Telemetry = rec
+		res, err := Optimize(p, cfg, rand.New(rand.NewSource(21)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ring := telemetry.NewRing(1024)
+	on := run(telemetry.NewRecorder(ring, 1))
+	off := run(nil)
+
+	if len(on.History) != len(off.History) {
+		t.Fatalf("history length %d vs %d", len(on.History), len(off.History))
+	}
+	for i := range on.History {
+		a, b := on.History[i], off.History[i]
+		if a.Fid != b.Fid || a.CumCost != b.CumCost || a.Eval.Objective != b.Eval.Objective {
+			t.Fatalf("history[%d] diverged: %+v vs %+v", i, a, b)
+		}
+		for j := range a.X {
+			if a.X[j] != b.X[j] {
+				t.Fatalf("history[%d].X diverged: %v vs %v", i, a.X, b.X)
+			}
+		}
+	}
+	for j := range on.BestX {
+		if on.BestX[j] != off.BestX[j] {
+			t.Fatalf("BestX diverged: %v vs %v", on.BestX, off.BestX)
+		}
+	}
+	if on.Best.Objective != off.Best.Objective || on.EquivalentSims != off.EquivalentSims {
+		t.Fatalf("result diverged: %v/%v vs %v/%v",
+			on.Best.Objective, on.EquivalentSims, off.Best.Objective, off.EquivalentSims)
+	}
+}
+
+// TestTelemetryEventStream checks the structured event log carries the
+// paper's decision variables: the run header, one event per observation, the
+// §3.4 fidelity comparison on adaptive iterations and the acquisition value
+// at the argmax.
+func TestTelemetryEventStream(t *testing.T) {
+	p := testfunc.Pedagogical()
+	ring := telemetry.NewRing(1024)
+	rec := telemetry.NewRecorder(ring, 1)
+	cfg := fastCfg(12)
+	cfg.Telemetry = rec
+	res, err := Optimize(p, cfg, rand.New(rand.NewSource(22)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	events := ring.Snapshot()
+	var runEv *telemetry.RunEvent
+	var iters []*telemetry.IterationEvent
+	spans := map[string]int{}
+	for _, ev := range events {
+		switch {
+		case ev.Run != nil:
+			runEv = ev.Run
+		case ev.Iteration != nil:
+			iters = append(iters, ev.Iteration)
+		case ev.Span != nil:
+			spans[ev.Span.Name]++
+		}
+	}
+	if runEv == nil {
+		t.Fatal("no run event emitted")
+	}
+	if runEv.Problem != p.Name() || runEv.Dim != p.Dim() || runEv.Budget != 12 ||
+		runEv.InitLow != cfg.InitLow || runEv.InitHigh != cfg.InitHigh {
+		t.Fatalf("run event = %+v", runEv)
+	}
+	if len(iters) != len(res.History) {
+		t.Fatalf("%d iteration events for %d observations", len(iters), len(res.History))
+	}
+
+	nInit, nAdaptive, nSigma, nAcq := 0, 0, 0, 0
+	for i, ev := range iters {
+		ob := res.History[i]
+		if ev.Fidelity != ob.Fid.String() || ev.CumCost != ob.CumCost || ev.Objective != ob.Eval.Objective {
+			t.Fatalf("event %d does not match history: %+v vs %+v", i, ev, ob)
+		}
+		if ev.Iter < 0 {
+			nInit++
+			continue
+		}
+		nAdaptive++
+		if ev.HasSigma2 {
+			nSigma++
+			if ev.Threshold != float64(1+ev.Nc)*ev.Gamma {
+				t.Fatalf("threshold %v != (1+%d)*%v", ev.Threshold, ev.Nc, ev.Gamma)
+			}
+		}
+		if ev.AcqHigh != 0 || ev.AcqLow != 0 {
+			nAcq++
+		}
+		if ev.MSPStartsHigh == 0 && ev.MSPStartsLow == 0 && ev.Degrade == "" && !ev.ForcedHigh {
+			t.Fatalf("adaptive event %d missing MSP bookkeeping: %+v", i, ev)
+		}
+		if len(ev.NLMLLow) == 0 && ev.Degrade == "" {
+			t.Fatalf("adaptive event %d missing fit health: %+v", i, ev)
+		}
+	}
+	if nInit != cfg.InitLow+cfg.InitHigh {
+		t.Fatalf("init events = %d, want %d", nInit, cfg.InitLow+cfg.InitHigh)
+	}
+	if nAdaptive == 0 || nSigma == 0 || nAcq == 0 {
+		t.Fatalf("adaptive=%d sigma=%d acq=%d — decision variables missing", nAdaptive, nSigma, nAcq)
+	}
+
+	// The span taxonomy: ask/tell roots plus fit and MSP children.
+	for _, name := range []string{"engine.ask", "engine.tell", "gp.fit", "optimize.msp"} {
+		if spans[name] == 0 {
+			t.Fatalf("no %q spans (got %v)", name, spans)
+		}
+	}
+
+	// The end-of-run table renders from the same stream.
+	table := telemetry.Summarize(events).Table()
+	if !strings.Contains(table, "sigma2_max") || !strings.Contains(table, "adaptive") {
+		t.Fatalf("summary table:\n%s", table)
+	}
+}
+
+// TestTelemetryMetrics checks the registry view of a run: evaluation and
+// iteration counters match the result, and the timing histograms saw the fit
+// and acquisition phases.
+func TestTelemetryMetrics(t *testing.T) {
+	p := testfunc.Forrester()
+	rec := telemetry.NewRecorder(nil, 1)
+	cfg := fastCfg(10)
+	cfg.Telemetry = rec
+	res, err := Optimize(p, cfg, rand.New(rand.NewSource(23)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := rec.Metrics
+	low := reg.Counter("mfbo_evaluations_total", "", "fidelity", "low").Value()
+	high := reg.Counter("mfbo_evaluations_total", "", "fidelity", "high").Value()
+	if low != uint64(res.NumLow) || high != uint64(res.NumHigh) {
+		t.Fatalf("evaluation counters %d/%d vs result %d/%d", low, high, res.NumLow, res.NumHigh)
+	}
+	iterations := reg.Counter("mfbo_iterations_total", "").Value()
+	adaptive := len(res.History) - cfg.InitLow - cfg.InitHigh
+	if iterations != uint64(adaptive) {
+		t.Fatalf("iterations counter %d, want %d", iterations, adaptive)
+	}
+	if reg.Histogram("mfbo_fit_seconds", "", nil).Count() == 0 {
+		t.Fatal("fit histogram empty")
+	}
+	if reg.Histogram("mfbo_acq_seconds", "", nil).Count() == 0 {
+		t.Fatal("acq histogram empty")
+	}
+	if reg.Histogram("mfbo_ask_seconds", "", nil).Count() == 0 {
+		t.Fatal("ask histogram empty")
+	}
+	// The gauge accumulates per-evaluation, so allow for summation order.
+	if g := reg.Gauge("mfbo_cost_equivalent_sims", "").Value(); math.Abs(g-res.EquivalentSims) > 1e-9 {
+		t.Fatalf("cost gauge %v vs %v", g, res.EquivalentSims)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/linalg"
 	"repro/internal/optimize"
 	"repro/internal/parallel"
+	"repro/internal/telemetry"
 )
 
 // Config controls model training. The zero value of optional fields selects
@@ -56,6 +57,10 @@ type Config struct {
 	// for every setting — restarts run on cloned kernels from pre-drawn
 	// starting points and reduce in restart order.
 	Workers int
+	// Span, when non-nil, parents a "gp.fit" trace span around the training
+	// run (annotated with the dataset size, restart bookkeeping and final
+	// NLML). nil is a zero-allocation no-op and never changes results.
+	Span *telemetry.Span
 }
 
 func (c *Config) defaults() error {
@@ -95,6 +100,7 @@ type Model struct {
 	chol  *linalg.Cholesky
 	alpha []float64 // K⁻¹ y (standardized)
 	nlml  float64
+	info  FitInfo
 
 	// predPool holds *predictScratch buffers so that PredictLatent allocates
 	// nothing in steady state even under concurrent batch prediction.
@@ -143,6 +149,10 @@ func Fit(X [][]float64, y []float64, cfg Config, rng *rand.Rand) (*Model, error)
 	if cfg.Kernel.Dim() != d {
 		return nil, fmt.Errorf("gp: kernel dim %d != input dim %d", cfg.Kernel.Dim(), d)
 	}
+	span := cfg.Span.Child("gp.fit")
+	defer span.End()
+	span.Attr("n", float64(n))
+	span.Attr("dim", float64(d))
 	m := &Model{cfg: cfg, kern: cfg.Kernel}
 	m.standardize(X, y)
 
@@ -168,6 +178,9 @@ func Fit(X [][]float64, y []float64, cfg Config, rng *rand.Rand) (*Model, error)
 		if err := m.factorize(); err != nil {
 			return nil, err
 		}
+		m.info = FitInfo{SkippedTraining: true}
+		span.Attr("skipped", 1)
+		span.Attr("nlml", m.nlml)
 		return m, nil
 	}
 
@@ -247,13 +260,21 @@ func Fit(X [][]float64, y []float64, cfg Config, rng *rand.Rand) (*Model, error)
 	})
 	bestTheta := make([]float64, nTotal)
 	bestNLML := math.Inf(1)
-	for _, r := range results {
+	info := FitInfo{Restarts: len(starts)}
+	for i, r := range results {
+		if math.IsNaN(r.f) || math.IsInf(r.f, 1) {
+			info.Diverged++
+		}
+		// Selection is exactly the pre-telemetry rule (strict <, NaN
+		// excluded), so recording FitInfo cannot change which start wins.
 		if r.f < bestNLML && !math.IsNaN(r.f) {
 			bestNLML = r.f
+			info.BestStart = i
 			copy(bestTheta, r.x)
 		}
 	}
 	if math.IsInf(bestNLML, 1) {
+		span.Attr("failed", 1)
 		return nil, errors.New("gp: training failed from every restart")
 	}
 	m.kern.SetHyper(bestTheta[:nk])
@@ -263,8 +284,26 @@ func Fit(X [][]float64, y []float64, cfg Config, rng *rand.Rand) (*Model, error)
 	if err := m.factorize(); err != nil {
 		return nil, err
 	}
+	m.info = info
+	span.Attr("restarts", float64(info.Restarts))
+	span.Attr("diverged", float64(info.Diverged))
+	span.Attr("nlml", m.nlml)
 	return m, nil
 }
+
+// FitInfo summarizes the hyperparameter-training bookkeeping of one Fit:
+// how many L-BFGS starts ran, how many diverged to a non-finite NLML, and
+// which start won. SkippedTraining marks warm-hyperparameter refits that
+// bypassed optimization entirely (Config.SkipTraining).
+type FitInfo struct {
+	Restarts        int // starting points run (default/warm start included)
+	Diverged        int // starts whose NLML ended non-finite
+	BestStart       int // winning start index (0 = default/warm start)
+	SkippedTraining bool
+}
+
+// FitInfo returns the training bookkeeping recorded by Fit.
+func (m *Model) FitInfo() FitInfo { return m.info }
 
 // standardize stores standardization parameters and the transformed data.
 func (m *Model) standardize(X [][]float64, y []float64) {

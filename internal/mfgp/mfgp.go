@@ -20,6 +20,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/parallel"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Propagation selects how the non-Gaussian high-fidelity posterior of
@@ -68,6 +69,9 @@ type Config struct {
 	// prediction (see gp.Config.Workers): 0 = default, 1 = serial. Results
 	// are bit-identical for every setting.
 	Workers int
+	// Span, when non-nil, parents the high-level GP's "gp.fit" trace span
+	// (see gp.Config.Span). nil is a zero-allocation no-op.
+	Span *telemetry.Span
 }
 
 // Model is a trained two-fidelity fusion model.
@@ -154,6 +158,7 @@ func FitWithLow(low *gp.Model, d int, Xh [][]float64, yh []float64, cfg Config, 
 		FixedNoise: cfg.FixedNoise, WarmStart: cfg.WarmStartHigh,
 		SkipTraining: cfg.SkipTraining && cfg.WarmStartHigh != nil,
 		Workers:      cfg.Workers,
+		Span:         cfg.Span,
 	}, rng)
 	if err != nil {
 		return nil, fmt.Errorf("mfgp: high-fidelity fit: %w", err)

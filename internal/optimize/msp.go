@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/parallel"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // MSPConfig configures the multiple-starting-point maximizer of §4.1.
@@ -31,6 +32,24 @@ type MSPConfig struct {
 	// bit-identical for every worker count: start points are drawn serially
 	// before the fan-out and the argmax reduction runs in start order.
 	Workers int
+	// Stats, when non-nil, is filled with start/convergence bookkeeping of
+	// this maximization. nil (the default) is a zero-allocation no-op.
+	Stats *MSPStats
+	// Span, when non-nil, parents an "optimize.msp" trace span around the
+	// maximization. nil is a zero-allocation no-op.
+	Span *telemetry.Span
+}
+
+// MSPStats records what one MaximizeMSP run did: how many local searches
+// started, how many diverged to a non-finite value (and were discarded by
+// the argmax), which start won, and the winning acquisition value. The MFBO
+// loop surfaces these in its per-iteration telemetry events so a stuck MSP
+// search is visible at runtime.
+type MSPStats struct {
+	Starts    int     // local searches launched (incumbent/uniform/Extra)
+	Diverged  int     // starts whose refined value was NaN/±Inf
+	BestStart int     // index of the winning start (-1 = total-divergence fallback)
+	BestF     float64 // maximized objective value
 }
 
 func (c *MSPConfig) defaults() {
@@ -66,7 +85,10 @@ func (c *MSPConfig) defaults() {
 func MaximizeMSP(rng *rand.Rand, f func([]float64) float64, box Box,
 	incumbentHigh, incumbentLow []float64, cfg MSPConfig) ([]float64, float64) {
 	cfg.defaults()
+	span := cfg.Span.Child("optimize.msp")
+	defer span.End()
 	starts := mspStarts(rng, box, incumbentHigh, incumbentLow, cfg)
+	span.Attr("starts", float64(len(starts)))
 	neg := func(x []float64) float64 { return -f(x) }
 	type local struct {
 		x []float64
@@ -92,13 +114,16 @@ func MaximizeMSP(rng *rand.Rand, f func([]float64) float64, box Box,
 	})
 	var bestX []float64
 	bestF := math.Inf(-1)
-	for _, r := range results {
+	bestIdx, diverged := -1, 0
+	for i, r := range results {
 		if math.IsNaN(r.f) || math.IsInf(r.f, 0) {
+			diverged++
 			continue
 		}
 		if bestX == nil || r.f > bestF {
 			bestF = r.f
 			bestX = r.x
+			bestIdx = i
 		}
 	}
 	if bestX == nil {
@@ -109,6 +134,11 @@ func MaximizeMSP(rng *rand.Rand, f func([]float64) float64, box Box,
 		bestX = box.Clip(starts[0])
 		bestF = f(bestX)
 	}
+	if cfg.Stats != nil {
+		*cfg.Stats = MSPStats{Starts: len(starts), Diverged: diverged, BestStart: bestIdx, BestF: bestF}
+	}
+	span.Attr("diverged", float64(diverged))
+	span.Attr("best_f", bestF)
 	return bestX, bestF
 }
 

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/problem"
+	"repro/internal/telemetry"
 )
 
 // Sentinel errors classifying evaluation failures.
@@ -79,6 +80,15 @@ type Policy struct {
 	Sleep func(time.Duration)
 	// Seed seeds the jitter RNG (default 1).
 	Seed int64
+	// FaultEventCap bounds the FaultLog's event ring buffer (0 selects
+	// DefaultFaultEventCap; negative disables event recording, counters
+	// still work).
+	FaultEventCap int
+	// Telemetry, when non-nil, receives a "robust.evaluate" trace span per
+	// evaluation (attempts/fidelity/outcome annotated) and a fault event per
+	// retry and terminal failure. nil is a zero-overhead no-op and never
+	// changes evaluation results.
+	Telemetry *telemetry.Recorder
 }
 
 func (p Policy) withDefaults() Policy {
@@ -150,10 +160,14 @@ var (
 func Wrap(p problem.Problem, pol Policy) *SafeProblem {
 	pol = pol.withDefaults()
 	lo, hi := p.Bounds()
+	capEvents := pol.FaultEventCap
+	if capEvents == 0 {
+		capEvents = DefaultFaultEventCap
+	}
 	return &SafeProblem{
 		inner: p,
 		pol:   pol,
-		log:   NewFaultLog(),
+		log:   NewFaultLogCap(capEvents),
 		lo:    lo, hi: hi,
 		rng: rand.New(rand.NewSource(pol.Seed)),
 	}
@@ -199,14 +213,20 @@ func (s *SafeProblem) EvaluateRich(x []float64, f problem.Fidelity) (problem.Eva
 // On terminal failure the returned evaluation is
 // problem.PenaltyEvaluation(nc) and the error explains the last cause.
 func (s *SafeProblem) EvaluateCtx(ctx context.Context, x []float64, f problem.Fidelity) (problem.Evaluation, error) {
+	span := s.pol.Telemetry.StartSpan("robust.evaluate")
+	span.Attr("fidelity", float64(f))
 	if err := problem.CheckPoint(s.inner, x); err != nil {
-		s.log.recordError(f, err)
-		s.log.recordFailure(f)
+		s.log.recordError(f, err, 0)
+		s.log.recordFailure(f, 0, err)
+		s.emitFault(f, FaultFailure, 0, err)
+		span.Attr("failed", 1)
+		span.End()
 		return problem.PenaltyEvaluation(s.NumConstraints()), err
 	}
 	xTry := append([]float64(nil), x...)
 	var lastErr error
-	for attempt := 0; ; attempt++ {
+	attempt := 0
+	for ; ; attempt++ {
 		s.log.recordAttempt(f)
 		ev, err := s.attempt(ctx, xTry, f)
 		if err == nil && !ev.IsFinite() {
@@ -214,20 +234,44 @@ func (s *SafeProblem) EvaluateCtx(ctx context.Context, x []float64, f problem.Fi
 		}
 		if err == nil {
 			s.log.recordSuccess(f)
+			span.Attr("attempts", float64(attempt+1))
+			span.End()
 			return ev, nil
 		}
-		s.log.recordError(f, err)
+		s.log.recordError(f, err, attempt)
 		lastErr = err
 		// Context cancellation is not transient: give up immediately.
 		if ctx.Err() != nil || attempt >= s.pol.MaxRetries {
 			break
 		}
-		s.log.recordRetry(f)
+		s.log.recordRetry(f, attempt)
+		s.emitFault(f, FaultRetry, attempt, err)
 		s.pol.Sleep(Backoff(attempt, s.pol))
 		xTry = s.jitter(xTry)
 	}
-	s.log.recordFailure(f)
+	s.log.recordFailure(f, attempt, lastErr)
+	s.emitFault(f, FaultFailure, attempt, lastErr)
+	span.Attr("attempts", float64(attempt+1))
+	span.Attr("failed", 1)
+	span.End()
 	return problem.PenaltyEvaluation(s.NumConstraints()), lastErr
+}
+
+// emitFault mirrors one fault-log event into the telemetry event stream.
+func (s *SafeProblem) emitFault(f problem.Fidelity, kind FaultEventKind, attempt int, err error) {
+	if s.pol.Telemetry == nil {
+		return
+	}
+	msg := ""
+	if err != nil {
+		msg = cause(err)
+	}
+	s.pol.Telemetry.Emit(telemetry.Event{
+		Type: telemetry.EventFault,
+		Fault: &telemetry.FaultEvent{
+			Fidelity: f.String(), Kind: string(kind), Attempt: attempt, Err: msg,
+		},
+	})
 }
 
 // attempt runs one guarded evaluation: panic recovery always, timeout and

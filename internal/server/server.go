@@ -33,6 +33,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -43,6 +44,7 @@ import (
 	"repro/internal/optimize"
 	"repro/internal/problem"
 	"repro/internal/session"
+	"repro/internal/telemetry"
 )
 
 // Config tunes the service.
@@ -64,6 +66,15 @@ type Config struct {
 	Lookup func(name string) (problem.Problem, error)
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+	// Telemetry, when non-nil, is the process-wide recorder: HTTP and
+	// session metrics register into its registry (exposed by cmd/mfbod at
+	// /metrics), and every session's event stream also flows into its sink.
+	// Independent of it, each session keeps a bounded in-memory event ring
+	// served at GET /v1/sessions/{id}/telemetry.
+	Telemetry *telemetry.Recorder
+	// EventRingSize bounds each session's in-memory event ring
+	// (default 512; < 0 disables per-session rings).
+	EventRingSize int
 }
 
 // Server is the HTTP handler plus its session registry.
@@ -71,6 +82,8 @@ type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
 	limiter *session.Limiter
+	started time.Time
+	met     *serverMetrics
 
 	mu       sync.RWMutex
 	sessions map[string]*entry
@@ -81,10 +94,103 @@ type Server struct {
 }
 
 // entry pairs a live session with the request that created it (needed to
-// rebuild its config on restore and to answer status queries).
+// rebuild its config on restore and to answer status queries) and its
+// telemetry ring (nil when rings are disabled).
 type entry struct {
 	sess *session.Session
 	req  api.CreateSessionRequest
+	ring *telemetry.Ring
+}
+
+// serverMetrics caches the service-level metric handles. All fields are nil
+// (and every use a no-op) when Config.Telemetry carries no registry.
+type serverMetrics struct {
+	reg       *telemetry.Registry
+	inFlight  *telemetry.Gauge
+	created   *telemetry.Counter
+	restored  *telemetry.Counter
+	evicted   *telemetry.Counter
+	deleted   *telemetry.Counter
+	reqSecs   map[string]*telemetry.Histogram // keyed by route
+	reqTotals sync.Map                        // "route\x00code" -> *telemetry.Counter
+}
+
+func newServerMetrics(reg *telemetry.Registry, s *Server) *serverMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &serverMetrics{
+		reg:      reg,
+		inFlight: reg.Gauge("mfbo_http_in_flight_requests", "HTTP requests currently being served"),
+		created:  reg.Counter("mfbo_sessions_created_total", "sessions created fresh"),
+		restored: reg.Counter("mfbo_sessions_restored_total", "sessions restored from checkpoints (restart/eviction recovery)"),
+		evicted:  reg.Counter("mfbo_sessions_evicted_total", "idle sessions persisted and evicted from memory"),
+		deleted:  reg.Counter("mfbo_sessions_deleted_total", "sessions deleted by clients"),
+		reqSecs:  make(map[string]*telemetry.Histogram),
+	}
+	reg.GaugeFunc("mfbo_sessions_live", "sessions currently resident in memory", func() float64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return float64(len(s.sessions))
+	})
+	reg.GaugeFunc("mfbo_fit_slots", "surrogate-fit limiter capacity", func() float64 {
+		return float64(s.limiter.Cap())
+	})
+	reg.GaugeFunc("mfbo_fit_slots_in_use", "surrogate-fit limiter slots held", func() float64 {
+		return float64(s.limiter.InUse())
+	})
+	reg.GaugeFunc("mfbo_fit_slots_waiting", "goroutines waiting for a fit slot", func() float64 {
+		return float64(s.limiter.Waiting())
+	})
+	return m
+}
+
+// request records one served request into the middleware metrics.
+func (m *serverMetrics) request(route string, code int, dur time.Duration) {
+	if m == nil {
+		return
+	}
+	key := route + "\x00" + strconv.Itoa(code)
+	c, ok := m.reqTotals.Load(key)
+	if !ok {
+		c, _ = m.reqTotals.LoadOrStore(key, m.reg.Counter(
+			"mfbo_http_requests_total", "HTTP requests served by route and status code",
+			"route", route, "code", strconv.Itoa(code)))
+	}
+	c.(*telemetry.Counter).Inc()
+	if h := m.reqSecs[route]; h != nil {
+		h.Observe(dur.Seconds())
+	}
+}
+
+// statusRecorder captures the response code written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps one route handler with request accounting. With
+// telemetry off it returns h unchanged, so the uninstrumented server serves
+// identically to previous releases.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	if s.met == nil {
+		return h
+	}
+	s.met.reqSecs[route] = s.met.reg.Histogram(
+		"mfbo_http_request_seconds", "request latency by route", nil, "route", route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.met.inFlight.Add(1)
+		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(sr, r)
+		s.met.inFlight.Add(-1)
+		s.met.request(route, sr.code, time.Since(start))
+	}
 }
 
 // New builds the server and, when CheckpointDir is set, ensures the
@@ -102,20 +208,23 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:         cfg,
 		limiter:     session.NewLimiter(cfg.MaxConcurrentFits),
+		started:     time.Now(),
 		sessions:    make(map[string]*entry),
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 	}
+	s.met = newServerMetrics(cfg.Telemetry.Registry(), s)
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
-	mux.HandleFunc("GET /v1/sessions", s.handleList)
-	mux.HandleFunc("GET /v1/sessions/{id}/suggest", s.handleSuggest)
-	mux.HandleFunc("POST /v1/sessions/{id}/observations", s.handleObserve)
-	mux.HandleFunc("GET /v1/sessions/{id}/status", s.handleStatus)
-	mux.HandleFunc("GET /v1/sessions/{id}/history", s.handleHistory)
-	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
-	mux.HandleFunc("GET /v1/problems", s.handleProblems)
-	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	mux.HandleFunc("POST /v1/sessions", s.instrument("create", s.handleCreate))
+	mux.HandleFunc("GET /v1/sessions", s.instrument("list", s.handleList))
+	mux.HandleFunc("GET /v1/sessions/{id}/suggest", s.instrument("suggest", s.handleSuggest))
+	mux.HandleFunc("POST /v1/sessions/{id}/observations", s.instrument("observe", s.handleObserve))
+	mux.HandleFunc("GET /v1/sessions/{id}/status", s.instrument("status", s.handleStatus))
+	mux.HandleFunc("GET /v1/sessions/{id}/history", s.instrument("history", s.handleHistory))
+	mux.HandleFunc("GET /v1/sessions/{id}/telemetry", s.instrument("telemetry", s.handleTelemetry))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("delete", s.handleDelete))
+	mux.HandleFunc("GET /v1/problems", s.instrument("problems", s.handleProblems))
+	mux.HandleFunc("GET /v1/healthz", s.instrument("healthz", s.handleHealth))
 	s.mux = mux
 	if cfg.IdleTimeout > 0 {
 		go s.janitor()
@@ -191,6 +300,9 @@ func (s *Server) evictIdle(deadline time.Time) {
 	}
 	s.mu.Unlock()
 	for i, e := range victims {
+		if s.met != nil {
+			s.met.evicted.Inc()
+		}
 		if err := e.sess.Persist(); err != nil {
 			s.logf("server: persist evicted session %s: %v", ids[i], err)
 		} else {
@@ -257,11 +369,25 @@ func coreConfig(req *api.CreateSessionRequest) core.Config {
 }
 
 // buildSession instantiates (or restores, when its checkpoint exists) the
-// session described by req.
+// session described by req. Each session gets its own bounded event ring
+// (served at /v1/sessions/{id}/telemetry); when the server carries a
+// process-wide recorder the session's events and metrics also flow into it.
 func (s *Server) buildSession(id string, req *api.CreateSessionRequest) (*entry, error) {
 	p, err := s.cfg.Lookup(req.Problem)
 	if err != nil {
 		return nil, err
+	}
+	var ring *telemetry.Ring
+	size := s.cfg.EventRingSize
+	if size == 0 {
+		size = 512
+	}
+	if size > 0 {
+		ring = telemetry.NewRing(size)
+	}
+	var rec *telemetry.Recorder
+	if ring != nil || s.cfg.Telemetry != nil {
+		rec = s.cfg.Telemetry.Child(ring)
 	}
 	sess, err := session.Open(session.Config{
 		Problem:        p,
@@ -269,11 +395,12 @@ func (s *Server) buildSession(id string, req *api.CreateSessionRequest) (*entry,
 		Seed:           req.Seed,
 		CheckpointPath: s.checkpointPath(id),
 		Limiter:        s.limiter,
+		Telemetry:      rec,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &entry{sess: sess, req: *req}, nil
+	return &entry{sess: sess, req: *req, ring: ring}, nil
 }
 
 // getSession resolves id, lazily restoring a persisted session after a
@@ -312,6 +439,9 @@ func (s *Server) getSession(id string) (*entry, error) {
 		return e, nil
 	}
 	s.sessions[id] = fresh
+	if s.met != nil {
+		s.met.restored.Inc()
+	}
 	s.logf("server: restored session %s (problem %s)", id, req.Problem)
 	return fresh, nil
 }
@@ -428,6 +558,9 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		} else {
 			s.sessions[id] = fresh
 			e = fresh
+			if s.met != nil {
+				s.met.created.Inc()
+			}
 		}
 		s.mu.Unlock()
 	}
@@ -585,6 +718,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, api.CodeNotFound, "session "+id+" not found")
 		return
 	}
+	if s.met != nil {
+		s.met.deleted.Inc()
+	}
 	s.logf("server: session %s deleted", id)
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -593,11 +729,73 @@ func (s *Server) handleProblems(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, api.ProblemsReply{Problems: catalog.Names()})
 }
 
+// handleTelemetry serves the session's buffered event stream: the newest
+// EventRingSize structured optimizer events (iterations, spans, faults),
+// oldest first, for live debugging of a stuck or slow run.
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, err := s.getSession(id)
+	if err != nil {
+		s.writeSessionErr(w, err)
+		return
+	}
+	reply := api.TelemetryReply{ID: id, Events: []json.RawMessage{}}
+	if e.ring != nil {
+		events := e.ring.Snapshot()
+		reply.Dropped = e.ring.Dropped()
+		reply.Events = make([]json.RawMessage, 0, len(events))
+		for i := range events {
+			raw, err := json.Marshal(&events[i])
+			if err != nil {
+				continue // unmarshalable event: skip rather than fail the reply
+			}
+			reply.Events = append(reply.Events, raw)
+		}
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+// handleHealth reports liveness plus the readiness facts an operator needs:
+// uptime, live-session count, fit-limiter queue state, and — when sessions
+// are durable — an actual write probe of the checkpoint directory, so a full
+// disk flips OK to false before it eats a checkpoint.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	n := len(s.sessions)
 	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, api.HealthReply{OK: true, Sessions: n})
+	reply := api.HealthReply{
+		OK:              true,
+		Sessions:        n,
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+		CheckpointDir:   s.cfg.CheckpointDir,
+		FitSlotsInUse:   s.limiter.InUse(),
+		FitSlotsWaiting: s.limiter.Waiting(),
+		FitSlots:        s.limiter.Cap(),
+	}
+	if s.cfg.CheckpointDir != "" {
+		writable := probeWritable(s.cfg.CheckpointDir)
+		reply.CheckpointWritable = &writable
+		if !writable {
+			reply.OK = false
+		}
+	}
+	status := http.StatusOK
+	if !reply.OK {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, reply)
+}
+
+// probeWritable verifies dir accepts new files by creating and removing a
+// scratch file.
+func probeWritable(dir string) bool {
+	f, err := os.CreateTemp(dir, ".healthz-*")
+	if err != nil {
+		return false
+	}
+	name := f.Name()
+	f.Close()
+	return os.Remove(name) == nil
 }
 
 // writeSessionErr maps registry/session-construction failures onto wire

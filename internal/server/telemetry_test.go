@@ -1,0 +1,172 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+	"repro/internal/testfunc"
+)
+
+// TestServerTelemetryEndpointAndMetrics drives one session on an instrumented
+// server and checks the two introspection surfaces: the per-session event
+// ring at /v1/sessions/{id}/telemetry and the shared metrics registry the
+// daemon exposes at /metrics.
+func TestServerTelemetryEndpointAndMetrics(t *testing.T) {
+	rec := telemetry.NewRecorder(nil, 1)
+	_, ts, cl := newTestServer(t, server.Config{Telemetry: rec, EventRingSize: 256})
+	ctx := context.Background()
+
+	info, err := cl.CreateSession(ctx, fastReq("pedagogical", 8, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Drive(ctx, info.ID, testfunc.Pedagogical()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Session event ring over the wire.
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + info.ID + "/telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("telemetry status = %d", resp.StatusCode)
+	}
+	var reply api.TelemetryReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.ID != info.ID || len(reply.Events) == 0 {
+		t.Fatalf("telemetry reply: id=%q events=%d", reply.ID, len(reply.Events))
+	}
+	var runs, iters int
+	for _, raw := range reply.Events {
+		var ev telemetry.Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			t.Fatalf("undecodable event %s: %v", raw, err)
+		}
+		switch {
+		case ev.Run != nil:
+			runs++
+		case ev.Iteration != nil:
+			iters++
+		}
+	}
+	if runs != 1 || iters == 0 {
+		t.Fatalf("event stream: %d run, %d iteration events", runs, iters)
+	}
+
+	// Unknown session → 404, not an empty reply.
+	resp2, err := http.Get(ts.URL + "/v1/sessions/nope/telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing-session telemetry status = %d", resp2.StatusCode)
+	}
+
+	// The shared registry saw the HTTP layer and the optimizer.
+	var b strings.Builder
+	if err := rec.Metrics.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	exposition := b.String()
+	for _, want := range []string{
+		`mfbo_http_requests_total{code="200",route="suggest"}`,
+		`mfbo_http_requests_total{code="201",route="create"}`,
+		"mfbo_http_request_seconds_bucket",
+		"mfbo_sessions_created_total 1",
+		"mfbo_sessions_live",
+		"mfbo_fit_slots",
+		"mfbo_iterations_total",
+		`mfbo_evaluations_total{fidelity="high"}`,
+	} {
+		if !strings.Contains(exposition, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, exposition)
+		}
+	}
+}
+
+// TestServerTelemetryDisabled checks the endpoint degrades gracefully when
+// the ring is disabled (EventRingSize < 0) and that an uninstrumented server
+// keeps working without a Telemetry recorder.
+func TestServerTelemetryDisabled(t *testing.T) {
+	_, ts, cl := newTestServer(t, server.Config{EventRingSize: -1})
+	ctx := context.Background()
+	info, err := cl.CreateSession(ctx, fastReq("forrester", 6, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + info.ID + "/telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var reply api.TelemetryReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Events) != 0 || reply.Dropped != 0 {
+		t.Fatalf("disabled ring returned %d events", len(reply.Events))
+	}
+}
+
+// TestHealthzExtended checks the readiness facts: session count, uptime, fit
+// slots, and the checkpoint-directory write probe flipping the endpoint to
+// 503 when the directory disappears.
+func TestHealthzExtended(t *testing.T) {
+	dir := t.TempDir() + "/ckpts"
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	_, ts, cl := newTestServer(t, server.Config{CheckpointDir: dir})
+	ctx := context.Background()
+
+	if _, err := cl.CreateSession(ctx, fastReq("forrester", 6, 6)); err != nil {
+		t.Fatal(err)
+	}
+	h, err := cl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK || h.Sessions != 1 || h.UptimeSeconds < 0 || h.FitSlots < 1 {
+		t.Fatalf("health = %+v", h)
+	}
+	if h.CheckpointDir != dir || h.CheckpointWritable == nil || !*h.CheckpointWritable {
+		t.Fatalf("checkpoint probe = %+v", h)
+	}
+
+	// Losing the checkpoint directory flips readiness to 503 with OK=false.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz status after losing dir = %d", resp.StatusCode)
+	}
+	var bad api.HealthReply
+	if err := json.NewDecoder(resp.Body).Decode(&bad); err != nil {
+		t.Fatal(err)
+	}
+	if bad.OK || bad.CheckpointWritable == nil || *bad.CheckpointWritable {
+		t.Fatalf("unwritable probe = %+v", bad)
+	}
+
+	// Restore the directory so the shutdown persistence in Cleanup succeeds.
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+}

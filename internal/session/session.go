@@ -28,18 +28,24 @@ import (
 	"io/fs"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/parallel"
 	"repro/internal/problem"
+	"repro/internal/telemetry"
 )
 
 // Limiter is a counting semaphore bounding how many sessions may run their
 // surrogate-fit/acquisition pipeline at once. A nil *Limiter imposes no
-// bound.
+// bound. InUse/Waiting expose the live queue state for observability (the
+// server publishes them as gauges), at the cost of two atomic ops per
+// Acquire.
 type Limiter struct {
-	sem chan struct{}
+	sem     chan struct{}
+	inUse   atomic.Int64
+	waiting atomic.Int64
 }
 
 // NewLimiter builds a limiter admitting n concurrent fits; n <= 0 selects
@@ -56,8 +62,11 @@ func (l *Limiter) Acquire(ctx context.Context) error {
 	if l == nil {
 		return nil
 	}
+	l.waiting.Add(1)
+	defer l.waiting.Add(-1)
 	select {
 	case l.sem <- struct{}{}:
+		l.inUse.Add(1)
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -69,7 +78,32 @@ func (l *Limiter) Release() {
 	if l == nil {
 		return
 	}
+	l.inUse.Add(-1)
 	<-l.sem
+}
+
+// Cap returns the number of concurrent fit slots (0 for a nil limiter).
+func (l *Limiter) Cap() int {
+	if l == nil {
+		return 0
+	}
+	return cap(l.sem)
+}
+
+// InUse returns the number of slots currently held.
+func (l *Limiter) InUse() int {
+	if l == nil {
+		return 0
+	}
+	return int(l.inUse.Load())
+}
+
+// Waiting returns the number of goroutines blocked in (or entering) Acquire.
+func (l *Limiter) Waiting() int {
+	if l == nil {
+		return 0
+	}
+	return int(l.waiting.Load())
 }
 
 // Config describes one session.
@@ -91,6 +125,11 @@ type Config struct {
 	// Limiter, when non-nil, bounds concurrent surrogate fits across all
 	// sessions sharing it.
 	Limiter *Limiter
+	// Telemetry, when non-nil, wires full-loop observability into the
+	// session's engine (see core.Config.Telemetry). It takes effect only when
+	// Core.Telemetry is unset, so callers that pre-wired the core keep their
+	// recorder.
+	Telemetry *telemetry.Recorder
 }
 
 // Session is a thread-safe, persistent ask/tell optimization run.
@@ -117,6 +156,9 @@ func (c *Config) prepare() error {
 	}
 	if c.CheckpointPath != "" {
 		c.Core.Checkpointer = core.FileCheckpointer(c.CheckpointPath)
+	}
+	if c.Core.Telemetry == nil {
+		c.Core.Telemetry = c.Telemetry
 	}
 	return nil
 }

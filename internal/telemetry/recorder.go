@@ -1,0 +1,90 @@
+package telemetry
+
+// Recorder bundles the three observability planes — metrics, structured
+// events, trace spans — into the single handle the optimizer stack threads
+// around. Any (or all) of the fields may be nil; every method is nil-safe
+// with zero allocations on the no-op path, so `var r *Recorder; r.Emit(...)`
+// is legal and free.
+type Recorder struct {
+	// Metrics is the registry counters/gauges/histograms register into.
+	Metrics *Registry
+	// Events receives the structured event stream (iterations, spans,
+	// faults).
+	Events Sink
+	// Tracer creates spans; typically built over the same sink.
+	Tracer *Tracer
+}
+
+// NewRecorder builds a recorder over a fresh registry, the given sink, and a
+// tracer emitting every sampleEvery-th root span into the sink.
+func NewRecorder(sink Sink, sampleEvery int) *Recorder {
+	return &Recorder{
+		Metrics: NewRegistry(),
+		Events:  sink,
+		Tracer:  NewTracer(sink, sampleEvery),
+	}
+}
+
+// Emit sends one event to the sink (nil-safe). The envelope's timestamp is
+// stamped here when unset.
+func (r *Recorder) Emit(ev Event) {
+	if r == nil || r.Events == nil {
+		return
+	}
+	if ev.TimeUnixMs == 0 {
+		ev.TimeUnixMs = nowUnixMs()
+	}
+	r.Events.Emit(ev)
+}
+
+// EmitIteration wraps one IterationEvent in its envelope and emits it.
+func (r *Recorder) EmitIteration(it *IterationEvent) {
+	if r == nil || r.Events == nil || it == nil {
+		return
+	}
+	r.Emit(Event{Type: EventIteration, Iteration: it})
+}
+
+// EmitRun emits run metadata.
+func (r *Recorder) EmitRun(run *RunEvent) {
+	if r == nil || r.Events == nil || run == nil {
+		return
+	}
+	r.Emit(Event{Type: EventRun, Run: run})
+}
+
+// StartSpan begins a root span (nil when tracing is off or unsampled).
+func (r *Recorder) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return r.Tracer.Start(name)
+}
+
+// Registry returns the metrics registry (nil-safe).
+func (r *Recorder) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.Metrics
+}
+
+// Child derives a recorder that shares r's metrics registry and tracer
+// sampling but emits events into sink as well as r's own sink — the
+// per-session pattern: the server keeps one registry while every session
+// also fills its own introspection ring.
+func (r *Recorder) Child(sink Sink) *Recorder {
+	if r == nil {
+		return &Recorder{Events: sink, Tracer: NewTracer(sink, 1)}
+	}
+	combined := Multi(r.Events, sink)
+	every := 1
+	if r.Tracer != nil {
+		every = int(r.Tracer.sampleEvery)
+	}
+	return &Recorder{
+		Metrics: r.Metrics,
+		Events:  combined,
+		Tracer:  NewTracer(combined, every),
+	}
+}

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Tracer creates lightweight trace spans. Spans use the monotonic clock for
+// durations, carry parent/child links, and are emitted as SpanEvents into a
+// Sink when they End. Sampling is deterministic and RNG-free: every
+// SampleEvery-th root span (counted atomically) is sampled, children inherit
+// their parent's decision — so enabling tracing can never perturb the
+// optimizer's random stream.
+//
+// A nil *Tracer and a nil *Span are valid no-ops: Start/Child return nil and
+// every Span method on nil does nothing, with zero allocations.
+type Tracer struct {
+	sink        Sink
+	sampleEvery uint64
+	roots       atomic.Uint64
+	ids         atomic.Uint64
+}
+
+// NewTracer builds a tracer emitting sampled spans into sink. sampleEvery
+// selects every n-th root span (1 = all, 0 defaults to 1); a nil sink
+// disables emission (spans still time themselves, useful for tests).
+func NewTracer(sink Sink, sampleEvery int) *Tracer {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	return &Tracer{sink: sink, sampleEvery: uint64(sampleEvery)}
+}
+
+// Span is one in-flight operation. Create with Tracer.Start or Span.Child;
+// finish with End. Not safe for concurrent mutation (one goroutine owns a
+// span), matching how the optimizer threads them.
+type Span struct {
+	tr     *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	attrs  map[string]float64
+	ended  bool
+}
+
+// Start begins a sampled root span (nil when this root is not sampled or the
+// tracer is nil).
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	n := t.roots.Add(1)
+	if (n-1)%t.sampleEvery != 0 {
+		return nil
+	}
+	return &Span{tr: t, id: t.ids.Add(1), name: name, start: time.Now()}
+}
+
+// Child begins a span parented on s (nil-safe: a nil parent yields a nil
+// child, so unsampled subtrees cost nothing).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{tr: s.tr, id: s.tr.ids.Add(1), parent: s.id, name: name, start: time.Now()}
+}
+
+// Attr attaches a numeric attribute (nil-safe).
+func (s *Span) Attr(key string, v float64) {
+	if s == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]float64, 4)
+	}
+	s.attrs[key] = v
+}
+
+// End finishes the span and emits it (idempotent, nil-safe). It returns the
+// span's duration for callers that also feed a histogram.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	if s.ended {
+		return d
+	}
+	s.ended = true
+	if s.tr != nil && s.tr.sink != nil {
+		s.tr.sink.Emit(Event{
+			Type:       EventSpan,
+			TimeUnixMs: nowUnixMs(),
+			Span: &SpanEvent{
+				ID:          s.id,
+				Parent:      s.parent,
+				Name:        s.name,
+				StartUnixNs: s.start.UnixNano(),
+				DurNs:       d.Nanoseconds(),
+				Attrs:       s.attrs,
+			},
+		})
+	}
+	return d
+}
