@@ -21,6 +21,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/telemetry"
 )
 
@@ -29,7 +30,12 @@ func main() {
 	spans := flag.Bool("spans", false, "print span timing aggregates instead of the iteration table")
 	faults := flag.Bool("faults", false, "print robust-layer fault events")
 	raw := flag.Bool("raw", false, "re-emit every event as indented JSON")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("mfbo-trace"))
+		return
+	}
 	if flag.NArg() != 1 {
 		log.Fatal("usage: mfbo-trace [-spans|-faults|-raw] <events.jsonl | ->")
 	}

@@ -1,0 +1,97 @@
+// Command mfbo-worker is the evaluation daemon of the distributed fleet: it
+// leases work for one session from an mfbod server, evaluates each query on
+// the local problem implementation (under the fault-tolerant robust wrapper:
+// panic recovery, retries, timeout), heartbeats mid-evaluation so long
+// simulations keep their lease, and reports results back — out of order
+// within the session's batch, as fast as the hardware allows.
+//
+//	mfbod -addr :8932 &
+//	curl -s -X POST localhost:8932/v1/sessions -d '{"id":"amp","problem":"poweramp","seed":1,"budget":40,"batch":3}'
+//	mfbo-worker -addr http://localhost:8932 -session amp &
+//	mfbo-worker -addr http://localhost:8932 -session amp &
+//	mfbo-worker -addr http://localhost:8932 -session amp &
+//
+// Workers are stateless and disposable: kill one mid-evaluation and its
+// lease expires, the evaluation is requeued, and another worker picks it up
+// (after -lease-attempts expiries the point is recorded as a failed
+// evaluation and the optimizer moves on). SIGINT/SIGTERM drain gracefully —
+// the in-flight evaluation finishes and reports before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/client"
+	"repro/internal/robust"
+	"repro/internal/worker"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+	log.SetPrefix("mfbo-worker: ")
+
+	addr := flag.String("addr", "http://127.0.0.1:8932", "mfbod base URL")
+	sessionID := flag.String("session", "", "session ID to serve (required)")
+	name := flag.String("name", "", "worker identity (default host/pid)")
+	ttl := flag.Duration("ttl", 0, "lease TTL to request (0 = server default)")
+	poll := flag.Duration("poll", 100*time.Millisecond, "idle poll backoff base")
+	pollMax := flag.Duration("poll-max", 2*time.Second, "idle poll backoff cap")
+	evalTimeout := flag.Duration("eval-timeout", 0, "per-evaluation timeout (0 = robust default)")
+	retries := flag.Int("eval-retries", 0, "per-evaluation retry budget (0 = robust default)")
+	verbose := flag.Bool("v", true, "log lease/report activity")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("mfbo-worker"))
+		return
+	}
+	if *sessionID == "" {
+		log.Fatal("-session is required")
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		*name = fmt.Sprintf("%s/pid-%d", host, os.Getpid())
+	}
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = log.Printf
+	}
+
+	w, err := worker.New(worker.Config{
+		Client:  client.New(*addr),
+		Session: *sessionID,
+		Name:    *name,
+		TTL:     *ttl,
+		Poll:    *poll,
+		PollMax: *pollMax,
+		Robust: robust.Policy{
+			Timeout:    *evalTimeout,
+			MaxRetries: *retries,
+		},
+		Logf: logf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("%s serving session %s at %s", *name, *sessionID, *addr)
+	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Fatal(err)
+	}
+	log.Printf("done (%d evaluations reported)", w.Evaluated())
+}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/baselines"
+	"repro/internal/buildinfo"
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -57,7 +58,12 @@ func main() {
 	procs := flag.Int("procs", 0, "worker goroutines for surrogate training and acquisition maximization (0 = all CPUs, 1 = serial; the result is bit-identical for every setting)")
 	telemetryPath := flag.String("telemetry", "", "write the structured per-iteration event log (JSONL) here (mfbo algorithm; render with mfbo-trace)")
 	traceSample := flag.Int("trace-sample", 1, "with -telemetry: emit every n-th root trace span (1 = all)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("mfbo"))
+		return
+	}
 
 	p, err := catalog.Lookup(*probName)
 	if err != nil {

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"expvar"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
@@ -33,6 +34,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
+	"repro/internal/dispatch"
 	"repro/internal/server"
 	"repro/internal/telemetry"
 )
@@ -52,7 +55,16 @@ func main() {
 	ringSize := flag.Int("event-ring", 512, "per-session telemetry event-ring capacity (<0 disables)")
 	traceSample := flag.Int("trace-sample", 16, "emit every n-th root trace span into session event streams (1 = all)")
 	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
+	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "default evaluation-lease duration for the worker dispatch queue")
+	maxInFlight := flag.Int("max-inflight", 4, "max concurrently-leased evaluations per session (dispatch backpressure)")
+	leaseAttempts := flag.Int("lease-attempts", 3, "lease expiries before an evaluation is abandoned as failed")
+	leaseScan := flag.Duration("lease-scan", time.Second, "dispatch-queue expiry scan period")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("mfbod"))
+		return
+	}
 
 	logf := func(string, ...any) {}
 	if *verbose {
@@ -74,6 +86,12 @@ func main() {
 		Logf:              logf,
 		Telemetry:         rec,
 		EventRingSize:     *ringSize,
+		Dispatch: dispatch.Config{
+			LeaseTTL:    *leaseTTL,
+			MaxInFlight: *maxInFlight,
+			MaxAttempts: *leaseAttempts,
+			ScanEvery:   *leaseScan,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)

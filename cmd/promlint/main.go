@@ -26,6 +26,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/buildinfo"
 )
 
 var (
@@ -306,7 +308,12 @@ func main() {
 	log.SetFlags(0)
 	url := flag.String("url", "", "scrape this URL instead of reading stdin/file")
 	require := flag.String("require", "", "comma-separated metric families that must be present with samples")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("promlint"))
+		return
+	}
 
 	var r io.Reader = os.Stdin
 	switch {

@@ -28,6 +28,15 @@ const (
 	CodeNoFeasible      = "no_feasible"
 	CodeInternal        = "internal"
 	CodeShuttingDown    = "shutting_down"
+	// CodeLeaseExpired rejects a heartbeat or report referencing a lease that
+	// no longer exists: it expired and was requeued (or the suggestion was
+	// completed by another worker). The worker should drop the work unit and
+	// lease a fresh one.
+	CodeLeaseExpired = "lease_expired"
+	// CodeUnknownSuggestion rejects an observation for a suggestion that is
+	// not outstanding — typically a duplicate report for a requeued
+	// evaluation whose result already arrived from another worker.
+	CodeUnknownSuggestion = "unknown_suggestion"
 )
 
 // ErrorReply is the body of every non-2xx response.
@@ -61,6 +70,13 @@ type CreateSessionRequest struct {
 	MaxLowData    int     `json:"max_low_data,omitempty"`
 	MaxIterations int     `json:"max_iterations,omitempty"`
 	Workers       int     `json:"workers,omitempty"`
+	// Batch is the maximum number of concurrently-outstanding suggestions
+	// the session hands to the distributed dispatch queue (its per-session
+	// in-flight cap). 0 or 1 keeps the session strictly sequential.
+	Batch int `json:"batch,omitempty"`
+	// Fantasy selects the synthetic-observation strategy used when Batch > 1
+	// ("kriging-believer" or "constant-liar"; default kriging-believer).
+	Fantasy string `json:"fantasy,omitempty"`
 
 	// Resume reattaches to an existing session with this ID: if it is live
 	// (or persisted on disk) the server restores it instead of failing with
@@ -172,6 +188,9 @@ type HealthReply struct {
 	OK            bool    `json:"ok"`
 	Sessions      int     `json:"sessions"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Version is the server build (module version plus VCS revision, see
+	// internal/buildinfo) so operators can tell what a fleet is running.
+	Version string `json:"version,omitempty"`
 	// CheckpointDir echoes the configured persistence directory ("" when
 	// sessions are volatile); CheckpointWritable reports the result of a
 	// write probe against it and is omitted when no directory is configured.
@@ -182,6 +201,79 @@ type HealthReply struct {
 	FitSlotsInUse   int `json:"fit_slots_in_use"`
 	FitSlotsWaiting int `json:"fit_slots_waiting"`
 	FitSlots        int `json:"fit_slots"`
+}
+
+// LeaseRequest is the body of POST /v1/sessions/{id}/lease: a worker asking
+// the dispatch queue for one evaluation to perform.
+type LeaseRequest struct {
+	// Worker identifies the requesting worker (for lease bookkeeping and
+	// telemetry; free-form, e.g. "host-3/pid-712").
+	Worker string `json:"worker"`
+	// TTLSeconds optionally overrides the server's default lease duration.
+	// The worker must heartbeat before the TTL elapses or the lease expires
+	// and the evaluation is requeued to another worker.
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+}
+
+// LeaseReply is the dispatch queue's answer to a lease request. Exactly one
+// of three shapes comes back: a granted lease (LeaseID set), "no work right
+// now, retry later" (None set), or "session finished" (Done set).
+type LeaseReply struct {
+	// None reports that every outstanding suggestion is already leased (or
+	// the session is mid-initialization waiting on other workers); the worker
+	// should poll again after RetryAfterSeconds.
+	None              bool    `json:"none,omitempty"`
+	RetryAfterSeconds float64 `json:"retry_after_seconds,omitempty"`
+	// Done reports that the session is terminal and no further evaluations
+	// will be handed out; Reason explains why.
+	Done   bool   `json:"done,omitempty"`
+	Reason string `json:"reason,omitempty"`
+
+	LeaseID      string    `json:"lease_id,omitempty"`
+	SuggestionID string    `json:"suggestion_id,omitempty"`
+	X            []float64 `json:"x,omitempty"`
+	Fidelity     int       `json:"fidelity"`
+	Iter         int       `json:"iter"`
+	// Attempt counts prior leases of this suggestion that expired (0 on the
+	// first grant).
+	Attempt int `json:"attempt,omitempty"`
+	// DeadlineUnixMs is the wall-clock lease expiry; heartbeats push it out.
+	DeadlineUnixMs int64 `json:"deadline_unix_ms,omitempty"`
+}
+
+// ReportRequest is the body of POST /v1/sessions/{id}/report: the outcome of
+// a leased evaluation, keyed by suggestion ID (reports may arrive out of
+// order within a batch).
+type ReportRequest struct {
+	LeaseID      string    `json:"lease_id"`
+	SuggestionID string    `json:"suggestion_id"`
+	Objective    float64   `json:"objective"`
+	Constraints  []float64 `json:"constraints,omitempty"`
+	// Failed marks a simulation that produced no usable result; it is
+	// charged against the budget but excluded from surrogate training.
+	Failed bool `json:"failed,omitempty"`
+}
+
+// ReportReply acknowledges a report.
+type ReportReply struct {
+	Cost   float64 `json:"cost"`
+	Budget float64 `json:"budget"`
+	Done   bool    `json:"done,omitempty"`
+	// Duplicate reports that the suggestion's result had already been
+	// ingested (e.g. the lease expired, the evaluation was requeued, and the
+	// other worker reported first); this report was discarded. Not an error —
+	// the worker just moves on.
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+// HeartbeatRequest is the body of POST /v1/leases/{id}/heartbeat.
+type HeartbeatRequest struct {
+	Worker string `json:"worker,omitempty"`
+}
+
+// HeartbeatReply acknowledges a heartbeat with the extended deadline.
+type HeartbeatReply struct {
+	DeadlineUnixMs int64 `json:"deadline_unix_ms"`
 }
 
 // TelemetryReply is the reply of GET /v1/sessions/{id}/telemetry: the

@@ -1,0 +1,64 @@
+// Package buildinfo derives a human-readable build identifier from the
+// binary's embedded module and VCS metadata (runtime/debug.ReadBuildInfo) —
+// no linker flags, no generated files. Every binary exposes it behind a
+// -version flag and the server reports it in /v1/healthz, so an operator can
+// tell at a glance what a fleet of daemons and workers is actually running.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// Version returns the build identifier: the module version when the binary
+// was built from a tagged module, otherwise the VCS revision (short hash,
+// "+dirty" when the tree was modified), falling back to "devel" when neither
+// is stamped (e.g. `go test` binaries).
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	return fromBuildInfo(bi)
+}
+
+// fromBuildInfo is the testable core of Version.
+func fromBuildInfo(bi *debug.BuildInfo) string {
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = "+dirty"
+			}
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	v := bi.Main.Version
+	switch {
+	case v != "" && v != "(devel)" && v != "devel":
+		if rev != "" {
+			return fmt.Sprintf("%s (%s%s)", v, rev, modified)
+		}
+		return v
+	case rev != "":
+		return rev + modified
+	default:
+		return "devel"
+	}
+}
+
+// String renders a one-line banner for a -version flag: binary name, build
+// identifier, and the toolchain that compiled it.
+func String(binary string) string {
+	go_ := "go?"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.GoVersion != "" {
+		go_ = bi.GoVersion
+	}
+	return strings.TrimSpace(fmt.Sprintf("%s %s (%s)", binary, Version(), go_))
+}

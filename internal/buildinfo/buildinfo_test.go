@@ -1,0 +1,51 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func bi(version string, settings ...debug.BuildSetting) *debug.BuildInfo {
+	info := &debug.BuildInfo{}
+	info.Main.Version = version
+	info.Settings = settings
+	return info
+}
+
+func TestFromBuildInfo(t *testing.T) {
+	rev := debug.BuildSetting{Key: "vcs.revision", Value: "0123456789abcdef0123"}
+	dirty := debug.BuildSetting{Key: "vcs.modified", Value: "true"}
+	clean := debug.BuildSetting{Key: "vcs.modified", Value: "false"}
+
+	for _, tc := range []struct {
+		name string
+		in   *debug.BuildInfo
+		want string
+	}{
+		{"nothing stamped", bi(""), "devel"},
+		{"devel module, no vcs", bi("(devel)"), "devel"},
+		{"vcs only", bi("(devel)", rev, clean), "0123456789ab"},
+		{"vcs dirty", bi("(devel)", rev, dirty), "0123456789ab+dirty"},
+		{"tagged module", bi("v1.2.3"), "v1.2.3"},
+		{"tagged module with vcs", bi("v1.2.3", rev, clean), "v1.2.3 (0123456789ab)"},
+		{"tagged dirty", bi("v1.2.3", rev, dirty), "v1.2.3 (0123456789ab+dirty)"},
+		{"short revision kept whole", bi("(devel)", debug.BuildSetting{Key: "vcs.revision", Value: "abc123"}), "abc123"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := fromBuildInfo(tc.in); got != tc.want {
+				t.Fatalf("fromBuildInfo = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestStringBanner(t *testing.T) {
+	s := String("mfbod")
+	if !strings.HasPrefix(s, "mfbod ") {
+		t.Fatalf("banner %q does not start with the binary name", s)
+	}
+	if strings.Contains(s, "\n") {
+		t.Fatalf("banner %q is not one line", s)
+	}
+}

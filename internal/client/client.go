@@ -60,9 +60,19 @@ func (e *APIError) Unwrap() error {
 		return core.ErrResumeMismatch
 	case api.CodeNoFeasible:
 		return core.ErrNoFeasible
+	case api.CodeUnknownSuggestion:
+		return core.ErrUnknownSuggestion
 	default:
 		return nil
 	}
+}
+
+// IsLeaseExpired reports whether err is the server telling a worker its lease
+// is gone (expired and requeued, completed elsewhere, or lost in a server
+// restart): drop the work unit and lease afresh.
+func IsLeaseExpired(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == api.CodeLeaseExpired
 }
 
 // Option customizes a Client.
@@ -256,6 +266,30 @@ func (c *Client) Health(ctx context.Context) (api.HealthReply, error) {
 	var h api.HealthReply
 	err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &h)
 	return h, err
+}
+
+// Lease asks the session's dispatch queue for one evaluation to perform.
+// Inspect the reply's None/Done flags before using the lease fields.
+func (c *Client) Lease(ctx context.Context, id string, req api.LeaseRequest) (api.LeaseReply, error) {
+	var rep api.LeaseReply
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/lease", req, &rep)
+	return rep, err
+}
+
+// Report posts the outcome of a leased evaluation (keyed by suggestion ID, so
+// reports may arrive out of order within the batch).
+func (c *Client) Report(ctx context.Context, id string, req api.ReportRequest) (api.ReportReply, error) {
+	var rep api.ReportReply
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/report", req, &rep)
+	return rep, err
+}
+
+// Heartbeat keeps a lease alive mid-evaluation; IsLeaseExpired on the error
+// tells the worker to abandon the unit.
+func (c *Client) Heartbeat(ctx context.Context, leaseID string) (api.HeartbeatReply, error) {
+	var rep api.HeartbeatReply
+	err := c.do(ctx, http.MethodPost, "/v1/leases/"+url.PathEscape(leaseID)+"/heartbeat", api.HeartbeatRequest{}, &rep)
+	return rep, err
 }
 
 // Drive runs the session to completion with p as the local evaluator: it

@@ -44,6 +44,23 @@ type Checkpoint struct {
 	// Full simulation history and degradation log.
 	History      []Observation
 	Degradations []Degradation
+	// Pending round-trips the full set of asked-but-untold suggestions (the
+	// outstanding batch of a distributed run), so a restored engine replays
+	// them verbatim instead of recomputing — workers holding leases on them
+	// can still report after a restart. Empty for purely sequential runs
+	// snapshotted at the usual post-Tell boundary.
+	Pending []PendingSuggestion `json:",omitempty"`
+}
+
+// PendingSuggestion is the serialized form of one outstanding suggestion:
+// identity, query, and — for adaptive batch slots — the fantasy outputs that
+// stood in for its observation while later slots were proposed.
+type PendingSuggestion struct {
+	ID      string
+	X       []float64
+	Fid     problem.Fidelity
+	Iter    int
+	Fantasy []float64 `json:",omitempty"`
 }
 
 func cloneMatrix(m [][]float64) [][]float64 {
@@ -90,12 +107,13 @@ func (st *state) snapshot() *Checkpoint {
 	}
 }
 
-// checkpoint invokes the configured Checkpointer hook, if any.
-func (st *state) checkpoint() error {
-	if st.cfg.Checkpointer == nil {
+// checkpoint invokes the configured Checkpointer hook, if any, with a full
+// snapshot — the engine-level view that includes the outstanding pending set.
+func (e *Engine) checkpoint() error {
+	if e.st.cfg.Checkpointer == nil {
 		return nil
 	}
-	if err := st.cfg.Checkpointer(st.snapshot()); err != nil {
+	if err := e.st.cfg.Checkpointer(e.Snapshot()); err != nil {
 		return fmt.Errorf("core: checkpoint: %w", err)
 	}
 	return nil

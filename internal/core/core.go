@@ -113,6 +113,12 @@ type Config struct {
 	// FileCheckpointer for atomic JSON-on-disk persistence; a non-nil error
 	// aborts the run (the partial Result is still returned alongside it).
 	Checkpointer func(*Checkpoint) error
+	// Fantasy selects the synthetic-observation strategy used by AskBatch
+	// when proposing the 2nd..q-th concurrently-outstanding suggestions
+	// (default FantasyKrigingBeliever). Sequential Ask (q = 1) never
+	// fantasizes, so this setting cannot perturb single-suggestion
+	// trajectories.
+	Fantasy FantasyStrategy
 	// Workers bounds the goroutines used by every hot path — GP training
 	// restarts, acquisition maximization, batched posterior prediction:
 	// 0 selects parallel.DefaultWorkers() (runtime.NumCPU() unless the
@@ -169,8 +175,32 @@ func (c *Config) defaults() error {
 	if c.MSP.Workers == 0 {
 		c.MSP.Workers = c.Workers
 	}
+	switch c.Fantasy {
+	case "":
+		c.Fantasy = FantasyKrigingBeliever
+	case FantasyKrigingBeliever, FantasyConstantLiar:
+	default:
+		return fmt.Errorf("core: unknown Config.Fantasy %q", c.Fantasy)
+	}
 	return nil
 }
+
+// FantasyStrategy names the synthetic-observation rule batch acquisition uses
+// for suggestions whose real outcome is still outstanding (see AskBatch).
+type FantasyStrategy string
+
+const (
+	// FantasyKrigingBeliever hallucinates the posterior mean at the pending
+	// point: the surrogate "believes" its own prediction, which keeps the
+	// fantasy consistent with the model and spreads the batch by the
+	// variance reduction the believed point induces.
+	FantasyKrigingBeliever FantasyStrategy = "kriging-believer"
+	// FantasyConstantLiar hallucinates a pessimistic constant — the worst
+	// (maximum, under minimization) value observed so far per output at the
+	// pending point's fidelity. The lie discourages the next slot from
+	// crowding the same basin more aggressively than kriging-believer.
+	FantasyConstantLiar FantasyStrategy = "constant-liar"
+)
 
 // Observation records one simulation performed by the optimizer.
 type Observation struct {
@@ -623,9 +653,14 @@ func (st *state) noteFit(iter int, m *gp.Model, fusedHigh bool) {
 // (walking the degradation ladder on failure), maximize the low- and
 // high-fidelity acquisitions with the §4.1 multiple-starting-point strategy,
 // and pick the evaluation fidelity by the §3.4 criterion.
-func (st *state) propose(span *telemetry.Span) ([]float64, problem.Fidelity) {
+//
+// iter labels the slot being proposed (it may run ahead of st.iter while a
+// batch is outstanding). When wantFantasy is set the third return value
+// carries the synthetic outputs (per Config.Fantasy) that stand in for the
+// point's observation while later batch slots are proposed; it is nil for a
+// random-exploration fallback, where no surrogate exists to fantasize from.
+func (st *state) propose(iter int, span *telemetry.Span, wantFantasy bool) ([]float64, problem.Fidelity, []float64) {
 	cfg := &st.cfg
-	iter := st.iter
 	var ev *telemetry.IterationEvent
 	if st.telem != nil {
 		// The in-flight event: decision fields are filled here, the outcome
@@ -658,7 +693,7 @@ func (st *state) propose(span *telemetry.Span) ([]float64, problem.Fidelity) {
 			ev.Fidelity = fid.String()
 			ev.ForcedHigh = cfg.ForceHighFidelity
 		}
-		return xt, fid
+		return xt, fid, nil
 	}
 
 	// Incumbents.
@@ -785,7 +820,58 @@ func (st *state) propose(span *telemetry.Span) ([]float64, problem.Fidelity) {
 		ev.HasSigma2 = dec.hasSigma2
 		ev.ForcedHigh = dec.forced
 	}
-	return xt, dec.fid
+	var fantasy []float64
+	if wantFantasy {
+		fantasy = st.fantasize(lowGPs, fused, xt, dec.fid)
+	}
+	return xt, dec.fid, fantasy
+}
+
+// fantasize produces the synthetic per-output observation batch acquisition
+// substitutes for xt while its real outcome is outstanding (Config.Fantasy).
+//
+// Kriging-believer returns the posterior mean at xt from the model the next
+// slot will actually train against: the fused NARGP posterior for a
+// high-fidelity pending point (falling back to the low posterior when that
+// output degraded to low-only), the low-fidelity posterior for a cheap one.
+// Constant-liar returns, per output, the maximum value observed so far at the
+// target fidelity — the pessimistic lie under minimization — and falls back to
+// the believer mean for outputs with no data yet.
+func (st *state) fantasize(lowGPs []*gp.Model, fused []*mfgp.Model, xt []float64, fid problem.Fidelity) []float64 {
+	out := make([]float64, st.nOut)
+	believe := func(k int) float64 {
+		if fid == problem.High && fused[k] != nil {
+			mu, _ := fused[k].Predict(xt)
+			return mu
+		}
+		mu, _ := lowGPs[k].PredictLatent(xt)
+		return mu
+	}
+	switch st.cfg.Fantasy {
+	case FantasyConstantLiar:
+		ds := st.low
+		if fid == problem.High {
+			ds = st.high
+		}
+		for k := 0; k < st.nOut; k++ {
+			if len(ds.Y) == 0 {
+				out[k] = believe(k)
+				continue
+			}
+			lie := ds.Y[0][k]
+			for _, row := range ds.Y[1:] {
+				if row[k] > lie {
+					lie = row[k]
+				}
+			}
+			out[k] = lie
+		}
+	default: // FantasyKrigingBeliever
+		for k := 0; k < st.nOut; k++ {
+			out[k] = believe(k)
+		}
+	}
+	return out
 }
 
 // finish assembles the terminal Result fields from the current state.

@@ -12,13 +12,28 @@ import (
 )
 
 // Suggestion is one query proposed by the optimizer: evaluate X at fidelity
-// Fid and feed the outcome back through Engine.Tell. Iter is the adaptive
-// iteration the suggestion belongs to; initialization-design points carry
-// Iter == -1.
+// Fid and feed the outcome back through Engine.Tell (or Engine.TellByID,
+// keyed on ID). Iter is the adaptive iteration the suggestion belongs to;
+// initialization-design points carry Iter == -1.
+//
+// ID is deterministic ("init-low-3", "iter-12"): two engines running the
+// same trajectory assign identical IDs, and a restored engine replays the
+// IDs of its snapshot, so distributed evaluators holding references across
+// a server restart stay consistent.
 type Suggestion struct {
+	ID   string
 	X    []float64
 	Fid  problem.Fidelity
 	Iter int
+}
+
+// pendingSug is one outstanding (asked-but-untold) suggestion together with
+// the fantasy outputs that stand in for its observation while later batch
+// slots are proposed. fantasy is nil for initialization points and for
+// degraded (random-exploration) proposals.
+type pendingSug struct {
+	sug     Suggestion
+	fantasy []float64
 }
 
 // Engine is the explicit ask/tell state machine behind Optimize: the same
@@ -27,7 +42,7 @@ type Suggestion struct {
 // evaluators (HTTP clients, job schedulers, distributed SPICE farms) can
 // drive it.
 //
-// The protocol is strict alternation:
+// The sequential protocol is strict alternation:
 //
 //	for {
 //		s, err := eng.Ask(ctx)        // errors.Is(err, ErrBudgetExhausted) → done
@@ -39,9 +54,15 @@ type Suggestion struct {
 // Ask is idempotent: until the pending suggestion is told, repeated Asks
 // return the same Suggestion without recomputing (and without consuming
 // randomness), so a polling client that crashes between ask and tell can
-// simply ask again. Tell validates that the observation matches the pending
-// suggestion (ErrTellMismatch otherwise) — the trajectory of an engine-driven
-// run is bit-identical to the in-process Optimize under the same seed.
+// simply ask again. Tell validates that the observation matches an
+// outstanding suggestion (ErrTellMismatch otherwise) — the trajectory of an
+// engine-driven run is bit-identical to the in-process Optimize under the
+// same seed.
+//
+// AskBatch generalizes Ask to q concurrently-outstanding suggestions for
+// parallel evaluation farms (see its doc comment); observations then return
+// out of order through TellByID. AskBatch with q=1 degenerates exactly to
+// the sequential protocol.
 //
 // Engine is not safe for concurrent use; callers that share one across
 // goroutines (e.g. the session layer in internal/session) must serialize
@@ -49,15 +70,20 @@ type Suggestion struct {
 type Engine struct {
 	st *state
 
-	// Remaining initialization design points, handed out low first, then
-	// high — the same order OptimizeCtx evaluates them.
-	initLow, initHigh [][]float64
+	// Remaining (not yet handed out) initialization design points, issued
+	// low first, then high — the same order OptimizeCtx evaluates them.
+	// initLowNext/initHighNext index the next design point within the full
+	// design, for deterministic suggestion IDs across restores.
+	initLow, initHigh         [][]float64
+	initLowNext, initHighNext int
 	// initDone records that the post-initialization checkpoint was taken
 	// and the engine is in (or past) the adaptive phase.
 	initDone bool
 
-	// pending is the outstanding suggestion awaiting its Tell.
-	pending *Suggestion
+	// pending is the ordered set of outstanding suggestions awaiting their
+	// Tell (oldest first). During initialization it holds only design
+	// points; afterwards only adaptive slots.
+	pending []*pendingSug
 
 	interrupted bool
 	// termErr, once set, makes the engine terminal: Ask keeps returning it.
@@ -111,6 +137,12 @@ func (st *state) emitRun(resumed bool) {
 // designs are redrawn from rng and the already-evaluated prefix (derived
 // from the history, failures included) is skipped, so restoring with the
 // original seed continues the exact original design.
+//
+// Snapshots taken mid-batch (with asked-but-untold suggestions) round-trip
+// the full pending set: the restored engine replays every outstanding
+// suggestion verbatim — same IDs, points, fidelities and fantasy values —
+// without recomputing or consuming randomness, so distributed evaluators
+// still holding those suggestions can Tell them after the restart.
 func RestoreEngine(p problem.Problem, cfg Config, rng *rand.Rand, ck *Checkpoint) (*Engine, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
@@ -142,8 +174,30 @@ func RestoreEngine(p problem.Problem, cfg Config, rng *rand.Rand, ck *Checkpoint
 	st.emitRun(true)
 
 	e := &Engine{st: st}
-	// Initialization progress is derived from the restored history: every
-	// initialization observation was recorded there (failures included).
+	// Replay the outstanding pending set verbatim (deep-copied): suggestions
+	// asked before the snapshot stay askable and tellable after it.
+	pendLow, pendHigh := 0, 0
+	for _, ps := range ck.Pending {
+		e.pending = append(e.pending, &pendingSug{
+			sug: Suggestion{
+				ID:   ps.ID,
+				X:    append([]float64(nil), ps.X...),
+				Fid:  ps.Fid,
+				Iter: ps.Iter,
+			},
+			fantasy: append([]float64(nil), ps.Fantasy...),
+		})
+		if ps.Iter < 0 {
+			if ps.Fid == problem.Low {
+				pendLow++
+			} else {
+				pendHigh++
+			}
+		}
+	}
+	// Initialization progress is derived from the restored history (every
+	// initialization observation was recorded there, failures included) plus
+	// the replayed pending set (handed out but not yet told).
 	doneLow, doneHigh := 0, 0
 	for _, ob := range st.res.History {
 		if ob.Iter == -1 {
@@ -154,19 +208,24 @@ func RestoreEngine(p problem.Problem, cfg Config, rng *rand.Rand, ck *Checkpoint
 			}
 		}
 	}
-	if doneLow >= cfg.InitLow && doneHigh >= cfg.InitHigh {
-		// Initialization complete: no RNG consumption on restore, matching
-		// the historical Resume trajectory exactly.
-		e.initDone = true
+	e.initLowNext = doneLow + pendLow
+	e.initHighNext = doneHigh + pendHigh
+	if e.initLowNext >= cfg.InitLow && e.initHighNext >= cfg.InitHigh {
+		// Every design point was handed out: no RNG consumption on restore,
+		// matching the historical Resume trajectory exactly. The phase is
+		// closed only once the outstanding ones are told.
+		if pendLow == 0 && pendHigh == 0 {
+			e.initDone = true
+		}
 		return e, nil
 	}
 	lows := cfg.InitSampler(rng, st.lo, st.hi, cfg.InitLow)
 	highs := cfg.InitSampler(rng, st.lo, st.hi, cfg.InitHigh)
-	if doneLow < len(lows) {
-		e.initLow = lows[doneLow:]
+	if e.initLowNext < len(lows) {
+		e.initLow = lows[e.initLowNext:]
 	}
-	if doneHigh < len(highs) {
-		e.initHigh = highs[doneHigh:]
+	if e.initHighNext < len(highs) {
+		e.initHigh = highs[e.initHighNext:]
 	}
 	return e, nil
 }
@@ -175,19 +234,46 @@ func RestoreEngine(p problem.Problem, cfg Config, rng *rand.Rand, ck *Checkpoint
 // into the adaptive phase.
 func (e *Engine) finishInit() error {
 	e.initDone = true
-	if err := e.st.checkpoint(); err != nil {
+	if err := e.checkpoint(); err != nil {
 		e.termErr = err
 		return err
 	}
 	return nil
 }
 
+// adaptiveOutstanding counts pending adaptive (non-initialization) slots.
+func (e *Engine) adaptiveOutstanding() int {
+	n := 0
+	for _, p := range e.pending {
+		if p.sug.Iter >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// outstandingCost is the budget already committed to the pending set: each
+// outstanding suggestion will be charged on Tell, so batch top-up must count
+// it against the budget before issuing more work.
+func (e *Engine) outstandingCost() float64 {
+	var c float64
+	for _, p := range e.pending {
+		if p.sug.Fid == problem.Low {
+			c += e.st.costLow
+		} else {
+			c++
+		}
+	}
+	return c
+}
+
 // Ask returns the next query. Terminal conditions surface as errors:
 // ErrBudgetExhausted when the budget (or Config.MaxIterations) is spent,
 // ErrInterrupted when ctx was cancelled, and the underlying fault when a
 // checkpoint write failed — classify with errors.Is. A non-terminal Ask
-// either replays the pending suggestion or computes a new one (running the
-// full surrogate-fit/acquisition pipeline, which can take a while).
+// either replays the oldest pending suggestion or computes a new one
+// (running the full surrogate-fit/acquisition pipeline, which can take a
+// while).
 //
 // ctx only gates the decision to keep going; it is not threaded into the
 // surrogate fits. Long-running services should pass context.Background()
@@ -197,86 +283,221 @@ func (e *Engine) Ask(ctx context.Context) (Suggestion, error) {
 	if e.termErr != nil {
 		return Suggestion{}, e.termErr
 	}
-	if e.pending != nil {
-		return *e.pending, nil
+	if len(e.pending) > 0 {
+		return cloneSuggestion(e.pending[0].sug), nil
 	}
+	if err := e.fill(ctx, 1); err != nil {
+		return Suggestion{}, err
+	}
+	return cloneSuggestion(e.pending[0].sug), nil
+}
+
+// AskBatch tops the outstanding set up to q concurrently-pending suggestions
+// and returns the full set (oldest first) — the batch face of the engine for
+// parallel evaluation fleets. Additional slots beyond the first are proposed
+// against fantasy-augmented surrogates: each outstanding adaptive suggestion
+// contributes a synthetic observation (Config.Fantasy selects the
+// kriging-believer posterior mean or a constant-liar pessimistic value), the
+// models are refitted with those fantasies included, and the §3.4 fidelity
+// criterion is applied per fantasy point — so slot j avoids re-proposing
+// slot i's neighborhood without waiting for its simulation. Fantasies never
+// touch the real training sets: they are retracted automatically as real
+// observations arrive through Tell/TellByID.
+//
+// AskBatch is idempotent and incremental: already-outstanding suggestions
+// are returned as-is (never recomputed), and calling it with q=1 is
+// bit-identical to the sequential Ask protocol — no fantasy work happens
+// with a single slot. When the remaining budget or Config.MaxIterations
+// caps the batch below q, the set is simply smaller; once no suggestions
+// are outstanding and none can be created, the terminal error is returned
+// exactly like Ask.
+func (e *Engine) AskBatch(ctx context.Context, q int) ([]Suggestion, error) {
+	if q < 1 {
+		q = 1
+	}
+	if e.termErr != nil {
+		return nil, e.termErr
+	}
+	if err := e.fill(ctx, q); err != nil {
+		return nil, err
+	}
+	out := make([]Suggestion, len(e.pending))
+	for i, p := range e.pending {
+		out[i] = cloneSuggestion(p.sug)
+	}
+	return out, nil
+}
+
+func cloneSuggestion(s Suggestion) Suggestion {
+	s.X = append([]float64(nil), s.X...)
+	return s
+}
+
+// fill grows the pending set to q outstanding suggestions (or as many as
+// the phase/budget admits). With an empty pending set it reproduces the
+// sequential Ask decision sequence exactly; it returns an error only when
+// the engine is terminal AND nothing is outstanding.
+func (e *Engine) fill(ctx context.Context, q int) error {
 	if !e.initDone {
-		if ctx.Err() != nil {
+		if ctx.Err() != nil && len(e.pending) == 0 {
 			// Match OptimizeCtx: skip the remaining initialization
 			// evaluations, still take the post-init checkpoint, and
 			// report interruption.
 			e.initLow, e.initHigh = nil, nil
 			e.interrupted = true
 			if err := e.finishInit(); err != nil {
-				return Suggestion{}, err
+				return err
 			}
 			e.termErr = ErrInterrupted
-			return Suggestion{}, e.termErr
+			return e.termErr
 		}
-		if len(e.initLow) > 0 {
-			e.pending = &Suggestion{X: append([]float64(nil), e.initLow[0]...), Fid: problem.Low, Iter: -1}
-			return *e.pending, nil
+		for len(e.pending) < q {
+			if len(e.initLow) > 0 {
+				e.pushInit(problem.Low)
+				continue
+			}
+			if len(e.initHigh) > 0 {
+				e.pushInit(problem.High)
+				continue
+			}
+			break
 		}
-		if len(e.initHigh) > 0 {
-			e.pending = &Suggestion{X: append([]float64(nil), e.initHigh[0]...), Fid: problem.High, Iter: -1}
-			return *e.pending, nil
+		if len(e.pending) > 0 {
+			// Design points outstanding (or just issued): the adaptive
+			// phase cannot start until all of them are told.
+			return nil
 		}
 		// Degenerate designs (both queues empty before any Tell): close the
 		// initialization phase and fall through to the adaptive one.
 		if err := e.finishInit(); err != nil {
-			return Suggestion{}, err
+			return err
 		}
 	}
 	// Adaptive-phase termination checks, in the same order as the loop
-	// condition of Algorithm 1's driver.
+	// condition of Algorithm 1's driver. For batch slots beyond the first,
+	// hitting a cap merely stops the top-up: outstanding work stays valid.
 	cfg := &e.st.cfg
-	if e.st.cost >= cfg.Budget {
-		e.termErr = ErrBudgetExhausted
-		return Suggestion{}, e.termErr
-	}
-	if cfg.MaxIterations > 0 && e.st.iter >= cfg.MaxIterations {
-		e.termErr = fmt.Errorf("%w (iteration cap %d reached)", ErrBudgetExhausted, cfg.MaxIterations)
-		return Suggestion{}, e.termErr
-	}
-	if ctx.Err() != nil {
-		e.interrupted = true
-		e.termErr = ErrInterrupted
-		return Suggestion{}, e.termErr
-	}
-	// Compute the next suggestion, traced and timed when telemetry is on.
-	var span *telemetry.Span
-	var t0 time.Time
-	if e.st.telem != nil {
-		span = e.st.telem.StartSpan("engine.ask")
-		span.Attr("iter", float64(e.st.iter))
-		t0 = time.Now()
-	}
-	x, fid := e.st.propose(span)
-	if e.st.telem != nil {
-		span.End()
-		if e.st.met != nil {
-			e.st.met.askSeconds.Observe(time.Since(t0).Seconds())
+	for len(e.pending) < q {
+		// Gate on committed cost (spent plus outstanding leases): a batch may
+		// overrun the budget by at most one slot's cost, the same bound the
+		// sequential loop has for its single in-flight evaluation.
+		if e.st.cost+e.outstandingCost() >= cfg.Budget {
+			if len(e.pending) == 0 {
+				e.termErr = ErrBudgetExhausted
+				return e.termErr
+			}
+			return nil
 		}
+		if cfg.MaxIterations > 0 && e.st.iter+e.adaptiveOutstanding() >= cfg.MaxIterations {
+			if len(e.pending) == 0 {
+				e.termErr = fmt.Errorf("%w (iteration cap %d reached)", ErrBudgetExhausted, cfg.MaxIterations)
+				return e.termErr
+			}
+			return nil
+		}
+		if ctx.Err() != nil {
+			if len(e.pending) == 0 {
+				e.interrupted = true
+				e.termErr = ErrInterrupted
+				return e.termErr
+			}
+			return nil
+		}
+		e.proposeSlot(q > 1)
 	}
-	e.pending = &Suggestion{X: x, Fid: fid, Iter: e.st.iter}
-	return *e.pending, nil
+	return nil
 }
 
-// Tell ingests the outcome of the pending suggestion: the evaluation is
-// routed through the same sanitation as the in-process loop (non-finite or
-// explicitly Failed outcomes are charged but excluded from surrogate
-// training), the budget is charged, the history extended, and — after
-// adaptive iterations and at the end of initialization — a checkpoint is
-// taken. x and fid must match the pending suggestion exactly
-// (ErrTellMismatch); a Tell without a pending Ask returns ErrNoPendingAsk.
+// pushInit hands out the next initialization design point at fid.
+func (e *Engine) pushInit(fid problem.Fidelity) {
+	var x []float64
+	var id string
+	if fid == problem.Low {
+		x = e.initLow[0]
+		e.initLow = e.initLow[1:]
+		id = fmt.Sprintf("init-low-%d", e.initLowNext)
+		e.initLowNext++
+	} else {
+		x = e.initHigh[0]
+		e.initHigh = e.initHigh[1:]
+		id = fmt.Sprintf("init-high-%d", e.initHighNext)
+		e.initHighNext++
+	}
+	e.pending = append(e.pending, &pendingSug{
+		sug: Suggestion{ID: id, X: append([]float64(nil), x...), Fid: fid, Iter: -1},
+	})
+}
+
+// proposeSlot computes one new adaptive suggestion and appends it to the
+// pending set. In batch mode the surrogates are fitted against the training
+// sets temporarily augmented with the outstanding slots' fantasy
+// observations (constant-liar / kriging-believer), which are retracted
+// before returning — the real datasets never see a fantasy row.
+func (e *Engine) proposeSlot(batch bool) {
+	st := e.st
+	iter := st.iter + e.adaptiveOutstanding()
+	var span *telemetry.Span
+	var t0 time.Time
+	if st.telem != nil {
+		span = st.telem.StartSpan("engine.ask")
+		span.Attr("iter", float64(iter))
+		t0 = time.Now()
+	}
+	nLow, nHigh := len(st.low.X), len(st.high.X)
+	if batch {
+		for _, p := range e.pending {
+			if p.sug.Iter < 0 || p.fantasy == nil {
+				continue
+			}
+			ds := st.low
+			if p.sug.Fid == problem.High {
+				ds = st.high
+			}
+			// Rows are never mutated downstream, so sharing storage with the
+			// pending suggestion is safe; the append is undone below.
+			ds.X = append(ds.X, p.sug.X)
+			ds.Y = append(ds.Y, p.fantasy)
+		}
+	}
+	x, fid, fantasy := st.propose(iter, span, batch)
+	st.low.X, st.low.Y = st.low.X[:nLow], st.low.Y[:nLow]
+	st.high.X, st.high.Y = st.high.X[:nHigh], st.high.Y[:nHigh]
+	if st.telem != nil {
+		span.End()
+		if st.met != nil {
+			st.met.askSeconds.Observe(time.Since(t0).Seconds())
+		}
+	}
+	e.pending = append(e.pending, &pendingSug{
+		sug:     Suggestion{ID: fmt.Sprintf("iter-%d", iter), X: x, Fid: fid, Iter: iter},
+		fantasy: fantasy,
+	})
+}
+
+// Tell ingests the outcome of an outstanding suggestion identified by its
+// exact (x, fid) pair: the evaluation is routed through the same sanitation
+// as the in-process loop (non-finite or explicitly Failed outcomes are
+// charged but excluded from surrogate training), the budget is charged, the
+// history extended, and — after adaptive iterations and at the end of
+// initialization — a checkpoint is taken. x and fid must match an
+// outstanding suggestion exactly (ErrTellMismatch); a Tell without any
+// pending Ask returns ErrNoPendingAsk. Batch consumers should prefer
+// TellByID, which is unambiguous under concurrent outstanding suggestions.
 func (e *Engine) Tell(x []float64, fid problem.Fidelity, ev problem.Evaluation) error {
-	if e.pending == nil {
+	if len(e.pending) == 0 {
 		if e.termErr != nil {
 			return e.termErr
 		}
 		return ErrNoPendingAsk
 	}
-	sug := *e.pending
+	for i, p := range e.pending {
+		if p.sug.Fid == fid && equalPoint(p.sug.X, x) {
+			return e.tellAt(i, ev)
+		}
+	}
+	// No outstanding suggestion matches: report the mismatch against the
+	// oldest pending one, preserving the sequential protocol's diagnostics.
+	sug := e.pending[0].sug
 	if fid != sug.Fid || len(x) != len(sug.X) {
 		return fmt.Errorf("%w: got fidelity %v dim %d, want %v dim %d",
 			ErrTellMismatch, fid, len(x), sug.Fid, len(sug.X))
@@ -287,7 +508,48 @@ func (e *Engine) Tell(x []float64, fid problem.Fidelity, ev problem.Evaluation) 
 				ErrTellMismatch, i, x[i], sug.X[i])
 		}
 	}
-	e.pending = nil
+	return fmt.Errorf("%w: observation matches no outstanding suggestion", ErrTellMismatch)
+}
+
+// TellByID ingests the outcome of the outstanding suggestion with the given
+// ID — the out-of-order observation path of a distributed batch run. The
+// suggestion's recorded point and fidelity are used verbatim; an unknown or
+// already-told ID returns ErrUnknownSuggestion (ErrNoPendingAsk when nothing
+// at all is outstanding), which duplicate reports from requeued evaluations
+// should treat as "already ingested".
+func (e *Engine) TellByID(id string, ev problem.Evaluation) error {
+	if len(e.pending) == 0 {
+		if e.termErr != nil {
+			return e.termErr
+		}
+		return ErrNoPendingAsk
+	}
+	for i, p := range e.pending {
+		if p.sug.ID == id {
+			return e.tellAt(i, ev)
+		}
+	}
+	return fmt.Errorf("%w: %q", ErrUnknownSuggestion, id)
+}
+
+func equalPoint(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// tellAt consumes pending slot i: its fantasy (if any) vanishes with the
+// slot, the real observation is ingested, and the phase bookkeeping runs.
+func (e *Engine) tellAt(i int, ev problem.Evaluation) error {
+	p := e.pending[i]
+	e.pending = append(e.pending[:i], e.pending[i+1:]...)
+	sug := p.sug
 	var span *telemetry.Span
 	if e.st.telem != nil {
 		span = e.st.telem.StartSpan("engine.tell")
@@ -296,18 +558,13 @@ func (e *Engine) Tell(x []float64, fid problem.Fidelity, ev problem.Evaluation) 
 	}
 	e.st.ingest(sug.Iter, sug.X, sug.Fid, ev)
 	if sug.Iter < 0 {
-		if sug.Fid == problem.Low {
-			e.initLow = e.initLow[1:]
-		} else {
-			e.initHigh = e.initHigh[1:]
-		}
-		if len(e.initLow) == 0 && len(e.initHigh) == 0 {
+		if len(e.pending) == 0 && len(e.initLow) == 0 && len(e.initHigh) == 0 {
 			return e.finishInit()
 		}
 		return nil
 	}
-	e.st.iter++ // advance before checkpointing: snapshots store the next iteration
-	if err := e.st.checkpoint(); err != nil {
+	e.st.iter++ // advance before checkpointing: snapshots store the completed count
+	if err := e.checkpoint(); err != nil {
 		e.termErr = err
 		return err
 	}
@@ -318,10 +575,33 @@ func (e *Engine) Tell(x []float64, fid problem.Fidelity, ev problem.Evaluation) 
 // interrupted, or faulted) and will produce no further suggestions.
 func (e *Engine) Done() bool { return e.termErr != nil }
 
-// Snapshot returns a deep-copied checkpoint of the current state. A pending
-// (asked-but-untold) suggestion is not part of the snapshot: a restored
-// engine recomputes its next suggestion from the continuation RNG.
-func (e *Engine) Snapshot() *Checkpoint { return e.st.snapshot() }
+// Snapshot returns a deep-copied checkpoint of the current state, including
+// the full pending set: a restored engine replays every outstanding
+// suggestion (IDs, points, fidelities, fantasies) instead of recomputing.
+func (e *Engine) Snapshot() *Checkpoint {
+	ck := e.st.snapshot()
+	for _, p := range e.pending {
+		ck.Pending = append(ck.Pending, PendingSuggestion{
+			ID:      p.sug.ID,
+			X:       append([]float64(nil), p.sug.X...),
+			Fid:     p.sug.Fid,
+			Iter:    p.sug.Iter,
+			Fantasy: append([]float64(nil), p.fantasy...),
+		})
+	}
+	return ck
+}
+
+// Pending returns copies of the outstanding suggestions, oldest first,
+// without computing anything — the dispatch layer's view of work that can
+// be (re)leased.
+func (e *Engine) Pending() []Suggestion {
+	out := make([]Suggestion, len(e.pending))
+	for i, p := range e.pending {
+		out[i] = cloneSuggestion(p.sug)
+	}
+	return out
+}
 
 // History returns the live observation log (shared storage — callers must
 // not mutate it and must serialize access with Ask/Tell).
@@ -338,6 +618,8 @@ type Progress struct {
 	// equivalent high-fidelity simulations.
 	Cost, Budget               float64
 	NumLow, NumHigh, NumFailed int
+	// Outstanding counts asked-but-untold suggestions (the in-flight batch).
+	Outstanding int
 	// HasBest reports whether a successful high-fidelity observation exists;
 	// BestX/Best/Feasible describe it when it does.
 	HasBest  bool
@@ -358,6 +640,7 @@ func (e *Engine) Progress() Progress {
 		NumLow:       e.st.res.NumLow,
 		NumHigh:      e.st.res.NumHigh,
 		NumFailed:    e.st.res.NumFailed,
+		Outstanding:  len(e.pending),
 		Degradations: len(e.st.res.Degradations),
 		Interrupted:  e.interrupted,
 	}

@@ -36,4 +36,11 @@ var (
 	// alternate on exactly the suggested queries to keep service-driven
 	// trajectories bit-identical to in-process ones.
 	ErrTellMismatch = errors.New("core: observation does not match the pending suggestion")
+
+	// ErrUnknownSuggestion is returned by Engine.TellByID when the named
+	// suggestion is not outstanding: it was never issued, or its observation
+	// already arrived (e.g. a duplicate report for a requeued distributed
+	// evaluation). The dispatch layer treats it as "result already ingested
+	// elsewhere" and discards the report.
+	ErrUnknownSuggestion = errors.New("core: unknown or already-observed suggestion id")
 )

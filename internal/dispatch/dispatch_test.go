@@ -1,0 +1,270 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/optimize"
+	"repro/internal/problem"
+	"repro/internal/session"
+	"repro/internal/testfunc"
+)
+
+// fakeClock is a manually-advanced clock for driving lease expiry
+// deterministically (the janitor is disabled via ScanEvery = 0 and tests call
+// Scan themselves).
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time                  { return c.now }
+func (c *fakeClock) Advance(d time.Duration)         { c.now = c.now.Add(d) }
+func (c *fakeClock) After(d time.Duration) time.Time { return c.now.Add(d) }
+
+// newTestQueue builds a queue over one fresh session with a controllable
+// clock. The session config keeps the initialization design large enough that
+// every lease in these tests is a cheap design point — no GP fits.
+func newTestQueue(t *testing.T, mut func(*Config)) (*Queue, *session.Session, *fakeClock) {
+	t.Helper()
+	sess, err := session.New(session.Config{
+		Problem: testfunc.ConstrainedSynthetic(),
+		Core: core.Config{
+			Budget:    8,
+			InitLow:   8,
+			InitHigh:  4,
+			MSP:       optimize.MSPConfig{Starts: 4, LocalIter: 15},
+			GPMaxIter: 30,
+		},
+		Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	cfg := Config{
+		Resolve: func(id string) (*session.Session, error) {
+			if id != "s1" {
+				return nil, errors.New("unknown session")
+			}
+			return sess, nil
+		},
+		MaxInFlight: 3,
+		LeaseTTL:    10 * time.Second,
+		MaxAttempts: 3,
+		ScanEvery:   0, // tests drive Scan directly
+		Now:         clock.Now,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	q, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(q.Close)
+	return q, sess, clock
+}
+
+func mustLease(t *testing.T, q *Queue, worker string) *Grant {
+	t.Helper()
+	g, err := q.Lease(context.Background(), "s1", worker, 0, 0)
+	if err != nil {
+		t.Fatalf("Lease(%s): %v", worker, err)
+	}
+	return g
+}
+
+func TestLeaseGrantReportTopUp(t *testing.T) {
+	q, sess, _ := newTestQueue(t, nil)
+	p := sess.Problem()
+
+	// MaxInFlight = 3: three grants, all distinct, then the queue is dry.
+	g1, g2, g3 := mustLease(t, q, "w1"), mustLease(t, q, "w2"), mustLease(t, q, "w3")
+	ids := map[string]bool{g1.Suggestion.ID: true, g2.Suggestion.ID: true, g3.Suggestion.ID: true}
+	if len(ids) != 3 {
+		t.Fatalf("grants not distinct: %s %s %s", g1.Suggestion.ID, g2.Suggestion.ID, g3.Suggestion.ID)
+	}
+	if g1.Suggestion.ID != "init-low-0" {
+		t.Fatalf("first grant %q, want the oldest pending suggestion init-low-0", g1.Suggestion.ID)
+	}
+	if _, err := q.Lease(context.Background(), "s1", "w4", 0, 0); !errors.Is(err, ErrNoWork) {
+		t.Fatalf("4th lease: got %v, want ErrNoWork", err)
+	}
+	if q.Active() != 3 {
+		t.Fatalf("Active = %d, want 3", q.Active())
+	}
+
+	// Reporting frees capacity: the next lease tops the batch back up.
+	ack, err := q.Report("s1", g2.LeaseID, g2.Suggestion.ID, p.Evaluate(g2.Suggestion.X, g2.Suggestion.Fid))
+	if err != nil || ack.Duplicate {
+		t.Fatalf("Report: ack=%+v err=%v", ack, err)
+	}
+	g4 := mustLease(t, q, "w4")
+	if ids[g4.Suggestion.ID] {
+		t.Fatalf("top-up grant %q repeats a leased suggestion", g4.Suggestion.ID)
+	}
+	if got := sess.Status().Observations; got != 1 {
+		t.Fatalf("Observations = %d, want 1", got)
+	}
+}
+
+func TestHeartbeatExtendsLease(t *testing.T) {
+	q, _, clock := newTestQueue(t, nil)
+	g := mustLease(t, q, "w1")
+	if !g.Deadline.Equal(clock.After(10 * time.Second)) {
+		t.Fatalf("deadline %v, want now+10s", g.Deadline)
+	}
+
+	// Heartbeats push the deadline; a heartbeat-kept lease survives Scan.
+	clock.Advance(8 * time.Second)
+	dl, err := q.Heartbeat(g.LeaseID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dl.Equal(clock.After(10 * time.Second)) {
+		t.Fatalf("extended deadline %v, want now+10s", dl)
+	}
+	clock.Advance(9 * time.Second)
+	if n := q.Scan(clock.Now()); n != 0 {
+		t.Fatalf("Scan expired %d leases under heartbeat, want 0", n)
+	}
+
+	// Without heartbeats the lease expires and the same suggestion is
+	// re-granted with the attempt counter bumped.
+	clock.Advance(2 * time.Second)
+	if n := q.Scan(clock.Now()); n != 1 {
+		t.Fatalf("Scan expired %d leases, want 1", n)
+	}
+	if _, err := q.Heartbeat(g.LeaseID); !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("heartbeat on expired lease: got %v, want ErrLeaseExpired", err)
+	}
+	g2 := mustLease(t, q, "w2")
+	if g2.Suggestion.ID != g.Suggestion.ID {
+		t.Fatalf("requeued grant %q, want %q", g2.Suggestion.ID, g.Suggestion.ID)
+	}
+	if g2.Attempt != 1 {
+		t.Fatalf("requeued attempt = %d, want 1", g2.Attempt)
+	}
+	if g2.LeaseID == g.LeaseID {
+		t.Fatal("requeued lease reuses the expired lease ID")
+	}
+}
+
+func TestLateReportThenDuplicate(t *testing.T) {
+	q, sess, clock := newTestQueue(t, nil)
+	p := sess.Problem()
+
+	// w1's lease expires mid-evaluation; the unit is requeued to w2.
+	g1 := mustLease(t, q, "w1")
+	clock.Advance(11 * time.Second)
+	q.Scan(clock.Now())
+	g2 := mustLease(t, q, "w2")
+	if g2.Suggestion.ID != g1.Suggestion.ID {
+		t.Fatalf("requeue granted %q, want %q", g2.Suggestion.ID, g1.Suggestion.ID)
+	}
+
+	// w1 finishes anyway: the late report is real work and is ingested.
+	ev := p.Evaluate(g1.Suggestion.X, g1.Suggestion.Fid)
+	ack, err := q.Report("s1", g1.LeaseID, g1.Suggestion.ID, ev)
+	if err != nil {
+		t.Fatalf("late report: %v", err)
+	}
+	if ack.Duplicate {
+		t.Fatal("late report for an outstanding suggestion marked duplicate")
+	}
+	if got := sess.Status().Observations; got != 1 {
+		t.Fatalf("Observations = %d, want 1", got)
+	}
+
+	// w2's result now loses the race: acknowledged as a duplicate, dropped.
+	ack, err = q.Report("s1", g2.LeaseID, g2.Suggestion.ID, ev)
+	if err != nil {
+		t.Fatalf("duplicate report: %v", err)
+	}
+	if !ack.Duplicate {
+		t.Fatal("second report for a told suggestion not marked duplicate")
+	}
+	if got := sess.Status().Observations; got != 1 {
+		t.Fatalf("Observations after duplicate = %d, want 1", got)
+	}
+}
+
+func TestReportLeaseSuggestionMismatch(t *testing.T) {
+	q, _, _ := newTestQueue(t, nil)
+	g1, g2 := mustLease(t, q, "w1"), mustLease(t, q, "w2")
+	_, err := q.Report("s1", g1.LeaseID, g2.Suggestion.ID, testfunc.ConstrainedSynthetic().Evaluate(g2.Suggestion.X, g2.Suggestion.Fid))
+	if !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("cross-lease report: got %v, want ErrLeaseExpired", err)
+	}
+}
+
+func TestAbandonAfterMaxAttempts(t *testing.T) {
+	q, sess, clock := newTestQueue(t, func(c *Config) { c.MaxAttempts = 2 })
+
+	g := mustLease(t, q, "w1")
+	for i := 0; i < 2; i++ {
+		clock.Advance(11 * time.Second)
+		if n := q.Scan(clock.Now()); n != 1 {
+			t.Fatalf("expiry %d: Scan expired %d, want 1", i, n)
+		}
+		if i == 0 {
+			// First expiry requeues; re-lease so the second expiry abandons.
+			g2 := mustLease(t, q, "w2")
+			if g2.Suggestion.ID != g.Suggestion.ID || g2.Attempt != 1 {
+				t.Fatalf("requeue grant %q attempt %d, want %q attempt 1", g2.Suggestion.ID, g2.Attempt, g.Suggestion.ID)
+			}
+		}
+	}
+
+	// The poisoned point was told as a Failed evaluation: charged, recorded,
+	// and no longer outstanding.
+	hist := sess.History()
+	if len(hist) != 1 {
+		t.Fatalf("history has %d observations, want 1 (the abandoned point)", len(hist))
+	}
+	if !hist[0].Eval.Failed {
+		t.Fatal("abandoned suggestion not recorded as Failed")
+	}
+	for _, s := range sess.Pending() {
+		if s.ID == g.Suggestion.ID {
+			t.Fatalf("abandoned suggestion %q still outstanding", s.ID)
+		}
+	}
+	// The queue moves on to fresh work.
+	g3 := mustLease(t, q, "w3")
+	if g3.Suggestion.ID == g.Suggestion.ID {
+		t.Fatal("abandoned suggestion was granted again")
+	}
+}
+
+func TestLeaseTTLClamping(t *testing.T) {
+	q, _, clock := newTestQueue(t, func(c *Config) { c.MaxTTL = 30 * time.Second })
+
+	// Requested TTL is honored…
+	g, err := q.Lease(context.Background(), "s1", "w1", 20*time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Deadline.Equal(clock.After(20 * time.Second)) {
+		t.Fatalf("deadline %v, want now+20s", g.Deadline)
+	}
+	// …and capped at MaxTTL.
+	g2, err := q.Lease(context.Background(), "s1", "w1", time.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.Deadline.Equal(clock.After(30 * time.Second)) {
+		t.Fatalf("capped deadline %v, want now+30s", g2.Deadline)
+	}
+}
+
+func TestResolveErrorPropagates(t *testing.T) {
+	q, _, _ := newTestQueue(t, nil)
+	if _, err := q.Lease(context.Background(), "nope", "w1", 0, 0); err == nil {
+		t.Fatal("lease for unknown session succeeded")
+	}
+	if _, err := q.Report("nope", "lease-x", "sug-x", problem.Evaluation{}); err == nil {
+		t.Fatal("report for unknown session succeeded")
+	}
+}

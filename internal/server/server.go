@@ -13,6 +13,13 @@
 //	GET    /v1/problems                    problem catalog
 //	GET    /v1/healthz                     liveness
 //
+// Distributed evaluation fleets use the lease-based dispatch queue instead of
+// suggest/observe (see internal/dispatch for the lease state machine):
+//
+//	POST   /v1/sessions/{id}/lease         lease one evaluation to a worker
+//	POST   /v1/sessions/{id}/report        report a leased evaluation
+//	POST   /v1/leases/{id}/heartbeat       keep a lease alive mid-evaluation
+//
 // The registry is concurrency-bounded: sessions serialize their own engine
 // behind a per-session mutex, and a global session.Limiter caps how many
 // sessions may run their surrogate-fit pipeline at once. Every session is
@@ -39,8 +46,10 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/buildinfo"
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/dispatch"
 	"repro/internal/optimize"
 	"repro/internal/problem"
 	"repro/internal/session"
@@ -75,6 +84,11 @@ type Config struct {
 	// EventRingSize bounds each session's in-memory event ring
 	// (default 512; < 0 disables per-session rings).
 	EventRingSize int
+	// Dispatch tunes the lease-based work queue behind the lease/report/
+	// heartbeat endpoints (see dispatch.Config). Resolve, Telemetry and Now
+	// are supplied by the server; the remaining fields (MaxInFlight,
+	// LeaseTTL, MaxAttempts, ScanEvery, ...) default sensibly when zero.
+	Dispatch dispatch.Config
 }
 
 // Server is the HTTP handler plus its session registry.
@@ -84,6 +98,7 @@ type Server struct {
 	limiter *session.Limiter
 	started time.Time
 	met     *serverMetrics
+	queue   *dispatch.Queue
 
 	mu       sync.RWMutex
 	sessions map[string]*entry
@@ -214,6 +229,20 @@ func New(cfg Config) (*Server, error) {
 		janitorDone: make(chan struct{}),
 	}
 	s.met = newServerMetrics(cfg.Telemetry.Registry(), s)
+	qcfg := cfg.Dispatch
+	qcfg.Resolve = func(id string) (*session.Session, error) {
+		e, err := s.getSession(id)
+		if err != nil {
+			return nil, err
+		}
+		return e.sess, nil
+	}
+	qcfg.Telemetry = cfg.Telemetry
+	queue, err := dispatch.New(qcfg)
+	if err != nil {
+		return nil, err
+	}
+	s.queue = queue
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", s.instrument("create", s.handleCreate))
 	mux.HandleFunc("GET /v1/sessions", s.instrument("list", s.handleList))
@@ -222,6 +251,9 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/sessions/{id}/status", s.instrument("status", s.handleStatus))
 	mux.HandleFunc("GET /v1/sessions/{id}/history", s.instrument("history", s.handleHistory))
 	mux.HandleFunc("GET /v1/sessions/{id}/telemetry", s.instrument("telemetry", s.handleTelemetry))
+	mux.HandleFunc("POST /v1/sessions/{id}/lease", s.instrument("lease", s.handleLease))
+	mux.HandleFunc("POST /v1/sessions/{id}/report", s.instrument("report", s.handleReport))
+	mux.HandleFunc("POST /v1/leases/{id}/heartbeat", s.instrument("heartbeat", s.handleHeartbeat))
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("delete", s.handleDelete))
 	mux.HandleFunc("GET /v1/problems", s.instrument("problems", s.handleProblems))
 	mux.HandleFunc("GET /v1/healthz", s.instrument("healthz", s.handleHealth))
@@ -259,6 +291,7 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	close(s.janitorStop)
 	<-s.janitorDone
+	s.queue.Close()
 
 	var errs []error
 	for _, e := range entries {
@@ -365,6 +398,7 @@ func coreConfig(req *api.CreateSessionRequest) core.Config {
 		MaxLowData:    req.MaxLowData,
 		MaxIterations: req.MaxIterations,
 		Workers:       req.Workers,
+		Fantasy:       core.FantasyStrategy(req.Fantasy),
 	}
 }
 
@@ -755,6 +789,106 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, reply)
 }
 
+// handleLease grants one evaluation of the session to the requesting worker
+// (see dispatch.Queue.Lease). The reply distinguishes "here is work", "no
+// work right now, retry later" and "session finished".
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, err := s.getSession(id)
+	if err != nil {
+		s.writeSessionErr(w, err)
+		return
+	}
+	var req api.LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	width := e.req.Batch
+	if width <= 0 {
+		width = 1 // sessions are sequential unless created with batch > 1
+	}
+	ttl := time.Duration(req.TTLSeconds * float64(time.Second))
+	grant, err := s.queue.Lease(r.Context(), id, req.Worker, ttl, width)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, api.LeaseReply{
+			LeaseID:        grant.LeaseID,
+			SuggestionID:   grant.Suggestion.ID,
+			X:              grant.Suggestion.X,
+			Fidelity:       int(grant.Suggestion.Fid),
+			Iter:           grant.Suggestion.Iter,
+			Attempt:        grant.Attempt,
+			DeadlineUnixMs: grant.Deadline.UnixMilli(),
+		})
+	case errors.Is(err, dispatch.ErrNoWork):
+		writeJSON(w, http.StatusOK, api.LeaseReply{
+			None:              true,
+			RetryAfterSeconds: s.queue.RetryAfter().Seconds(),
+		})
+	case errors.Is(err, core.ErrBudgetExhausted):
+		writeJSON(w, http.StatusOK, api.LeaseReply{Done: true, Reason: api.CodeBudgetExhausted})
+	case errors.Is(err, core.ErrInterrupted):
+		writeJSON(w, http.StatusOK, api.LeaseReply{Done: true, Reason: api.CodeInterrupted})
+	case errors.Is(err, r.Context().Err()):
+		// Worker went away while waiting for a fit slot; nothing to write.
+	default:
+		s.writeSessionErr(w, err)
+	}
+}
+
+// handleReport ingests the outcome of a leased evaluation (out-of-order
+// within the session's batch; see dispatch.Queue.Report).
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, err := s.getSession(id)
+	if err != nil {
+		s.writeSessionErr(w, err)
+		return
+	}
+	var req api.ReportRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if req.SuggestionID == "" {
+		writeErr(w, http.StatusBadRequest, api.CodeBadRequest, "suggestion_id is required")
+		return
+	}
+	ev := problem.Evaluation{Objective: req.Objective, Constraints: req.Constraints, Failed: req.Failed}
+	ack, err := s.queue.Report(id, req.LeaseID, req.SuggestionID, ev)
+	switch {
+	case err == nil:
+		st := e.sess.Status()
+		writeJSON(w, http.StatusOK, api.ReportReply{
+			Cost:      st.Cost,
+			Budget:    st.Budget,
+			Done:      st.Phase == "done",
+			Duplicate: ack.Duplicate,
+		})
+	case errors.Is(err, dispatch.ErrLeaseExpired):
+		writeErr(w, http.StatusConflict, api.CodeLeaseExpired, err.Error())
+	case errors.Is(err, core.ErrTellMismatch):
+		writeErr(w, http.StatusConflict, api.CodeTellMismatch, err.Error())
+	default:
+		s.writeSessionErr(w, err)
+	}
+}
+
+// handleHeartbeat extends a live lease; a 409 with code lease_expired tells
+// the worker its lease is gone and the work unit should be dropped.
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	deadline, err := s.queue.Heartbeat(r.PathValue("id"))
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, api.HeartbeatReply{DeadlineUnixMs: deadline.UnixMilli()})
+	case errors.Is(err, dispatch.ErrLeaseExpired):
+		writeErr(w, http.StatusConflict, api.CodeLeaseExpired, err.Error())
+	default:
+		writeErr(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
+	}
+}
+
 // handleHealth reports liveness plus the readiness facts an operator needs:
 // uptime, live-session count, fit-limiter queue state, and — when sessions
 // are durable — an actual write probe of the checkpoint directory, so a full
@@ -767,6 +901,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		OK:              true,
 		Sessions:        n,
 		UptimeSeconds:   time.Since(s.started).Seconds(),
+		Version:         buildinfo.Version(),
 		CheckpointDir:   s.cfg.CheckpointDir,
 		FitSlotsInUse:   s.limiter.InUse(),
 		FitSlotsWaiting: s.limiter.Waiting(),

@@ -229,6 +229,42 @@ func (s *Session) Ask(ctx context.Context) (core.Suggestion, error) {
 	return s.eng.Ask(context.Background())
 }
 
+// AskBatch tops the session up to q concurrently-outstanding suggestions and
+// returns the full outstanding set, oldest first (see core.Engine.AskBatch
+// for the fantasization contract). Like Ask, it holds a fit slot for the
+// duration of any surrogate computation; with every slot already outstanding
+// it returns without fitting anything.
+func (s *Session) AskBatch(ctx context.Context, q int) ([]core.Suggestion, error) {
+	if err := s.cfg.Limiter.Acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.cfg.Limiter.Release()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touch()
+	// Background context for the same reason as Ask: a per-request ctx would
+	// terminally interrupt the run on client disconnect.
+	return s.eng.AskBatch(context.Background(), q)
+}
+
+// Pending returns copies of the outstanding (asked-but-untold) suggestions,
+// oldest first, without computing anything.
+func (s *Session) Pending() []core.Suggestion {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Pending()
+}
+
+// TellByID ingests the outcome of the outstanding suggestion with the given
+// ID — the out-of-order observation path of a distributed batch run (see
+// core.Engine.TellByID).
+func (s *Session) TellByID(id string, ev problem.Evaluation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touch()
+	return s.eng.TellByID(id, ev)
+}
+
 // Tell ingests the outcome of the pending suggestion (see core.Engine.Tell
 // for the validation and sanitation contract) and persists a checkpoint when
 // the session is durable.

@@ -1,0 +1,316 @@
+// Package worker implements the evaluation daemon of the distributed fleet:
+// a loop that leases work from a session's dispatch queue (internal/dispatch
+// via internal/client), evaluates it locally under the fault-tolerant
+// robust.SafeProblem wrapper, heartbeats mid-evaluation so the lease stays
+// alive through long SPICE-class simulations, and reports the outcome —
+// cmd/mfbo-worker is a thin flag-parsing shell around this package.
+//
+// The loop is deliberately stateless: a worker holds no optimizer state, only
+// the one lease it is currently serving. Every failure mode routes back to
+// the queue's lease state machine — a crashed worker simply stops
+// heartbeating and its lease expires; a slow worker whose lease was requeued
+// learns so from lease_expired on heartbeat (abandon the unit) or a Duplicate
+// report acknowledgment (its late result lost the race); a worker that
+// cannot reach the server backs off with robust.Backoff and retries.
+package worker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/catalog"
+	"repro/internal/client"
+	"repro/internal/problem"
+	"repro/internal/robust"
+)
+
+// ErrKilled is returned by Run when the worker was hard-aborted with Kill:
+// the in-flight evaluation was abandoned without a report, as if the process
+// had been SIGKILLed.
+var ErrKilled = errors.New("worker: killed")
+
+// Config describes one worker.
+type Config struct {
+	// Client talks to the optimization server (required).
+	Client *client.Client
+	// Session is the session ID to serve (required).
+	Session string
+	// Name identifies the worker in lease bookkeeping and logs
+	// (default "worker").
+	Name string
+	// TTL is the lease duration to request (0 = server default). Heartbeats
+	// are sent at roughly a third of the granted TTL.
+	TTL time.Duration
+	// Poll shapes the idle backoff when the queue has no work or the server
+	// is unreachable: robust.Backoff over this base, capped at PollMax
+	// (defaults 100ms / 2s).
+	Poll, PollMax time.Duration
+	// Robust wraps the local evaluator (panic recovery, retries, timeout —
+	// see robust.Wrap). The zero value selects the robust defaults.
+	Robust robust.Policy
+	// Lookup resolves the session's problem name to the local evaluator
+	// (default catalog.Lookup — the worker-side twin of the server catalog).
+	Lookup func(name string) (problem.Problem, error)
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+	// sleep is injectable for tests.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Worker is one evaluation-daemon loop. Create with New, run with Run.
+type Worker struct {
+	cfg Config
+
+	killOnce sync.Once
+	killed   chan struct{}
+
+	mu        sync.Mutex
+	evaluated int
+	reported  int
+}
+
+// New validates cfg and builds a worker.
+func New(cfg Config) (*Worker, error) {
+	if cfg.Client == nil {
+		return nil, errors.New("worker: Config.Client is required")
+	}
+	if cfg.Session == "" {
+		return nil, errors.New("worker: Config.Session is required")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "worker"
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 100 * time.Millisecond
+	}
+	if cfg.PollMax <= 0 {
+		cfg.PollMax = 2 * time.Second
+	}
+	if cfg.Lookup == nil {
+		cfg.Lookup = catalog.Lookup
+	}
+	if cfg.sleep == nil {
+		cfg.sleep = sleepCtx
+	}
+	return &Worker{cfg: cfg, killed: make(chan struct{})}, nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// Kill hard-aborts the worker: the in-flight evaluation is abandoned, no
+// report is sent, and heartbeats stop immediately — exactly the signature of
+// a SIGKILLed or crashed worker process. The lease is left to expire and
+// requeue. Tests use it to exercise worker-death recovery; operational
+// shutdown should cancel Run's context instead (graceful drain).
+func (w *Worker) Kill() { w.killOnce.Do(func() { close(w.killed) }) }
+
+// Evaluated returns how many evaluations the worker completed and reported.
+func (w *Worker) Evaluated() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.reported
+}
+
+// idleBackoff is the retry schedule for "no work" and "server unreachable".
+func (w *Worker) idleBackoff(attempt int) time.Duration {
+	return robust.Backoff(attempt, robust.Policy{
+		BackoffBase: w.cfg.Poll,
+		BackoffMax:  w.cfg.PollMax,
+	})
+}
+
+// Run serves the session until its optimization completes or ctx is
+// cancelled. Cancellation is a graceful drain (the SIGTERM path of
+// cmd/mfbo-worker): the in-flight evaluation finishes — bounded by the
+// robust policy's evaluation timeout — and its report is still delivered on
+// a short grace deadline before Run returns nil. Kill aborts instead.
+func (w *Worker) Run(ctx context.Context) error {
+	cfg := &w.cfg
+	// Resolve the session's problem from its status; retry while the server
+	// comes up (workers are typically started alongside the daemon).
+	var prob problem.Problem
+	for attempt := 0; ; attempt++ {
+		st, err := cfg.Client.Status(ctx, cfg.Session)
+		if err == nil {
+			if prob, err = cfg.Lookup(st.Problem); err != nil {
+				return fmt.Errorf("worker %s: %w", cfg.Name, err)
+			}
+			break
+		}
+		if ctx.Err() != nil || w.isKilled() {
+			return nil
+		}
+		w.logf("worker %s: session %s not reachable (%v); retrying", cfg.Name, cfg.Session, err)
+		if w.sleepIdle(ctx, attempt) != nil {
+			return nil
+		}
+	}
+	safe := robust.Wrap(prob, cfg.Robust)
+	w.logf("worker %s: serving session %s (problem %s)", cfg.Name, cfg.Session, prob.Name())
+
+	idle := 0
+	for {
+		if w.isKilled() {
+			return ErrKilled
+		}
+		if ctx.Err() != nil {
+			w.logf("worker %s: drained", cfg.Name)
+			return nil
+		}
+		rep, err := cfg.Client.Lease(ctx, cfg.Session, api.LeaseRequest{
+			Worker:     cfg.Name,
+			TTLSeconds: cfg.TTL.Seconds(),
+		})
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return nil
+			}
+			w.logf("worker %s: lease: %v", cfg.Name, err)
+			idle++
+			if w.sleepIdle(ctx, idle) != nil {
+				return nil
+			}
+			continue
+		case rep.Done:
+			w.logf("worker %s: session %s finished (%s)", cfg.Name, cfg.Session, rep.Reason)
+			return nil
+		case rep.None:
+			idle++
+			d := time.Duration(rep.RetryAfterSeconds * float64(time.Second))
+			if b := w.idleBackoff(idle); b > d {
+				d = b
+			}
+			if w.cfg.sleep(ctx, d) != nil {
+				return nil
+			}
+			continue
+		}
+		idle = 0
+		w.serve(safe, &rep)
+	}
+}
+
+func (w *Worker) isKilled() bool {
+	select {
+	case <-w.killed:
+		return true
+	default:
+		return false
+	}
+}
+
+// serve runs one leased evaluation: heartbeat in the background, evaluate
+// under the safety wrapper, report. Contexts are detached from Run's on
+// purpose — a graceful drain finishes and reports the unit it holds.
+func (w *Worker) serve(safe *robust.SafeProblem, lease *api.LeaseReply) {
+	w.mu.Lock()
+	w.evaluated++
+	w.mu.Unlock()
+
+	// Evaluation aborts on Kill (never on graceful drain).
+	evCtx, cancelEv := context.WithCancel(context.Background())
+	defer cancelEv()
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		w.heartbeats(evCtx, cancelEv, lease)
+	}()
+
+	ev, everr := safe.EvaluateCtx(evCtx, lease.X, problem.Fidelity(lease.Fidelity))
+	cancelEv() // stop heartbeats
+	<-hbDone
+	if w.isKilled() {
+		w.logf("worker %s: killed holding lease %s; abandoning", w.cfg.Name, lease.LeaseID)
+		return
+	}
+	if everr != nil {
+		ev.Failed = true
+	}
+
+	repCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	ack, err := w.cfg.Client.Report(repCtx, w.cfg.Session, api.ReportRequest{
+		LeaseID:      lease.LeaseID,
+		SuggestionID: lease.SuggestionID,
+		Objective:    ev.Objective,
+		Constraints:  ev.Constraints,
+		Failed:       ev.Failed,
+	})
+	switch {
+	case err == nil:
+		w.mu.Lock()
+		w.reported++
+		w.mu.Unlock()
+		if ack.Duplicate {
+			w.logf("worker %s: report for %s was a duplicate (requeued elsewhere)", w.cfg.Name, lease.SuggestionID)
+		}
+	case client.IsLeaseExpired(err):
+		w.logf("worker %s: lease %s expired before report; dropping", w.cfg.Name, lease.LeaseID)
+	default:
+		w.logf("worker %s: report %s: %v", w.cfg.Name, lease.SuggestionID, err)
+	}
+}
+
+// heartbeats keeps the lease alive at roughly a third of its remaining TTL.
+// A lease_expired reply aborts the evaluation via cancelEv: the unit was
+// requeued to someone else, so finishing it would be wasted work.
+func (w *Worker) heartbeats(ctx context.Context, cancelEv context.CancelFunc, lease *api.LeaseReply) {
+	interval := time.Second
+	if lease.DeadlineUnixMs > 0 {
+		if ttl := time.Until(time.UnixMilli(lease.DeadlineUnixMs)); ttl > 0 {
+			interval = ttl / 3
+		}
+	}
+	if interval < 50*time.Millisecond {
+		interval = 50 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-w.killed:
+			cancelEv() // a killed worker stops evaluating AND heartbeating
+			return
+		case <-t.C:
+			hbCtx, cancel := context.WithTimeout(ctx, interval)
+			_, err := w.cfg.Client.Heartbeat(hbCtx, lease.LeaseID)
+			cancel()
+			switch {
+			case err == nil, ctx.Err() != nil:
+			case client.IsLeaseExpired(err):
+				w.logf("worker %s: lease %s was requeued; aborting evaluation", w.cfg.Name, lease.LeaseID)
+				cancelEv()
+				return
+			default:
+				w.logf("worker %s: heartbeat %s: %v", w.cfg.Name, lease.LeaseID, err)
+			}
+		}
+	}
+}
+
+// sleepIdle sleeps the idle backoff, returning non-nil when ctx ended.
+func (w *Worker) sleepIdle(ctx context.Context, attempt int) error {
+	return w.cfg.sleep(ctx, w.idleBackoff(attempt))
+}

@@ -1,0 +1,261 @@
+package worker_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/catalog"
+	"repro/internal/client"
+	"repro/internal/dispatch"
+	"repro/internal/problem"
+	"repro/internal/server"
+	"repro/internal/worker"
+)
+
+// newFleetServer boots a dispatch-enabled server over an httptest listener
+// with short leases so worker-death recovery happens on test timescales.
+func newFleetServer(t *testing.T) (*httptest.Server, *client.Client) {
+	t.Helper()
+	srv, err := server.New(server.Config{
+		Dispatch: dispatch.Config{
+			LeaseTTL:    250 * time.Millisecond,
+			MaxInFlight: 3,
+			MaxAttempts: 5,
+			ScanEvery:   20 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		if err := srv.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+	})
+	return ts, client.New(ts.URL, client.WithBackoff(time.Millisecond, 20*time.Millisecond))
+}
+
+func fleetSessionReq(id string, batch int) api.CreateSessionRequest {
+	return api.CreateSessionRequest{
+		ID:           id,
+		Problem:      "constrained",
+		Seed:         7,
+		Budget:       6,
+		InitLow:      8,
+		InitHigh:     4,
+		MSPStarts:    4,
+		MSPLocalIter: 15,
+		GPMaxIter:    30,
+		Batch:        batch,
+		Fantasy:      "constant-liar",
+	}
+}
+
+func newWorker(t *testing.T, cl *client.Client, session, name string, lookup func(string) (problem.Problem, error)) *worker.Worker {
+	t.Helper()
+	w, err := worker.New(worker.Config{
+		Client:  cl,
+		Session: session,
+		Name:    name,
+		Poll:    5 * time.Millisecond,
+		PollMax: 50 * time.Millisecond,
+		Lookup:  lookup,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// blockingProblem delegates to the catalog problem but parks the first
+// evaluation on a channel: the test uses it to catch a worker red-handed
+// holding a lease, then Kill()s it — the signature of a SIGKILLed process.
+type blockingProblem struct {
+	problem.Problem
+	started chan string // receives the blocked evaluation's signature once
+	release chan struct{}
+	once    sync.Once
+}
+
+func (p *blockingProblem) Evaluate(x []float64, f problem.Fidelity) problem.Evaluation {
+	p.once.Do(func() {
+		p.started <- "evaluating"
+		<-p.release
+	})
+	return p.Problem.Evaluate(x, f)
+}
+
+// TestFleetSurvivesKilledWorker is the end-to-end acceptance test of the
+// distributed fleet: three workers serve one batch-3 session; one worker is
+// hard-killed while holding a lease mid-evaluation. Its lease must expire,
+// the suggestion must be requeued to a surviving worker, and the session must
+// run to completion with a consistent history.
+func TestFleetSurvivesKilledWorker(t *testing.T) {
+	_, cl := newFleetServer(t)
+
+	ctx := context.Background()
+	info, err := cl.CreateSession(ctx, fleetSessionReq("fleet", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The victim evaluates through a problem that blocks its first
+	// evaluation, so the test can kill it while it provably holds a lease.
+	inner, err := catalog.Lookup("constrained")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := &blockingProblem{
+		Problem: inner,
+		started: make(chan string, 1),
+		release: make(chan struct{}),
+	}
+	defer close(bp.release) // unblock the leaked evaluation goroutine at exit
+
+	victim := newWorker(t, cl, info.ID, "victim", func(string) (problem.Problem, error) { return bp, nil })
+	victimDone := make(chan error, 1)
+	go func() { victimDone <- victim.Run(ctx) }()
+
+	// Wait until the victim is mid-evaluation (lease held, heartbeating),
+	// then kill it: heartbeats stop, no report is ever sent.
+	select {
+	case <-bp.started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("victim never started evaluating")
+	}
+	victim.Kill()
+	select {
+	case err := <-victimDone:
+		if !errors.Is(err, worker.ErrKilled) {
+			t.Fatalf("victim Run returned %v, want ErrKilled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("victim did not exit after Kill")
+	}
+	if victim.Evaluated() != 0 {
+		t.Fatalf("killed victim reported %d evaluations, want 0", victim.Evaluated())
+	}
+
+	// Two healthy workers pick up the pieces — including the killed lease,
+	// which the janitor requeues after the TTL — and drain the session.
+	var wg sync.WaitGroup
+	survivors := []*worker.Worker{
+		newWorker(t, cl, info.ID, "w1", nil),
+		newWorker(t, cl, info.ID, "w2", nil),
+	}
+	errs := make([]error, len(survivors))
+	for i, w := range survivors {
+		wg.Add(1)
+		go func(i int, w *worker.Worker) {
+			defer wg.Done()
+			errs[i] = w.Run(ctx)
+		}(i, w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("fleet did not drain the session in time")
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("survivor %d: %v", i, err)
+		}
+	}
+
+	// The session ran to completion despite the killed worker.
+	st, err := cl.Status(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Phase != "done" {
+		t.Fatalf("session phase %q, want done (status %+v)", st.Phase, st)
+	}
+	if st.Cost < st.Budget {
+		t.Fatalf("session stopped early: cost %v < budget %v", st.Cost, st.Budget)
+	}
+	// Every observation was produced by a surviving worker (the victim never
+	// reported), and the killed lease's suggestion was still evaluated: the
+	// histories add up with no failures — the requeue recovered the work
+	// without burning an attempt budget.
+	reported := survivors[0].Evaluated() + survivors[1].Evaluated()
+	hist, err := cl.History(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Observations) == 0 {
+		t.Fatal("empty history after a completed run")
+	}
+	if reported < len(hist.Observations) {
+		t.Fatalf("survivors reported %d evaluations, history has %d", reported, len(hist.Observations))
+	}
+	for i, ob := range hist.Observations {
+		if ob.Failed {
+			t.Fatalf("observation %d marked failed; requeue should have recovered it", i)
+		}
+	}
+}
+
+// TestWorkerGracefulDrain verifies the SIGTERM path: cancelling Run's context
+// mid-evaluation lets the in-flight unit finish and report before Run returns.
+func TestWorkerGracefulDrain(t *testing.T) {
+	_, cl := newFleetServer(t)
+
+	ctx := context.Background()
+	info, err := cl.CreateSession(ctx, fleetSessionReq("drain", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inner, err := catalog.Lookup("constrained")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := &blockingProblem{
+		Problem: inner,
+		started: make(chan string, 1),
+		release: make(chan struct{}),
+	}
+	w := newWorker(t, cl, info.ID, "drainer", func(string) (problem.Problem, error) { return bp, nil })
+
+	runCtx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- w.Run(runCtx) }()
+
+	select {
+	case <-bp.started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker never started evaluating")
+	}
+	// SIGTERM arrives mid-evaluation; the evaluation then completes.
+	cancel()
+	close(bp.release)
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful drain returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker did not drain")
+	}
+	// The in-flight evaluation was finished AND reported.
+	if got := w.Evaluated(); got != 1 {
+		t.Fatalf("drained worker reported %d evaluations, want 1", got)
+	}
+	st, err := cl.Status(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Observations != 1 {
+		t.Fatalf("session has %d observations after drain, want 1", st.Observations)
+	}
+}
