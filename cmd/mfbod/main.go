@@ -37,6 +37,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/dispatch"
 	"repro/internal/server"
+	"repro/internal/storage"
 	"repro/internal/telemetry"
 )
 
@@ -46,6 +47,8 @@ func main() {
 
 	addr := flag.String("addr", ":8932", "listen address")
 	ckptDir := flag.String("checkpoint-dir", "", "persist sessions under this directory (empty = volatile)")
+	storageKind := flag.String("storage", "fs", "storage backend: fs (hardened filesystem under -checkpoint-dir) or mem (in-memory, survives eviction but not restarts)")
+	storageGens := flag.Int("storage-generations", 0, "checkpoint generations kept per record for rollback (0 = default 3)")
 	idle := flag.Duration("idle-timeout", 30*time.Minute, "persist+evict sessions idle for this long (0 = never)")
 	maxFits := flag.Int("max-fits", 0, "max concurrently fitting sessions (0 = number of CPUs)")
 	maxSessions := flag.Int("max-sessions", 0, "max live sessions (0 = unbounded)")
@@ -78,8 +81,38 @@ func main() {
 		rec = telemetry.NewRecorder(nil, *traceSample)
 	}
 
+	// Resolve the storage engine. The MFBO_STORAGE_CHAOS=seed:rate knob
+	// wraps whichever backend was chosen with deterministic fault injection
+	// (see internal/storage) so torture runs can vary backends without code
+	// changes. Never set it on a deployment you care about.
+	var store storage.Store
+	switch *storageKind {
+	case "fs":
+		if *ckptDir != "" {
+			fs, err := storage.NewFS(storage.FSConfig{Dir: *ckptDir, Generations: *storageGens, Telemetry: rec})
+			if err != nil {
+				log.Fatal(err)
+			}
+			store = fs
+		}
+	case "mem":
+		store = storage.NewMem(storage.MemConfig{Generations: *storageGens})
+	default:
+		log.Fatalf("-storage %q: want fs or mem", *storageKind)
+	}
+	if cfg, ok, err := storage.ParseChaosEnv(os.Getenv(storage.ChaosEnv)); err != nil {
+		log.Fatal(err)
+	} else if ok {
+		if store == nil {
+			log.Fatalf("%s set but the server is volatile (no -checkpoint-dir); nothing to fault-inject", storage.ChaosEnv)
+		}
+		store = storage.NewChaos(store, cfg)
+		log.Printf("storage fault injection ON (%s=%s) — torture use only", storage.ChaosEnv, os.Getenv(storage.ChaosEnv))
+	}
+
 	srv, err := server.New(server.Config{
-		CheckpointDir:     *ckptDir,
+		Store:             store,
+		CheckpointDir:     *ckptDir, // Store wins; kept so healthz reports the directory
 		IdleTimeout:       *idle,
 		MaxConcurrentFits: *maxFits,
 		MaxSessions:       *maxSessions,

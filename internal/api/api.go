@@ -193,8 +193,11 @@ type HealthReply struct {
 	Version string `json:"version,omitempty"`
 	// CheckpointDir echoes the configured persistence directory ("" when
 	// sessions are volatile); CheckpointWritable reports the result of a
-	// write probe against it and is omitted when no directory is configured.
+	// write probe against the storage backend and is omitted when sessions
+	// are volatile. Storage names the durability backend ("fs", "mem",
+	// "chaos") when one is configured.
 	CheckpointDir      string `json:"checkpoint_dir,omitempty"`
+	Storage            string `json:"storage,omitempty"`
 	CheckpointWritable *bool  `json:"checkpoint_writable,omitempty"`
 	// FitSlotsInUse / FitSlotsWaiting / FitSlots expose the surrogate-fit
 	// limiter queue.
@@ -252,6 +255,11 @@ type ReportRequest struct {
 	// Failed marks a simulation that produced no usable result; it is
 	// charged against the budget but excluded from surrogate training.
 	Failed bool `json:"failed,omitempty"`
+	// IdempotencyKey identifies one logical evaluation attempt (workers use
+	// "<suggestion_id>/<attempt>"). A report retried after a lost ack is
+	// recognized by its key and re-acknowledged as a duplicate instead of
+	// being double-processed. Optional; empty disables the check.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // ReportReply acknowledges a report.

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/problem"
+	"repro/internal/storage"
 )
 
 // CheckpointVersion is bumped whenever the snapshot layout changes
@@ -205,6 +206,32 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 // path (atomically overwriting the previous one).
 func FileCheckpointer(path string) func(*Checkpoint) error {
 	return func(ck *Checkpoint) error { return SaveCheckpoint(path, ck) }
+}
+
+// StoreCheckpointer returns a Checkpointer hook persisting every snapshot
+// into store under (storage.KindCheckpoint, id) — the pluggable-backend
+// successor of FileCheckpointer. The serialized bytes are identical to the
+// file path's (Marshal output); durability and generational rollback are the
+// store's business.
+func StoreCheckpointer(store storage.Store, id string) func(*Checkpoint) error {
+	return func(ck *Checkpoint) error {
+		data, err := ck.Marshal()
+		if err != nil {
+			return fmt.Errorf("core: marshal checkpoint: %w", err)
+		}
+		return store.Put(storage.KindCheckpoint, id, data)
+	}
+}
+
+// LoadCheckpointFromStore reads the newest recoverable snapshot of id from
+// store. storage.ErrNotFound passes through for errors.Is classification
+// ("no snapshot yet" is a normal fresh-start condition).
+func LoadCheckpointFromStore(store storage.Store, id string) (*Checkpoint, error) {
+	data, err := store.Get(storage.KindCheckpoint, id)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalCheckpoint(data)
 }
 
 // validateResume cross-checks the snapshot against the live problem/config.

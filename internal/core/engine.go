@@ -87,9 +87,16 @@ type Engine struct {
 
 	interrupted bool
 	// termErr, once set, makes the engine terminal: Ask keeps returning it.
-	// ErrBudgetExhausted / ErrInterrupted are normal terminations; anything
-	// else (checkpoint failure) is a fault that Result propagates.
+	// ErrBudgetExhausted / ErrInterrupted are the normal terminations.
 	termErr error
+	// ckptDirty records that the latest ingested observation is not yet
+	// durably checkpointed (the checkpoint write failed). A dirty engine
+	// keeps accepting Tells but refuses to hand out work — Ask/AskBatch
+	// first retry the flush — so transient storage faults stall the run
+	// instead of killing it, and a crash can never lose more than the
+	// observations whose checkpoint writes errored (which were never
+	// positively acknowledged to their reporters).
+	ckptDirty bool
 }
 
 // NewEngine validates cfg and builds a fresh engine for p. The
@@ -234,11 +241,28 @@ func RestoreEngine(p problem.Problem, cfg Config, rng *rand.Rand, ck *Checkpoint
 // into the adaptive phase.
 func (e *Engine) finishInit() error {
 	e.initDone = true
+	return e.checkpointDurable()
+}
+
+// checkpointDurable takes a checkpoint and tracks durability: on failure the
+// engine is marked dirty (not terminal) and the fault is returned so the
+// caller can refuse to acknowledge the observation it just ingested.
+func (e *Engine) checkpointDurable() error {
 	if err := e.checkpoint(); err != nil {
-		e.termErr = err
+		e.ckptDirty = true
 		return err
 	}
+	e.ckptDirty = false
 	return nil
+}
+
+// flushCheckpoint retries a failed checkpoint before any new work is handed
+// out. No-op when the engine is clean.
+func (e *Engine) flushCheckpoint() error {
+	if !e.ckptDirty {
+		return nil
+	}
+	return e.checkpointDurable()
 }
 
 // adaptiveOutstanding counts pending adaptive (non-initialization) slots.
@@ -283,6 +307,9 @@ func (e *Engine) Ask(ctx context.Context) (Suggestion, error) {
 	if e.termErr != nil {
 		return Suggestion{}, e.termErr
 	}
+	if err := e.flushCheckpoint(); err != nil {
+		return Suggestion{}, err
+	}
 	if len(e.pending) > 0 {
 		return cloneSuggestion(e.pending[0].sug), nil
 	}
@@ -317,6 +344,9 @@ func (e *Engine) AskBatch(ctx context.Context, q int) ([]Suggestion, error) {
 	}
 	if e.termErr != nil {
 		return nil, e.termErr
+	}
+	if err := e.flushCheckpoint(); err != nil {
+		return nil, err
 	}
 	if err := e.fill(ctx, q); err != nil {
 		return nil, err
@@ -478,8 +508,11 @@ func (e *Engine) proposeSlot(batch bool) {
 // exact (x, fid) pair: the evaluation is routed through the same sanitation
 // as the in-process loop (non-finite or explicitly Failed outcomes are
 // charged but excluded from surrogate training), the budget is charged, the
-// history extended, and — after adaptive iterations and at the end of
-// initialization — a checkpoint is taken. x and fid must match an
+// history extended, and a checkpoint is taken — after every observation,
+// initialization included, so an acknowledged Tell is always durable. A
+// failed checkpoint write is returned (the observation is ingested but not
+// yet durable) without making the engine terminal: Ask refuses to hand out
+// further work until a retried flush succeeds. x and fid must match an
 // outstanding suggestion exactly (ErrTellMismatch); a Tell without any
 // pending Ask returns ErrNoPendingAsk. Batch consumers should prefer
 // TellByID, which is unambiguous under concurrent outstanding suggestions.
@@ -561,14 +594,13 @@ func (e *Engine) tellAt(i int, ev problem.Evaluation) error {
 		if len(e.pending) == 0 && len(e.initLow) == 0 && len(e.initHigh) == 0 {
 			return e.finishInit()
 		}
-		return nil
+		// Initialization observations are checkpointed one by one too: a
+		// distributed run acks each report as it lands, and "acked" must mean
+		// "durably snapshotted" from the very first design point.
+		return e.checkpointDurable()
 	}
 	e.st.iter++ // advance before checkpointing: snapshots store the completed count
-	if err := e.checkpoint(); err != nil {
-		e.termErr = err
-		return err
-	}
-	return nil
+	return e.checkpointDurable()
 }
 
 // Done reports whether the engine reached a terminal state (budget spent,
@@ -682,9 +714,11 @@ func (e *Engine) Result() (*Result, error) {
 // ask, evaluate on the problem itself, tell, until a terminal condition.
 // OptimizeCtx and Resume are thin wrappers over it.
 func (e *Engine) drive(ctx context.Context) (*Result, error) {
+	var loopErr error
 	for {
 		sug, err := e.Ask(ctx)
 		if err != nil {
+			loopErr = err
 			break
 		}
 		ev, everr := e.st.evaluate(ctx, sug.X, sug.Fid)
@@ -692,11 +726,19 @@ func (e *Engine) drive(ctx context.Context) (*Result, error) {
 			ev.Failed = true
 		}
 		if err := e.Tell(sug.X, sug.Fid, ev); err != nil {
+			loopErr = err
 			break
 		}
 	}
 	if ctx.Err() != nil {
 		e.interrupted = true
 	}
-	return e.Result()
+	res, rerr := e.Result()
+	// A checkpoint fault is not terminal for the engine (a service retries
+	// the flush), but the in-process loop has no second chance: surface it
+	// alongside the partial result, as the historical abort semantics did.
+	if loopErr != nil && !errors.Is(loopErr, ErrBudgetExhausted) && !errors.Is(loopErr, ErrInterrupted) {
+		return res, loopErr
+	}
+	return res, rerr
 }

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/testfunc"
+)
+
+// TestStoreCheckpointerOracle is the acceptance oracle: the filesystem
+// storage.Store backend must produce byte-identical checkpoint/restore
+// behavior to the historical FileCheckpointer path on a seeded run.
+func TestStoreCheckpointerOracle(t *testing.T) {
+	p := testfunc.ConstrainedSynthetic()
+	const budget, seed = 6.0, 91
+
+	// Reference: the legacy direct-file path.
+	filePath := filepath.Join(t.TempDir(), "run.ckpt.json")
+	fcfg := fastCfg(budget)
+	fcfg.Checkpointer = FileCheckpointer(filePath)
+	fileRes, err := Optimize(p, fcfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same run, checkpointed through the storage engine.
+	fs, err := storage.NewFS(storage.FSConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := fastCfg(budget)
+	scfg.Checkpointer = StoreCheckpointer(fs, "run")
+	storeRes, err := Optimize(p, scfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fileRes.History, storeRes.History) {
+		t.Fatal("trajectory diverged between FileCheckpointer and StoreCheckpointer")
+	}
+
+	// The persisted snapshot payloads are byte-identical.
+	fileBytes, err := os.ReadFile(filePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeBytes, err := fs.Get(storage.KindCheckpoint, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fileBytes, storeBytes) {
+		t.Fatalf("checkpoint payloads differ: file %d bytes, store %d bytes", len(fileBytes), len(storeBytes))
+	}
+
+	// And both load paths reconstruct the same snapshot.
+	fromFile, err := LoadCheckpoint(filePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromStore, err := LoadCheckpointFromStore(fs, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromFile, fromStore) {
+		t.Fatal("loaded checkpoints differ between file and store paths")
+	}
+
+	// Resume from the store snapshot behaves exactly like resume from the
+	// file snapshot (same continuation seed).
+	rcfg := fastCfg(budget * 2)
+	rcfg.Budget = budget * 2
+	fromFile.Budget, fromStore.Budget = budget*2, budget*2
+	resFile, err := Resume(context.Background(), p, rcfg, rand.New(rand.NewSource(7)), fromFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resStore, err := Resume(context.Background(), p, rcfg, rand.New(rand.NewSource(7)), fromStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resFile.History, resStore.History) {
+		t.Fatal("resumed trajectories diverged between file and store snapshots")
+	}
+}
+
+func TestLoadCheckpointFromStoreNotFound(t *testing.T) {
+	mem := storage.NewMem(storage.MemConfig{})
+	if _, err := LoadCheckpointFromStore(mem, "missing"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("err = %v, want storage.ErrNotFound", err)
+	}
+}
+
+// TestEveryTellCheckpoints pins the ack-durability cadence: one checkpoint
+// per ingested observation, initialization included.
+func TestEveryTellCheckpoints(t *testing.T) {
+	calls := 0
+	cfg := fastCfg(4)
+	cfg.Checkpointer = func(*Checkpoint) error { calls++; return nil }
+	res, err := Optimize(testfunc.Forrester(), cfg, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != len(res.History) {
+		t.Fatalf("%d checkpoints for %d observations, want one per Tell", calls, len(res.History))
+	}
+}
+
+// TestCheckpointFaultIsRetriable: a transient checkpoint failure must stall
+// the engine (Tell errors, Ask refuses work) without killing it — once the
+// flush succeeds the run continues on the exact clean-run trajectory.
+func TestCheckpointFaultIsRetriable(t *testing.T) {
+	p := testfunc.Forrester()
+	const budget, seed = 4.0, 17
+
+	clean := fastCfg(budget)
+	ref, err := Optimize(p, clean, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("transient disk fault")
+	failures := 0
+	calls := 0
+	cfg := fastCfg(budget)
+	cfg.Checkpointer = func(*Checkpoint) error {
+		calls++
+		if calls == 3 || calls == 4 { // fail one write and its first retry
+			failures++
+			return boom
+		}
+		return nil
+	}
+	eng, err := NewEngine(p, cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sawTellFault, sawAskFault := false, false
+	for {
+		sug, err := eng.Ask(ctx)
+		if errors.Is(err, boom) {
+			// Dirty engine: no new work until the flush goes through.
+			sawAskFault = true
+			continue
+		}
+		if err != nil {
+			if !errors.Is(err, ErrBudgetExhausted) {
+				t.Fatalf("Ask: %v", err)
+			}
+			break
+		}
+		ev := p.Evaluate(sug.X, sug.Fid)
+		if err := eng.Tell(sug.X, sug.Fid, ev); err != nil {
+			if !errors.Is(err, boom) {
+				t.Fatalf("Tell: %v", err)
+			}
+			sawTellFault = true // ingested but not durable; loop retries Ask
+		}
+	}
+	if !sawTellFault || !sawAskFault {
+		t.Fatalf("fault not exercised: tell=%v ask=%v (failures=%d)", sawTellFault, sawAskFault, failures)
+	}
+	res, err := eng.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.History, ref.History) {
+		t.Fatal("transient checkpoint fault changed the trajectory")
+	}
+}

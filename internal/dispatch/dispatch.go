@@ -85,7 +85,7 @@ type Config struct {
 	// RetryAfter is the poll-again hint returned with ErrNoWork (default 1s).
 	RetryAfter time.Duration
 	// ScanEvery is the janitor period for expiring dead leases (default 1s);
-	// <= 0 disables the background janitor (tests drive Scan directly).
+	// negative disables the background janitor (tests drive Scan directly).
 	ScanEvery time.Duration
 	// Now is the clock (default time.Now; tests inject a fake).
 	Now func() time.Time
@@ -112,6 +112,11 @@ func (c *Config) defaults() error {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.ScanEvery == 0 {
+		// An embedded queue without an explicit period still needs the
+		// janitor: without it a crashed worker's lease would never expire.
+		c.ScanEvery = time.Second
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -177,6 +182,13 @@ type Queue struct {
 	attempts map[string]int    // session/suggestion key → expired-lease count
 	depth    map[string]int    // session ID → outstanding suggestions at last look
 	seq      uint64            // lease ID sequence
+	// Acked idempotency keys (session/key → true) with FIFO eviction, so a
+	// worker retrying a report whose ack was lost in transit gets a clean
+	// Duplicate ack instead of a confusing lease/suggestion error. Keys are
+	// recorded only once an ack was actually produced — a report that failed
+	// server-side stays retriable.
+	acked      map[string]bool
+	ackedOrder []string
 
 	stop chan struct{}
 	done sync.WaitGroup
@@ -194,6 +206,7 @@ func New(cfg Config) (*Queue, error) {
 		bySug:    make(map[string]string),
 		attempts: make(map[string]int),
 		depth:    make(map[string]int),
+		acked:    make(map[string]bool),
 		stop:     make(chan struct{}),
 	}
 	if cfg.Telemetry != nil && cfg.Telemetry.Metrics != nil {
@@ -339,12 +352,19 @@ func (q *Queue) Heartbeat(leaseID string) (time.Time, error) {
 	return l.deadline, nil
 }
 
+// maxAckedKeys bounds the idempotency cache; old keys are evicted FIFO. At
+// one key per completed evaluation this covers thousands of reports — far
+// beyond any plausible retry window.
+const maxAckedKeys = 4096
+
 // Report ingests the outcome of a leased evaluation into the session (via
 // TellByID, so reports may arrive in any order within the batch) and releases
 // the lease. A report whose lease already expired is still accepted while the
 // suggestion is outstanding — the work is real even if the heartbeat died —
 // and acknowledged as a Duplicate when another worker's result arrived first.
-func (q *Queue) Report(sessionID, leaseID, sugID string, ev problem.Evaluation) (*Ack, error) {
+// A non-empty idemKey identifies the evaluation attempt: a retry of an
+// already-acked report short-circuits to a Duplicate ack.
+func (q *Queue) Report(sessionID, leaseID, sugID, idemKey string, ev problem.Evaluation) (*Ack, error) {
 	sess, err := q.cfg.Resolve(sessionID)
 	if err != nil {
 		return nil, err
@@ -352,6 +372,13 @@ func (q *Queue) Report(sessionID, leaseID, sugID string, ev problem.Evaluation) 
 	key := sugKey(sessionID, sugID)
 	now := q.cfg.Now()
 	q.mu.Lock()
+	if idemKey != "" && q.acked[sugKey(sessionID, idemKey)] {
+		q.mu.Unlock()
+		if q.met != nil {
+			q.met.reportDup.Inc()
+		}
+		return &Ack{Duplicate: true}, nil
+	}
 	l, live := q.leases[leaseID]
 	if live && (l.sessionID != sessionID || l.sugID != sugID) {
 		q.mu.Unlock()
@@ -369,6 +396,7 @@ func (q *Queue) Report(sessionID, leaseID, sugID string, ev problem.Evaluation) 
 		if errors.Is(err, core.ErrUnknownSuggestion) || errors.Is(err, core.ErrNoPendingAsk) {
 			// The requeued evaluation already reported from elsewhere (or
 			// the suggestion was abandoned as failed): discard.
+			q.recordAck(sessionID, idemKey)
 			if q.met != nil {
 				q.met.reportDup.Inc()
 			}
@@ -382,6 +410,7 @@ func (q *Queue) Report(sessionID, leaseID, sugID string, ev problem.Evaluation) 
 		q.depth[sessionID] = d - 1
 	}
 	q.mu.Unlock()
+	q.recordAck(sessionID, idemKey)
 	if q.met != nil {
 		if live {
 			q.met.reportOK.Inc()
@@ -391,6 +420,27 @@ func (q *Queue) Report(sessionID, leaseID, sugID string, ev problem.Evaluation) 
 		}
 	}
 	return &Ack{}, nil
+}
+
+// recordAck remembers an idempotency key once its report has been answered
+// with an ack (real or duplicate) — errors never record, so retries after a
+// server-side failure are re-processed. FIFO-bounded at maxAckedKeys.
+func (q *Queue) recordAck(sessionID, idemKey string) {
+	if idemKey == "" {
+		return
+	}
+	k := sugKey(sessionID, idemKey)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.acked[k] {
+		return
+	}
+	q.acked[k] = true
+	q.ackedOrder = append(q.ackedOrder, k)
+	if len(q.ackedOrder) > maxAckedKeys {
+		delete(q.acked, q.ackedOrder[0])
+		q.ackedOrder = q.ackedOrder[1:]
+	}
 }
 
 // Scan expires leases whose deadline passed: the suggestion becomes leasable

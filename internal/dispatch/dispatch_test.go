@@ -3,6 +3,8 @@ package dispatch
 import (
 	"context"
 	"errors"
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -14,8 +16,8 @@ import (
 )
 
 // fakeClock is a manually-advanced clock for driving lease expiry
-// deterministically (the janitor is disabled via ScanEvery = 0 and tests call
-// Scan themselves).
+// deterministically (the janitor is disabled via a negative ScanEvery and
+// tests call Scan themselves).
 type fakeClock struct{ now time.Time }
 
 func (c *fakeClock) Now() time.Time                  { return c.now }
@@ -52,7 +54,7 @@ func newTestQueue(t *testing.T, mut func(*Config)) (*Queue, *session.Session, *f
 		MaxInFlight: 3,
 		LeaseTTL:    10 * time.Second,
 		MaxAttempts: 3,
-		ScanEvery:   0, // tests drive Scan directly
+		ScanEvery:   -1, // tests drive Scan directly
 		Now:         clock.Now,
 	}
 	if mut != nil {
@@ -96,7 +98,7 @@ func TestLeaseGrantReportTopUp(t *testing.T) {
 	}
 
 	// Reporting frees capacity: the next lease tops the batch back up.
-	ack, err := q.Report("s1", g2.LeaseID, g2.Suggestion.ID, p.Evaluate(g2.Suggestion.X, g2.Suggestion.Fid))
+	ack, err := q.Report("s1", g2.LeaseID, g2.Suggestion.ID, "", p.Evaluate(g2.Suggestion.X, g2.Suggestion.Fid))
 	if err != nil || ack.Duplicate {
 		t.Fatalf("Report: ack=%+v err=%v", ack, err)
 	}
@@ -166,7 +168,7 @@ func TestLateReportThenDuplicate(t *testing.T) {
 
 	// w1 finishes anyway: the late report is real work and is ingested.
 	ev := p.Evaluate(g1.Suggestion.X, g1.Suggestion.Fid)
-	ack, err := q.Report("s1", g1.LeaseID, g1.Suggestion.ID, ev)
+	ack, err := q.Report("s1", g1.LeaseID, g1.Suggestion.ID, "", ev)
 	if err != nil {
 		t.Fatalf("late report: %v", err)
 	}
@@ -178,7 +180,7 @@ func TestLateReportThenDuplicate(t *testing.T) {
 	}
 
 	// w2's result now loses the race: acknowledged as a duplicate, dropped.
-	ack, err = q.Report("s1", g2.LeaseID, g2.Suggestion.ID, ev)
+	ack, err = q.Report("s1", g2.LeaseID, g2.Suggestion.ID, "", ev)
 	if err != nil {
 		t.Fatalf("duplicate report: %v", err)
 	}
@@ -193,7 +195,7 @@ func TestLateReportThenDuplicate(t *testing.T) {
 func TestReportLeaseSuggestionMismatch(t *testing.T) {
 	q, _, _ := newTestQueue(t, nil)
 	g1, g2 := mustLease(t, q, "w1"), mustLease(t, q, "w2")
-	_, err := q.Report("s1", g1.LeaseID, g2.Suggestion.ID, testfunc.ConstrainedSynthetic().Evaluate(g2.Suggestion.X, g2.Suggestion.Fid))
+	_, err := q.Report("s1", g1.LeaseID, g2.Suggestion.ID, "", testfunc.ConstrainedSynthetic().Evaluate(g2.Suggestion.X, g2.Suggestion.Fid))
 	if !errors.Is(err, ErrLeaseExpired) {
 		t.Fatalf("cross-lease report: got %v, want ErrLeaseExpired", err)
 	}
@@ -264,7 +266,118 @@ func TestResolveErrorPropagates(t *testing.T) {
 	if _, err := q.Lease(context.Background(), "nope", "w1", 0, 0); err == nil {
 		t.Fatal("lease for unknown session succeeded")
 	}
-	if _, err := q.Report("nope", "lease-x", "sug-x", problem.Evaluation{}); err == nil {
+	if _, err := q.Report("nope", "lease-x", "sug-x", "", problem.Evaluation{}); err == nil {
 		t.Fatal("report for unknown session succeeded")
+	}
+}
+
+func TestIdempotentReportRetry(t *testing.T) {
+	q, sess, _ := newTestQueue(t, nil)
+	p := sess.Problem()
+	g := mustLease(t, q, "w1")
+	ev := p.Evaluate(g.Suggestion.X, g.Suggestion.Fid)
+	key := g.Suggestion.ID + "/0"
+
+	ack, err := q.Report("s1", g.LeaseID, g.Suggestion.ID, key, ev)
+	if err != nil || ack.Duplicate {
+		t.Fatalf("first report: ack=%+v err=%v", ack, err)
+	}
+	// The worker's ack was lost in transit; it retries the identical report.
+	// The key short-circuits to a duplicate ack even though the lease is long
+	// gone — no lease error, no double Tell.
+	ack, err = q.Report("s1", g.LeaseID, g.Suggestion.ID, key, ev)
+	if err != nil {
+		t.Fatalf("retried report: %v", err)
+	}
+	if !ack.Duplicate {
+		t.Fatal("retried report not acked as duplicate")
+	}
+	if got := sess.Status().Observations; got != 1 {
+		t.Fatalf("Observations = %d, want 1 after retry", got)
+	}
+}
+
+func TestIdempotencyCacheBounded(t *testing.T) {
+	q, _, _ := newTestQueue(t, nil)
+	for i := 0; i < maxAckedKeys+100; i++ {
+		q.recordAck("s1", fmt.Sprintf("sug-%d/0", i))
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.acked) != maxAckedKeys || len(q.ackedOrder) != maxAckedKeys {
+		t.Fatalf("cache size %d/%d, want %d (FIFO-bounded)", len(q.acked), len(q.ackedOrder), maxAckedKeys)
+	}
+	if q.acked[sugKey("s1", "sug-0/0")] {
+		t.Fatal("oldest key not evicted")
+	}
+	if !q.acked[sugKey("s1", fmt.Sprintf("sug-%d/0", maxAckedKeys+99))] {
+		t.Fatal("newest key missing")
+	}
+}
+
+// TestJanitorRaceLateReport races the expiry janitor against an in-flight
+// report of the expiring lease (run under -race): whatever the interleaving,
+// the evaluation lands exactly once, a racing re-grant of the same suggestion
+// is acked as a duplicate, and no call errors out.
+func TestJanitorRaceLateReport(t *testing.T) {
+	for iter := 0; iter < 8; iter++ {
+		q, sess, clock := newTestQueue(t, nil)
+		p := sess.Problem()
+		g := mustLease(t, q, "w1")
+		ev := p.Evaluate(g.Suggestion.X, g.Suggestion.Fid)
+		clock.Advance(11 * time.Second) // lease is past its deadline
+
+		var (
+			start    = make(chan struct{})
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			nonDup   int
+			reported = 1 // w1's report below
+		)
+		report := func(leaseID, key string) {
+			ack, err := q.Report("s1", leaseID, g.Suggestion.ID, key, ev)
+			if err != nil {
+				t.Errorf("iter %d: report: %v", iter, err)
+				return
+			}
+			if !ack.Duplicate {
+				mu.Lock()
+				nonDup++
+				mu.Unlock()
+			}
+		}
+		wg.Add(3)
+		go func() { // the janitor expires the lease…
+			defer wg.Done()
+			<-start
+			q.Scan(clock.Now())
+		}()
+		go func() { // …while w1's report for it is in flight…
+			defer wg.Done()
+			<-start
+			report(g.LeaseID, g.Suggestion.ID+"/0")
+		}()
+		go func() { // …and w2 races to pick up the requeued grant.
+			defer wg.Done()
+			<-start
+			g2, err := q.Lease(context.Background(), "s1", "w2", 0, 0)
+			if err != nil || g2.Suggestion.ID != g.Suggestion.ID {
+				return // fresh work or no work; only the re-grant matters here
+			}
+			mu.Lock()
+			reported++
+			mu.Unlock()
+			report(g2.LeaseID, g2.Suggestion.ID+"/1")
+		}()
+		close(start)
+		wg.Wait()
+
+		if nonDup != 1 {
+			t.Fatalf("iter %d: %d non-duplicate acks across %d reports, want exactly 1", iter, nonDup, reported)
+		}
+		if got := sess.Status().Observations; got != 1 {
+			t.Fatalf("iter %d: Observations = %d, want 1", iter, got)
+		}
+		q.Close()
 	}
 }

@@ -23,23 +23,24 @@
 // The registry is concurrency-bounded: sessions serialize their own engine
 // behind a per-session mutex, and a global session.Limiter caps how many
 // sessions may run their surrogate-fit pipeline at once. Every session is
-// persisted to CheckpointDir after each iteration; a server restarted over
-// the same directory restores sessions lazily on first touch, so a killed
-// deployment resumes exactly where its checkpoints left off. Idle sessions
+// persisted through the pluggable storage engine (internal/storage; Config
+// .Store, or a hardened filesystem store over CheckpointDir) after every
+// ingested observation; a server restarted over the same state restores
+// sessions lazily on first touch, so a killed deployment resumes exactly
+// where its checkpoints left off — rolling back past torn or corrupt
+// snapshot generations when the store detects them. Idle sessions
 // are persisted and evicted from memory by a janitor, and Close drains the
 // registry through one final persistence pass.
 package server
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io/fs"
 	"net/http"
-	"os"
-	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -53,14 +54,26 @@ import (
 	"repro/internal/optimize"
 	"repro/internal/problem"
 	"repro/internal/session"
+	"repro/internal/storage"
 	"repro/internal/telemetry"
 )
 
 // Config tunes the service.
 type Config struct {
-	// CheckpointDir persists every session (checkpoint + manifest) under
-	// this directory. Empty = volatile sessions (lost on restart/eviction).
+	// Store, when non-nil, is the durability engine every session's state
+	// (checkpoints, manifests, telemetry rings) is persisted through — see
+	// internal/storage for the crash-consistency contract. Takes precedence
+	// over CheckpointDir.
+	Store storage.Store
+	// CheckpointDir persists every session under this directory when Store
+	// is nil, by building a hardened filesystem store (storage.NewFS) over
+	// it: CRC-framed generational records, with the previous flat
+	// <id>.ckpt.json / <id>.session.json layout still readable. Empty with
+	// a nil Store = volatile sessions (lost on restart/eviction).
 	CheckpointDir string
+	// StorageGenerations is the per-record generation depth of the implicit
+	// CheckpointDir store (default 3; ignored when Store is set).
+	StorageGenerations int
 	// IdleTimeout evicts sessions untouched for this long from memory
 	// (after persisting them; durable sessions restore lazily on next
 	// touch). 0 disables eviction.
@@ -99,6 +112,17 @@ type Server struct {
 	started time.Time
 	met     *serverMetrics
 	queue   *dispatch.Queue
+	// store is the resolved durability engine (Config.Store, or an FS store
+	// over CheckpointDir); nil for a fully volatile server.
+	store storage.Store
+	// baseCtx scopes engine calls made on behalf of HTTP requests to the
+	// server's lifetime instead of the request's. A session is shared state:
+	// if the request context reached the engine, one worker hanging up
+	// mid-lease would trip the engine's interrupt path and poison the
+	// session terminal (every later lease answered "done") until a restart.
+	// The chaos harness (internal/torture) found exactly that.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
 
 	mu       sync.RWMutex
 	sessions map[string]*entry
@@ -215,19 +239,28 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Lookup == nil {
 		cfg.Lookup = catalog.Lookup
 	}
-	if cfg.CheckpointDir != "" {
-		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+	store := cfg.Store
+	if store == nil && cfg.CheckpointDir != "" {
+		fs, err := storage.NewFS(storage.FSConfig{
+			Dir:         cfg.CheckpointDir,
+			Generations: cfg.StorageGenerations,
+			Telemetry:   cfg.Telemetry,
+		})
+		if err != nil {
 			return nil, fmt.Errorf("server: checkpoint dir: %w", err)
 		}
+		store = fs
 	}
 	s := &Server{
 		cfg:         cfg,
+		store:       store,
 		limiter:     session.NewLimiter(cfg.MaxConcurrentFits),
 		started:     time.Now(),
 		sessions:    make(map[string]*entry),
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.met = newServerMetrics(cfg.Telemetry.Registry(), s)
 	qcfg := cfg.Dispatch
 	qcfg.Resolve = func(id string) (*session.Session, error) {
@@ -285,21 +318,45 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	entries := make([]*entry, 0, len(s.sessions))
-	for _, e := range s.sessions {
+	ids := make([]string, 0, len(s.sessions))
+	for id, e := range s.sessions {
 		entries = append(entries, e)
+		ids = append(ids, id)
 	}
 	s.mu.Unlock()
+	s.baseCancel()
 	close(s.janitorStop)
 	<-s.janitorDone
 	s.queue.Close()
 
 	var errs []error
-	for _, e := range entries {
+	for i, e := range entries {
 		if err := e.sess.Persist(); err != nil {
 			errs = append(errs, err)
 		}
+		s.persistRing(ids[i], e)
 	}
 	return errors.Join(errs...)
+}
+
+// Kill abandons the registry without persisting anything — the simulated
+// SIGKILL of the in-process torture harness (cmd/mfbo-chaos sends the real
+// signal). Whatever the storage engine holds at this instant is exactly
+// what a restarted server will see; a dead process gets no goodbye writes.
+// The HTTP listener, if any, must be torn down separately.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.sessions = make(map[string]*entry)
+	s.mu.Unlock()
+	s.baseCancel()
+	close(s.janitorStop)
+	<-s.janitorDone
+	s.queue.Close()
 }
 
 // janitor periodically persists and evicts idle sessions.
@@ -341,37 +398,31 @@ func (s *Server) evictIdle(deadline time.Time) {
 		} else {
 			s.logf("server: evicted idle session %s", ids[i])
 		}
+		s.persistRing(ids[i], e)
 	}
 }
 
 // ---- persistence layout ----
 
-func (s *Server) checkpointPath(id string) string {
-	if s.cfg.CheckpointDir == "" {
-		return ""
-	}
-	return filepath.Join(s.cfg.CheckpointDir, id+".ckpt.json")
-}
+// durable reports whether sessions survive restart/eviction.
+func (s *Server) durable() bool { return s.store != nil }
 
-func (s *Server) manifestPath(id string) string {
-	return filepath.Join(s.cfg.CheckpointDir, id+".session.json")
-}
-
-// saveManifest records the creation request so a restarted server can
-// rebuild the session config.
+// saveManifest durably records the creation request so a restarted server
+// can rebuild the session config. A create is acknowledged only after this
+// succeeds — an acked session ID must survive a crash.
 func (s *Server) saveManifest(id string, req *api.CreateSessionRequest) error {
-	if s.cfg.CheckpointDir == "" {
+	if !s.durable() {
 		return nil
 	}
 	data, err := json.MarshalIndent(req, "", " ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(s.manifestPath(id), data, 0o644)
+	return s.store.Put(storage.KindManifest, id, data)
 }
 
 func (s *Server) loadManifest(id string) (*api.CreateSessionRequest, error) {
-	data, err := os.ReadFile(s.manifestPath(id))
+	data, err := s.store.Get(storage.KindManifest, id)
 	if err != nil {
 		return nil, err
 	}
@@ -380,6 +431,44 @@ func (s *Server) loadManifest(id string) (*api.CreateSessionRequest, error) {
 		return nil, fmt.Errorf("server: corrupt session manifest %s: %w", id, err)
 	}
 	return req, nil
+}
+
+// persistRing saves the session's buffered telemetry events (best-effort:
+// introspection should survive a restart, but never block one).
+func (s *Server) persistRing(id string, e *entry) {
+	if !s.durable() || e.ring == nil {
+		return
+	}
+	events := e.ring.Snapshot()
+	if len(events) == 0 {
+		return
+	}
+	data, err := json.Marshal(events)
+	if err != nil {
+		return
+	}
+	if err := s.store.Put(storage.KindTelemetry, id, data); err != nil {
+		s.logf("server: persist telemetry ring %s: %v", id, err)
+	}
+}
+
+// restoreRing refills a fresh ring with the events persisted before the
+// last eviction/shutdown, so /telemetry keeps its history across restarts.
+func (s *Server) restoreRing(id string, ring *telemetry.Ring) {
+	if !s.durable() || ring == nil {
+		return
+	}
+	data, err := s.store.Get(storage.KindTelemetry, id)
+	if err != nil {
+		return
+	}
+	var events []telemetry.Event
+	if err := json.Unmarshal(data, &events); err != nil {
+		return
+	}
+	for i := range events {
+		ring.Emit(events[i])
+	}
 }
 
 // ---- session construction ----
@@ -418,18 +507,20 @@ func (s *Server) buildSession(id string, req *api.CreateSessionRequest) (*entry,
 	}
 	if size > 0 {
 		ring = telemetry.NewRing(size)
+		s.restoreRing(id, ring)
 	}
 	var rec *telemetry.Recorder
 	if ring != nil || s.cfg.Telemetry != nil {
 		rec = s.cfg.Telemetry.Child(ring)
 	}
 	sess, err := session.Open(session.Config{
-		Problem:        p,
-		Core:           coreConfig(req),
-		Seed:           req.Seed,
-		CheckpointPath: s.checkpointPath(id),
-		Limiter:        s.limiter,
-		Telemetry:      rec,
+		Problem:   p,
+		Core:      coreConfig(req),
+		Seed:      req.Seed,
+		Store:     s.store,
+		StoreID:   id,
+		Limiter:   s.limiter,
+		Telemetry: rec,
 	})
 	if err != nil {
 		return nil, err
@@ -450,12 +541,12 @@ func (s *Server) getSession(id string) (*entry, error) {
 	if closed {
 		return nil, errShuttingDown
 	}
-	if s.cfg.CheckpointDir == "" {
+	if !s.durable() {
 		return nil, errNotFound
 	}
 	req, err := s.loadManifest(id)
 	if err != nil {
-		if errors.Is(err, fs.ErrNotExist) {
+		if errors.Is(err, storage.ErrNotFound) {
 			return nil, errNotFound
 		}
 		return nil, err
@@ -562,14 +653,15 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 			s.writeSessionErr(w, err)
 			return
 		}
-	} else if s.cfg.CheckpointDir != "" {
-		// Fresh create must not silently adopt stale on-disk state.
-		if _, err := os.Stat(s.manifestPath(id)); err == nil {
+	} else if s.durable() {
+		// Fresh create must not silently adopt stale persisted state.
+		if _, err := s.store.Get(storage.KindManifest, id); err == nil {
 			writeErr(w, http.StatusConflict, api.CodeConflict,
-				"session "+id+" exists on disk; pass resume or delete it first")
+				"session "+id+" exists in storage; pass resume or delete it first")
 			return
 		}
 	}
+	createdFresh := false
 	if e == nil {
 		fresh, err := s.buildSession(id, &req)
 		if err != nil {
@@ -592,6 +684,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		} else {
 			s.sessions[id] = fresh
 			e = fresh
+			createdFresh = true
 			if s.met != nil {
 				s.met.created.Inc()
 			}
@@ -599,7 +692,20 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 	}
 	if err := s.saveManifest(id, &e.req); err != nil {
+		// A create acked without a durable manifest would vanish on restart:
+		// fail the request instead, and un-register the half-born session so
+		// a retry can succeed.
+		if createdFresh {
+			s.mu.Lock()
+			if s.sessions[id] == e {
+				delete(s.sessions, id)
+			}
+			s.mu.Unlock()
+		}
 		s.logf("server: save manifest %s: %v", id, err)
+		writeErr(w, http.StatusInternalServerError, api.CodeInternal,
+			"persist session manifest: "+err.Error())
+		return
 	}
 	s.logf("server: session %s created (problem %s, budget %g, seed %d, resumed %v)",
 		id, e.req.Problem, e.req.Budget, e.req.Seed, resumed)
@@ -637,16 +743,19 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		s.writeSessionErr(w, err)
 		return
 	}
-	sug, err := e.sess.Ask(r.Context())
+	// s.baseCtx, not r.Context(): the session outlives any one client, so
+	// only server shutdown may interrupt the engine (see Server.baseCtx).
+	sug, err := e.sess.Ask(s.baseCtx)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, api.Suggestion{X: sug.X, Fidelity: int(sug.Fid), Iter: sug.Iter})
 	case errors.Is(err, core.ErrBudgetExhausted):
 		writeJSON(w, http.StatusOK, api.Suggestion{Done: true, Reason: api.CodeBudgetExhausted})
-	case errors.Is(err, core.ErrInterrupted):
+	case errors.Is(err, core.ErrInterrupted) && s.baseCtx.Err() == nil:
 		writeJSON(w, http.StatusOK, api.Suggestion{Done: true, Reason: api.CodeInterrupted})
-	case errors.Is(err, r.Context().Err()):
-		// Client went away while waiting for a fit slot; nothing to write.
+	case errors.Is(err, s.baseCtx.Err()), errors.Is(err, core.ErrInterrupted):
+		// Server shutting down mid-ask; the conn is being torn down anyway.
+		writeErr(w, http.StatusServiceUnavailable, api.CodeShuttingDown, "server shutting down")
 	default:
 		writeErr(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
 	}
@@ -739,12 +848,13 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	_, ok := s.sessions[id]
 	delete(s.sessions, id)
 	s.mu.Unlock()
-	if s.cfg.CheckpointDir != "" {
-		for _, path := range []string{s.checkpointPath(id), s.manifestPath(id)} {
-			if err := os.Remove(path); err == nil {
+	if s.durable() {
+		for _, kind := range storage.Kinds() {
+			if _, err := s.store.Get(kind, id); err == nil {
 				ok = true
-			} else if !errors.Is(err, fs.ErrNotExist) {
-				s.logf("server: delete %s: %v", path, err)
+			}
+			if err := s.store.Delete(kind, id); err != nil {
+				s.logf("server: delete %s %s: %v", kind, id, err)
 			}
 		}
 	}
@@ -809,7 +919,10 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 		width = 1 // sessions are sequential unless created with batch > 1
 	}
 	ttl := time.Duration(req.TTLSeconds * float64(time.Second))
-	grant, err := s.queue.Lease(r.Context(), id, req.Worker, ttl, width)
+	// s.baseCtx, not r.Context(): the lease top-up runs the shared engine's
+	// batch proposal — a worker disconnecting must not interrupt it (see
+	// Server.baseCtx).
+	grant, err := s.queue.Lease(s.baseCtx, id, req.Worker, ttl, width)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, api.LeaseReply{
@@ -828,10 +941,11 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 		})
 	case errors.Is(err, core.ErrBudgetExhausted):
 		writeJSON(w, http.StatusOK, api.LeaseReply{Done: true, Reason: api.CodeBudgetExhausted})
-	case errors.Is(err, core.ErrInterrupted):
+	case errors.Is(err, core.ErrInterrupted) && s.baseCtx.Err() == nil:
 		writeJSON(w, http.StatusOK, api.LeaseReply{Done: true, Reason: api.CodeInterrupted})
-	case errors.Is(err, r.Context().Err()):
-		// Worker went away while waiting for a fit slot; nothing to write.
+	case errors.Is(err, s.baseCtx.Err()), errors.Is(err, core.ErrInterrupted):
+		// Server shutting down mid-lease; workers retry against the restart.
+		writeErr(w, http.StatusServiceUnavailable, api.CodeShuttingDown, "server shutting down")
 	default:
 		s.writeSessionErr(w, err)
 	}
@@ -856,7 +970,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ev := problem.Evaluation{Objective: req.Objective, Constraints: req.Constraints, Failed: req.Failed}
-	ack, err := s.queue.Report(id, req.LeaseID, req.SuggestionID, ev)
+	ack, err := s.queue.Report(id, req.LeaseID, req.SuggestionID, req.IdempotencyKey, ev)
 	switch {
 	case err == nil:
 		st := e.sess.Status()
@@ -907,8 +1021,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		FitSlotsWaiting: s.limiter.Waiting(),
 		FitSlots:        s.limiter.Cap(),
 	}
-	if s.cfg.CheckpointDir != "" {
-		writable := probeWritable(s.cfg.CheckpointDir)
+	if s.durable() {
+		reply.Storage = storageName(s.store)
+		writable := s.store.Probe() == nil
 		reply.CheckpointWritable = &writable
 		if !writable {
 			reply.OK = false
@@ -921,16 +1036,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, reply)
 }
 
-// probeWritable verifies dir accepts new files by creating and removing a
-// scratch file.
-func probeWritable(dir string) bool {
-	f, err := os.CreateTemp(dir, ".healthz-*")
-	if err != nil {
-		return false
+// storageName classifies the backend for the health reply.
+func storageName(st storage.Store) string {
+	switch st.(type) {
+	case *storage.FS:
+		return "fs"
+	case *storage.Mem:
+		return "mem"
+	case *storage.Chaos:
+		return "chaos"
+	default:
+		return fmt.Sprintf("%T", st)
 	}
-	name := f.Name()
-	f.Close()
-	return os.Remove(name) == nil
 }
 
 // writeSessionErr maps registry/session-construction failures onto wire

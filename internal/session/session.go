@@ -9,10 +9,12 @@
 // Tell. The underlying engine guarantees that a session-driven trajectory is
 // bit-identical to the in-process core.Optimize under the same seed.
 //
-// Sessions are durable: when Config.CheckpointPath is set, every completed
-// iteration is persisted through core.SaveCheckpoint (atomic, fsynced), and
-// Open restores a previously persisted session transparently — a process
-// killed mid-run resumes exactly where its last checkpoint left off.
+// Sessions are durable: when Config.Store (pluggable storage engine) or
+// Config.CheckpointPath (direct file) is set, every ingested observation is
+// persisted atomically and durably, and Open restores a previously persisted
+// session transparently — a process killed mid-run resumes exactly where its
+// last checkpoint left off, rolling back past torn or corrupt snapshot
+// generations when the store detects them.
 //
 // Surrogate fitting is the expensive step of Ask. Sessions sharing one
 // *Limiter bound the number of concurrently fitting sessions process-wide,
@@ -34,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/parallel"
 	"repro/internal/problem"
+	"repro/internal/storage"
 	"repro/internal/telemetry"
 )
 
@@ -119,8 +122,18 @@ type Config struct {
 	// Seed seeds the session RNG; the whole trajectory is a deterministic
 	// function of (Problem, Core, Seed).
 	Seed int64
-	// CheckpointPath, when non-empty, persists a snapshot after every
-	// completed iteration and enables Open to restore the session.
+	// Store, when non-nil, persists a snapshot into the storage engine under
+	// StoreID after every ingested observation and enables Open to restore
+	// the session — the pluggable-backend successor of CheckpointPath, with
+	// crash consistency, corruption detection and generational rollback
+	// handled by the backend. Takes precedence over CheckpointPath.
+	Store storage.Store
+	// StoreID is the record ID snapshots are stored under (required when
+	// Store is set; typically the server-side session ID).
+	StoreID string
+	// CheckpointPath, when non-empty (and Store is nil), persists a snapshot
+	// after every completed iteration and enables Open to restore the
+	// session.
 	CheckpointPath string
 	// Limiter, when non-nil, bounds concurrent surrogate fits across all
 	// sessions sharing it.
@@ -154,7 +167,13 @@ func (c *Config) prepare() error {
 	if c.Problem == nil {
 		return errors.New("session: Config.Problem is required")
 	}
-	if c.CheckpointPath != "" {
+	switch {
+	case c.Store != nil:
+		if c.StoreID == "" {
+			return errors.New("session: Config.StoreID is required with Config.Store")
+		}
+		c.Core.Checkpointer = core.StoreCheckpointer(c.Store, c.StoreID)
+	case c.CheckpointPath != "":
 		c.Core.Checkpointer = core.FileCheckpointer(c.CheckpointPath)
 	}
 	if c.Core.Telemetry == nil {
@@ -190,11 +209,25 @@ func Restore(cfg Config, ck *core.Checkpoint) (*Session, error) {
 	return &Session{eng: eng, cfg: cfg, created: now, lastUsed: now}, nil
 }
 
-// Open restores the session persisted at cfg.CheckpointPath when such a
-// snapshot exists, and starts a fresh session otherwise — the idempotent
-// entry point for servers recovering their session inventory after a
-// restart.
+// Open restores the session persisted in cfg.Store (or at
+// cfg.CheckpointPath) when a snapshot exists, and starts a fresh session
+// otherwise — the idempotent entry point for servers recovering their
+// session inventory after a restart. A store whose every generation of the
+// snapshot is corrupt reports storage.ErrNotFound (after quarantining the
+// evidence), which also starts fresh: no acknowledged observation can be in
+// a snapshot that never verified.
 func Open(cfg Config) (*Session, error) {
+	if cfg.Store != nil {
+		switch ck, err := core.LoadCheckpointFromStore(cfg.Store, cfg.StoreID); {
+		case err == nil:
+			return Restore(cfg, ck)
+		case errors.Is(err, storage.ErrNotFound):
+			// No snapshot yet: fresh session.
+		default:
+			return nil, fmt.Errorf("session: open %s from store: %w", cfg.StoreID, err)
+		}
+		return New(cfg)
+	}
 	if cfg.CheckpointPath != "" {
 		switch ck, err := core.LoadCheckpoint(cfg.CheckpointPath); {
 		case err == nil:
@@ -315,13 +348,15 @@ func (s *Session) Snapshot() *core.Checkpoint {
 	return s.eng.Snapshot()
 }
 
-// Persist force-writes the current snapshot to CheckpointPath (a no-op for
-// non-durable sessions). Servers call it before evicting idle sessions and
-// during graceful shutdown so that even the mid-initialization phase — which
-// has no natural checkpoint boundary yet — survives.
+// Persist force-writes the current snapshot to the session's store or
+// CheckpointPath (a no-op for non-durable sessions). Servers call it before
+// evicting idle sessions and during graceful shutdown.
 func (s *Session) Persist() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.cfg.Store != nil {
+		return core.StoreCheckpointer(s.cfg.Store, s.cfg.StoreID)(s.eng.Snapshot())
+	}
 	if s.cfg.CheckpointPath == "" {
 		return nil
 	}

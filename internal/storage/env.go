@@ -1,0 +1,48 @@
+package storage
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ChaosEnv is the environment variable daemons consult to wrap their store
+// with fault injection — the knob that lets the torture runner vary chaos
+// without code changes (see cmd/mfbod, cmd/mfbo-chaos).
+const ChaosEnv = "MFBO_STORAGE_CHAOS"
+
+// ParseChaosEnv parses the "seed:rate" syntax of the MFBO_STORAGE_CHAOS
+// knob into a ChaosConfig: the seed fixes the injection sequence and the
+// rate (a probability in [0, 1]) applies uniformly to write errors, torn
+// writes, read errors, and latency spikes. Fsync lies are never enabled
+// from the environment — they deliberately break the durability contract
+// and must be opted into in code. An empty value returns ok=false: chaos
+// stays off.
+func ParseChaosEnv(v string) (cfg ChaosConfig, ok bool, err error) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return ChaosConfig{}, false, nil
+	}
+	seedStr, rateStr, found := strings.Cut(v, ":")
+	if !found {
+		return ChaosConfig{}, false, fmt.Errorf("storage: %s=%q: want \"seed:rate\"", ChaosEnv, v)
+	}
+	seed, err := strconv.ParseInt(strings.TrimSpace(seedStr), 10, 64)
+	if err != nil {
+		return ChaosConfig{}, false, fmt.Errorf("storage: %s=%q: bad seed: %w", ChaosEnv, v, err)
+	}
+	rate, err := strconv.ParseFloat(strings.TrimSpace(rateStr), 64)
+	if err != nil {
+		return ChaosConfig{}, false, fmt.Errorf("storage: %s=%q: bad rate: %w", ChaosEnv, v, err)
+	}
+	if rate < 0 || rate > 1 {
+		return ChaosConfig{}, false, fmt.Errorf("storage: %s=%q: rate outside [0, 1]", ChaosEnv, v)
+	}
+	return ChaosConfig{
+		Seed:          seed,
+		WriteErrRate:  rate,
+		TornWriteRate: rate,
+		ReadErrRate:   rate,
+		LatencyRate:   rate,
+	}, true, nil
+}

@@ -1,0 +1,36 @@
+package storage
+
+import "testing"
+
+func TestParseChaosEnv(t *testing.T) {
+	cfg, ok, err := ParseChaosEnv("7:0.25")
+	if err != nil || !ok {
+		t.Fatalf("ParseChaosEnv: ok=%v err=%v", ok, err)
+	}
+	if cfg.Seed != 7 {
+		t.Errorf("seed = %d, want 7", cfg.Seed)
+	}
+	for name, rate := range map[string]float64{
+		"write": cfg.WriteErrRate, "torn": cfg.TornWriteRate,
+		"read": cfg.ReadErrRate, "latency": cfg.LatencyRate,
+	} {
+		if rate != 0.25 {
+			t.Errorf("%s rate = %v, want 0.25", name, rate)
+		}
+	}
+	if cfg.FsyncLieRate != 0 {
+		t.Error("fsync lies must never be enabled from the environment")
+	}
+
+	if _, ok, err := ParseChaosEnv(""); err != nil || ok {
+		t.Errorf("empty value: ok=%v err=%v, want off", ok, err)
+	}
+	if _, ok, err := ParseChaosEnv("  "); err != nil || ok {
+		t.Errorf("blank value: ok=%v err=%v, want off", ok, err)
+	}
+	for _, bad := range []string{"nope", "x:0.1", "1:y", "1:1.5", "1:-0.1"} {
+		if _, _, err := ParseChaosEnv(bad); err == nil {
+			t.Errorf("ParseChaosEnv(%q): want error", bad)
+		}
+	}
+}

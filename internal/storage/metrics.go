@@ -1,0 +1,93 @@
+package storage
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// metrics caches the mfbo_storage_* handles. A nil *metrics (telemetry off)
+// makes every record method a no-op.
+type metrics struct {
+	writes      map[Kind]*telemetry.Counter
+	reads       map[Kind]*telemetry.Counter
+	writeErrs   *telemetry.Counter
+	readErrs    *telemetry.Counter
+	verifyFails *telemetry.Counter
+	rollbacks   map[Kind]*telemetry.Counter
+	quarantines map[Kind]*telemetry.Counter
+	fsync       *telemetry.Histogram
+}
+
+// newMetrics registers the storage metric family on reg (nil-safe).
+func newMetrics(rec *telemetry.Recorder) *metrics {
+	reg := rec.Registry()
+	if reg == nil {
+		return nil
+	}
+	m := &metrics{
+		writes:      make(map[Kind]*telemetry.Counter, len(kinds)),
+		reads:       make(map[Kind]*telemetry.Counter, len(kinds)),
+		rollbacks:   make(map[Kind]*telemetry.Counter, len(kinds)),
+		quarantines: make(map[Kind]*telemetry.Counter, len(kinds)),
+		writeErrs:   reg.Counter("mfbo_storage_write_errors_total", "storage writes that failed"),
+		readErrs:    reg.Counter("mfbo_storage_read_errors_total", "storage reads that failed (I/O errors, not corruption)"),
+		verifyFails: reg.Counter("mfbo_storage_verify_failures_total", "stored generations that failed envelope verification"),
+		fsync:       reg.Histogram("mfbo_storage_fsync_seconds", "fsync latency of durable record writes", nil),
+	}
+	for _, k := range kinds {
+		m.writes[k] = reg.Counter("mfbo_storage_writes_total", "durable record writes by kind", "kind", string(k))
+		m.reads[k] = reg.Counter("mfbo_storage_reads_total", "record reads by kind", "kind", string(k))
+		m.rollbacks[k] = reg.Counter("mfbo_storage_rollbacks_total", "reads recovered by rolling back past a corrupt head, by kind", "kind", string(k))
+		m.quarantines[k] = reg.Counter("mfbo_storage_quarantines_total", "corrupt generations quarantined, by kind", "kind", string(k))
+	}
+	return m
+}
+
+func (m *metrics) write(k Kind) {
+	if m != nil {
+		m.writes[k].Inc()
+	}
+}
+
+func (m *metrics) read(k Kind) {
+	if m != nil {
+		m.reads[k].Inc()
+	}
+}
+
+func (m *metrics) writeErr() {
+	if m != nil {
+		m.writeErrs.Inc()
+	}
+}
+
+func (m *metrics) readErr() {
+	if m != nil {
+		m.readErrs.Inc()
+	}
+}
+
+func (m *metrics) verifyFail() {
+	if m != nil {
+		m.verifyFails.Inc()
+	}
+}
+
+func (m *metrics) rollback(k Kind) {
+	if m != nil {
+		m.rollbacks[k].Inc()
+	}
+}
+
+func (m *metrics) quarantine(k Kind) {
+	if m != nil {
+		m.quarantines[k].Inc()
+	}
+}
+
+func (m *metrics) fsyncDur(d time.Duration) {
+	if m != nil {
+		m.fsync.Observe(d.Seconds())
+	}
+}

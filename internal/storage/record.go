@@ -1,0 +1,64 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Record envelope: every stored generation is framed as
+//
+//	offset  size  field
+//	0       4     magic "MFBS"
+//	4       2     format version (big endian)
+//	6       8     payload length (big endian)
+//	14      4     CRC32C (Castagnoli) of the payload (big endian)
+//	18      n     payload
+//
+// The length prefix detects truncation cheaply (a torn write cuts the
+// payload short of the declared length) and the checksum catches bit rot
+// and partial-page writes inside the declared length. The header is checked
+// field by field so diagnostics name the failure mode.
+
+const (
+	recordMagic   = "MFBS"
+	recordVersion = 1
+	headerSize    = 4 + 2 + 8 + 4
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeRecord frames payload in the envelope.
+func encodeRecord(payload []byte) []byte {
+	buf := make([]byte, headerSize+len(payload))
+	copy(buf, recordMagic)
+	binary.BigEndian.PutUint16(buf[4:], recordVersion)
+	binary.BigEndian.PutUint64(buf[6:], uint64(len(payload)))
+	binary.BigEndian.PutUint32(buf[14:], crc32.Checksum(payload, castagnoli))
+	copy(buf[headerSize:], payload)
+	return buf
+}
+
+// decodeRecord verifies the envelope and returns the payload. Every failure
+// wraps ErrCorrupt so callers can classify with errors.Is.
+func decodeRecord(data []byte) ([]byte, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes, shorter than the %d-byte header", ErrCorrupt, len(data), headerSize)
+	}
+	if string(data[:4]) != recordMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:4])
+	}
+	if v := binary.BigEndian.Uint16(data[4:]); v != recordVersion {
+		return nil, fmt.Errorf("%w: record version %d, want %d", ErrCorrupt, v, recordVersion)
+	}
+	n := binary.BigEndian.Uint64(data[6:])
+	if n != uint64(len(data)-headerSize) {
+		return nil, fmt.Errorf("%w: declared payload %d bytes, stored %d (torn write)", ErrCorrupt, n, len(data)-headerSize)
+	}
+	payload := data[headerSize:]
+	want := binary.BigEndian.Uint32(data[14:])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, fmt.Errorf("%w: checksum %08x, want %08x", ErrCorrupt, got, want)
+	}
+	return payload, nil
+}

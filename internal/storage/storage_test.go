@@ -1,0 +1,316 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// backends under test: every Store implementation must satisfy the same
+// contract suite.
+func testStores(t *testing.T) map[string]Store {
+	t.Helper()
+	fs, err := NewFS(FSConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("NewFS: %v", err)
+	}
+	return map[string]Store{
+		"fs":  fs,
+		"mem": NewMem(MemConfig{}),
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	for name, s := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := s.Get(KindCheckpoint, "a"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get missing: err = %v, want ErrNotFound", err)
+			}
+			want := []byte(`{"x": 1}`)
+			if err := s.Put(KindCheckpoint, "a", want); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			got, err := s.Get(KindCheckpoint, "a")
+			if err != nil {
+				t.Fatalf("Get: %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("Get = %q, want %q", got, want)
+			}
+			// Kinds are separate namespaces.
+			if _, err := s.Get(KindManifest, "a"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("cross-kind Get: err = %v, want ErrNotFound", err)
+			}
+			// Newest generation wins.
+			want2 := []byte(`{"x": 2}`)
+			if err := s.Put(KindCheckpoint, "a", want2); err != nil {
+				t.Fatalf("Put gen 2: %v", err)
+			}
+			if got, _ := s.Get(KindCheckpoint, "a"); !bytes.Equal(got, want2) {
+				t.Fatalf("Get after overwrite = %q, want %q", got, want2)
+			}
+			if err := s.Delete(KindCheckpoint, "a"); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			if _, err := s.Get(KindCheckpoint, "a"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get after Delete: err = %v, want ErrNotFound", err)
+			}
+			if err := s.Probe(); err != nil {
+				t.Fatalf("Probe: %v", err)
+			}
+		})
+	}
+}
+
+func TestStoreList(t *testing.T) {
+	for name, s := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, id := range []string{"b", "a", "c"} {
+				if err := s.Put(KindManifest, id, []byte(id)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.Put(KindCheckpoint, "z", []byte("z")); err != nil {
+				t.Fatal(err)
+			}
+			ids, err := s.List(KindManifest)
+			if err != nil {
+				t.Fatalf("List: %v", err)
+			}
+			if want := []string{"a", "b", "c"}; !reflect.DeepEqual(ids, want) {
+				t.Fatalf("List = %v, want %v", ids, want)
+			}
+		})
+	}
+}
+
+// TestRollbackPastTornHead is the headline recovery property: a torn newest
+// generation is quarantined and Get falls back to the newest generation
+// that verifies.
+func TestRollbackPastTornHead(t *testing.T) {
+	for name, s := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			good := []byte("generation-1-good")
+			if err := s.Put(KindCheckpoint, "run", good); err != nil {
+				t.Fatal(err)
+			}
+			tearer := s.(Tearer)
+			if err := tearer.PutTorn(KindCheckpoint, "run", []byte("generation-2-torn"), 9); err != nil {
+				t.Fatalf("PutTorn: %v", err)
+			}
+			got, err := s.Get(KindCheckpoint, "run")
+			if err != nil {
+				t.Fatalf("Get after torn head: %v", err)
+			}
+			if !bytes.Equal(got, good) {
+				t.Fatalf("Get = %q, want rollback to %q", got, good)
+			}
+		})
+	}
+}
+
+func TestAllGenerationsCorruptIsNotFound(t *testing.T) {
+	for name, s := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			tearer := s.(Tearer)
+			if err := tearer.PutTorn(KindCheckpoint, "run", []byte("only-gen"), 5); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Get(KindCheckpoint, "run"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get with only corrupt generations: err = %v, want ErrNotFound", err)
+			}
+		})
+	}
+}
+
+func TestCorruptHeadTruncatesInPlace(t *testing.T) {
+	for name, s := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Put(KindCheckpoint, "run", []byte("gen-1")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put(KindCheckpoint, "run", []byte("gen-2")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.(Corrupter).CorruptHead(KindCheckpoint, "run", headerSize/2); err != nil {
+				t.Fatalf("CorruptHead: %v", err)
+			}
+			got, err := s.Get(KindCheckpoint, "run")
+			if err != nil {
+				t.Fatalf("Get: %v", err)
+			}
+			if want := []byte("gen-1"); !bytes.Equal(got, want) {
+				t.Fatalf("Get = %q, want %q", got, want)
+			}
+		})
+	}
+}
+
+func TestFSGenerationPruning(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFS(FSConfig{Dir: dir, Generations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Put(KindCheckpoint, "run", []byte{byte('0' + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gens, err := s.generations(KindCheckpoint, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 2 {
+		t.Fatalf("kept %d generations, want 2 (gens %v)", len(gens), gens)
+	}
+	if got, _ := s.Get(KindCheckpoint, "run"); !bytes.Equal(got, []byte("4")) {
+		t.Fatalf("Get = %q, want newest generation \"4\"", got)
+	}
+}
+
+func TestFSQuarantineAndMetrics(t *testing.T) {
+	rec := &telemetry.Recorder{Metrics: telemetry.NewRegistry()}
+	dir := t.TempDir()
+	s, err := NewFS(FSConfig{Dir: dir, Telemetry: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(KindCheckpoint, "run", []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutTorn(KindCheckpoint, "run", []byte("torn"), 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(KindCheckpoint, "run"); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	// The torn head must now live in corrupt/, not in the main directory.
+	q, err := os.ReadDir(filepath.Join(dir, "corrupt"))
+	if err != nil || len(q) != 1 {
+		t.Fatalf("corrupt/ = %v entries (err %v), want 1 quarantined file", len(q), err)
+	}
+	m := s.met
+	if v := m.rollbacks[KindCheckpoint].Value(); v != 1 {
+		t.Errorf("rollbacks = %d, want 1", v)
+	}
+	if v := m.quarantines[KindCheckpoint].Value(); v != 1 {
+		t.Errorf("quarantines = %d, want 1", v)
+	}
+	if v := m.verifyFails.Value(); v != 1 {
+		t.Errorf("verify failures = %d, want 1", v)
+	}
+	if v := m.writes[KindCheckpoint].Value(); v != 1 {
+		t.Errorf("writes = %d, want 1 (torn write must not count)", v)
+	}
+	if v := m.reads[KindCheckpoint].Value(); v != 1 {
+		t.Errorf("reads = %d, want 1", v)
+	}
+	if m.fsync.Count() == 0 {
+		t.Error("fsync histogram empty, want observations from the durable write")
+	}
+	// A second Get sees the already-clean head: no new rollback.
+	if _, err := s.Get(KindCheckpoint, "run"); err != nil {
+		t.Fatal(err)
+	}
+	if v := m.rollbacks[KindCheckpoint].Value(); v != 1 {
+		t.Errorf("rollbacks after clean Get = %d, want still 1", v)
+	}
+}
+
+func TestFSLegacyFallback(t *testing.T) {
+	dir := t.TempDir()
+	legacyCkpt := []byte(`{"version": 1}`)
+	legacyMan := []byte(`{"id": "old"}`)
+	if err := os.WriteFile(filepath.Join(dir, "old.ckpt.json"), legacyCkpt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "old.session.json"), legacyMan, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewFS(FSConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.Get(KindCheckpoint, "old"); err != nil || !bytes.Equal(got, legacyCkpt) {
+		t.Fatalf("legacy checkpoint Get = %q, %v", got, err)
+	}
+	if got, err := s.Get(KindManifest, "old"); err != nil || !bytes.Equal(got, legacyMan) {
+		t.Fatalf("legacy manifest Get = %q, %v", got, err)
+	}
+	ids, err := s.List(KindCheckpoint)
+	if err != nil || !reflect.DeepEqual(ids, []string{"old"}) {
+		t.Fatalf("List with legacy layout = %v, %v", ids, err)
+	}
+	// A new Put shadows the legacy file; Delete removes both.
+	if err := s.Put(KindCheckpoint, "old", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get(KindCheckpoint, "old"); !bytes.Equal(got, []byte("new")) {
+		t.Fatalf("Get after shadowing Put = %q", got)
+	}
+	if err := s.Delete(KindCheckpoint, "old"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "old.ckpt.json")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("legacy file survived Delete: %v", err)
+	}
+}
+
+func TestRecordCodec(t *testing.T) {
+	payload := []byte("the quick brown fox")
+	env := encodeRecord(payload)
+	got, err := decodeRecord(env)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("decode = %q, want %q", got, payload)
+	}
+	// Every single-byte truncation of the envelope must fail verification.
+	for cut := 0; cut < len(env); cut++ {
+		if _, err := decodeRecord(env[:cut]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("decode of %d/%d bytes: err = %v, want ErrCorrupt", cut, len(env), err)
+		}
+	}
+	// So must a single flipped payload bit.
+	flipped := append([]byte(nil), env...)
+	flipped[headerSize] ^= 0x01
+	if _, err := decodeRecord(flipped); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("decode with flipped bit: err = %v, want ErrCorrupt", err)
+	}
+	// Empty payloads round-trip.
+	if got, err := decodeRecord(encodeRecord(nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty payload round trip = %q, %v", got, err)
+	}
+}
+
+func TestFSConcurrentAccess(t *testing.T) {
+	s, err := NewFS(FSConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			id := string(rune('a' + w%4))
+			var err error
+			for i := 0; i < 25 && err == nil; i++ {
+				if err = s.Put(KindCheckpoint, id, []byte{byte(w), byte(i)}); err == nil {
+					_, err = s.Get(KindCheckpoint, id)
+				}
+			}
+			done <- err
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

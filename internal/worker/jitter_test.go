@@ -1,0 +1,53 @@
+package worker
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/client"
+)
+
+// TestHeartbeatJitterBounds pins the ±20% spread and checks that two workers
+// (distinct names, hence distinct seeds) draw de-phased schedules.
+func TestHeartbeatJitterBounds(t *testing.T) {
+	base := time.Second
+	if got := jitteredInterval(base, 0); got != 800*time.Millisecond {
+		t.Fatalf("jitteredInterval(1s, 0) = %v, want 800ms", got)
+	}
+	if got := jitteredInterval(base, 0.5); got != time.Second {
+		t.Fatalf("jitteredInterval(1s, 0.5) = %v, want 1s", got)
+	}
+
+	mk := func(name string) *Worker {
+		w, err := New(Config{Client: &client.Client{}, Session: "s", Name: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	a, b := mk("alpha"), mk("beta")
+	var seqA []time.Duration
+	distinct := false
+	for i := 0; i < 256; i++ {
+		da, db := a.jitter(base), b.jitter(base)
+		for _, d := range []time.Duration{da, db} {
+			if d < 800*time.Millisecond || d >= 1200*time.Millisecond {
+				t.Fatalf("draw %v outside [0.8, 1.2) × base", d)
+			}
+		}
+		if da != db {
+			distinct = true
+		}
+		seqA = append(seqA, da)
+	}
+	if !distinct {
+		t.Fatal("alpha and beta drew identical jitter schedules; seeds not de-phased")
+	}
+	// Same name → same seed → reproducible schedule.
+	a2 := mk("alpha")
+	for i, want := range seqA {
+		if got := a2.jitter(base); got != want {
+			t.Fatalf("draw %d: re-seeded worker drew %v, want %v", i, got, want)
+		}
+	}
+}

@@ -18,6 +18,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
@@ -69,6 +72,7 @@ type Worker struct {
 	killed   chan struct{}
 
 	mu        sync.Mutex
+	rng       *rand.Rand // heartbeat jitter; guarded by mu
 	evaluated int
 	reported  int
 }
@@ -96,7 +100,15 @@ func New(cfg Config) (*Worker, error) {
 	if cfg.sleep == nil {
 		cfg.sleep = sleepCtx
 	}
-	return &Worker{cfg: cfg, killed: make(chan struct{})}, nil
+	// Seed heartbeat jitter from the worker name so each member of a fleet
+	// draws a distinct, reproducible phase.
+	h := fnv.New64a()
+	h.Write([]byte(cfg.Name))
+	return &Worker{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(int64(h.Sum64()))),
+		killed: make(chan struct{}),
+	}, nil
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {
@@ -255,6 +267,9 @@ func (w *Worker) serve(safe *robust.SafeProblem, lease *api.LeaseReply) {
 		Objective:    ev.Objective,
 		Constraints:  ev.Constraints,
 		Failed:       ev.Failed,
+		// One key per (suggestion, attempt): a retry of this exact report is
+		// acked as a duplicate server-side instead of double-processed.
+		IdempotencyKey: lease.SuggestionID + "/" + strconv.Itoa(lease.Attempt),
 	})
 	switch {
 	case err == nil:
@@ -271,9 +286,31 @@ func (w *Worker) serve(safe *robust.SafeProblem, lease *api.LeaseReply) {
 	}
 }
 
-// heartbeats keeps the lease alive at roughly a third of its remaining TTL.
-// A lease_expired reply aborts the evaluation via cancelEv: the unit was
-// requeued to someone else, so finishing it would be wasted work.
+// jitterFrac is the spread applied around the base heartbeat interval: each
+// wait is drawn uniformly from [0.8, 1.2) × base. Without it a fleet started
+// (or restarted) in lockstep heartbeats against the daemon in synchronized
+// bursts — a thundering herd that the jitter de-phases within a few beats.
+const jitterFrac = 0.2
+
+// jitteredInterval maps a uniform draw u ∈ [0,1) onto [1-jitterFrac,
+// 1+jitterFrac) × base.
+func jitteredInterval(base time.Duration, u float64) time.Duration {
+	return time.Duration(float64(base) * (1 - jitterFrac + 2*jitterFrac*u))
+}
+
+// jitter draws one jittered heartbeat wait from the worker's seeded RNG.
+func (w *Worker) jitter(base time.Duration) time.Duration {
+	w.mu.Lock()
+	u := w.rng.Float64()
+	w.mu.Unlock()
+	return jitteredInterval(base, u)
+}
+
+// heartbeats keeps the lease alive at roughly a third of its remaining TTL,
+// each wait jittered ±20% so a fleet of workers spreads its heartbeats
+// instead of hammering the daemon in phase. A lease_expired reply aborts the
+// evaluation via cancelEv: the unit was requeued to someone else, so
+// finishing it would be wasted work.
 func (w *Worker) heartbeats(ctx context.Context, cancelEv context.CancelFunc, lease *api.LeaseReply) {
 	interval := time.Second
 	if lease.DeadlineUnixMs > 0 {
@@ -284,7 +321,7 @@ func (w *Worker) heartbeats(ctx context.Context, cancelEv context.CancelFunc, le
 	if interval < 50*time.Millisecond {
 		interval = 50 * time.Millisecond
 	}
-	t := time.NewTicker(interval)
+	t := time.NewTimer(w.jitter(interval))
 	defer t.Stop()
 	for {
 		select {
@@ -294,6 +331,7 @@ func (w *Worker) heartbeats(ctx context.Context, cancelEv context.CancelFunc, le
 			cancelEv() // a killed worker stops evaluating AND heartbeating
 			return
 		case <-t.C:
+			t.Reset(w.jitter(interval))
 			hbCtx, cancel := context.WithTimeout(ctx, interval)
 			_, err := w.cfg.Client.Heartbeat(hbCtx, lease.LeaseID)
 			cancel()
