@@ -56,6 +56,10 @@ func main() {
 	resume := flag.Bool("resume", false, "resume the mfbo run from the -checkpoint file")
 	chaosRate := flag.Float64("chaos", 0, "inject this low-fidelity failure rate (plus panics at a quarter of it); implies a fault-tolerance demo")
 	procs := flag.Int("procs", 0, "worker goroutines for surrogate training and acquisition maximization (0 = all CPUs, 1 = serial; the result is bit-identical for every setting)")
+	incremental := flag.Bool("incremental", false, "maintain surrogates with O(n²) rank-1 Cholesky updates between full refits (mfbo)")
+	refitEvery := flag.Int("refit-every", 0, "full hyperparameter refit cadence in proposals (0 = every proposal; with -incremental, fits in between are rank-1 extensions)")
+	nlmlTrigger := flag.Float64("nlml-trigger", 0, "per-point NLML degradation in nats forcing an early full refit with -incremental (0 = default 0.5, negative disables)")
+	lowRankAfter := flag.Int("low-rank-after", 0, "switch surrogates beyond this many training points to the inducing-point low-rank approximation (0 = exact GPs)")
 	telemetryPath := flag.String("telemetry", "", "write the structured per-iteration event log (JSONL) here (mfbo algorithm; render with mfbo-trace)")
 	traceSample := flag.Int("trace-sample", 1, "with -telemetry: emit every n-th root trace span (1 = all)")
 	version := flag.Bool("version", false, "print version and exit")
@@ -120,7 +124,9 @@ func main() {
 		cfg := core.Config{
 			Budget: *budget, InitLow: *initLow, InitHigh: *initHigh,
 			Gamma: *gamma, MSP: msp, Callback: cb, Workers: *procs,
-			Telemetry: rec,
+			Telemetry:  rec,
+			RefitEvery: *refitEvery, Incremental: *incremental,
+			NLMLTrigger: *nlmlTrigger, LowRankAfter: *lowRankAfter,
 		}
 		if *ckptPath != "" {
 			cfg.Checkpointer = core.FileCheckpointer(*ckptPath)

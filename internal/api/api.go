@@ -70,6 +70,15 @@ type CreateSessionRequest struct {
 	MaxLowData    int     `json:"max_low_data,omitempty"`
 	MaxIterations int     `json:"max_iterations,omitempty"`
 	Workers       int     `json:"workers,omitempty"`
+	// Incremental enables O(n²) surrogate maintenance between full refits
+	// (rank-1 Cholesky extensions of the cached models; see
+	// core.Config.Incremental). NLMLTrigger tunes its early-refit trigger in
+	// nats (0 = default 0.5, negative disables). LowRankAfter switches
+	// surrogates beyond that many training points to the inducing-point
+	// approximation (0 = exact GPs everywhere).
+	Incremental  bool    `json:"incremental,omitempty"`
+	NLMLTrigger  float64 `json:"nlml_trigger,omitempty"`
+	LowRankAfter int     `json:"low_rank_after,omitempty"`
 	// Batch is the maximum number of concurrently-outstanding suggestions
 	// the session hands to the distributed dispatch queue (its per-session
 	// in-flight cap). 0 or 1 keeps the session strictly sequential.

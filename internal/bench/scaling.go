@@ -1,0 +1,138 @@
+// GP-scaling workloads: the per-Tell surrogate maintenance cost as a function
+// of history length n, for the three strategies the optimizer can run —
+//
+//   - full refit: refactorize the n×n Gram matrix with frozen hyperparameters
+//     (the pre-incremental Tell path, O(n³)),
+//   - incremental: fold the new row into the existing factor with a bordered
+//     rank-1 update and retract it again (the Config.Incremental path, O(n²)),
+//   - low-rank: the inducing-point surrogate's rank-1 Σ update (O(m²)).
+//
+// cmd/bench -scaling replays these through testing.Benchmark into
+// BENCH_gp_scaling.json; the committed copy is the regression baseline CI
+// compares against (speedup ratios, which are hardware-portable).
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gp"
+	"repro/internal/kernel"
+)
+
+// ScalingSizes are the history lengths the scaling report measures.
+var ScalingSizes = []int{50, 100, 200, 400}
+
+// ScalingInducing is the inducing-point count of the low-rank workload.
+const ScalingInducing = 48
+
+const scalingDim = 4
+
+// scalingFit trains one exact model on the first n points of the shared
+// scaling dataset and returns it with the held-out next observation.
+func scalingFit(b *testing.B, n int, inducing int) (m *gp.Model, xNew []float64, yNew float64) {
+	X, y, _, _ := dataset(23, n+1, scalingDim)
+	noise := 1e-4
+	m, err := fitSeeded(X[:n], y[:n], gp.Config{
+		Kernel:     kernel.NewSEARD(scalingDim),
+		MaxIter:    25,
+		FixedNoise: &noise,
+		Inducing:   inducing,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, X[n], y[n]
+}
+
+// TellFullRefit measures the pre-incremental Tell path at history length n: a
+// from-scratch refactorization of the full Gram matrix with frozen (warm)
+// hyperparameters — deliberately excluding hyperparameter search, so the
+// incremental speedup is measured against the cheapest possible exact refit.
+func TellFullRefit(n int) func(*testing.B) {
+	return func(b *testing.B) {
+		m, xNew, yNew := scalingFit(b, n, 0)
+		X, y, _, _ := dataset(23, n+1, scalingDim)
+		X[n], y[n] = xNew, yNew
+		warm := m.Hyper()
+		noise := 1e-4
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := fitSeeded(X, y, gp.Config{
+				Kernel:       kernel.NewSEARD(scalingDim),
+				FixedNoise:   &noise,
+				WarmStart:    warm,
+				SkipTraining: true,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// TellIncremental measures the rank-1 maintenance path at history length n:
+// append the new observation via the bordered Cholesky update, then retract it
+// (the same pair of operations a fantasy row costs in AskBatch).
+func TellIncremental(n int) func(*testing.B) {
+	return func(b *testing.B) {
+		m, xNew, yNew := scalingFit(b, n, 0)
+		warmAppend(b, m, n, xNew, yNew)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := m.AppendObservation(xNew, yNew); err != nil {
+				b.Fatal(err)
+			}
+			if err := m.Truncate(n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// warmAppend performs one append+truncate cycle before timing starts, so the
+// one-off capacity growth of the factor and scratch buffers is excluded and
+// every measured iteration is the steady state.
+func warmAppend(b *testing.B, m *gp.Model, n int, x []float64, y float64) {
+	if err := m.AppendObservation(x, y); err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Truncate(n); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TellLowRank measures the inducing-point surrogate's maintenance cost at
+// history length n: a rank-1 update of the m×m Σ factor plus its downdate.
+func TellLowRank(n int) func(*testing.B) {
+	return func(b *testing.B) {
+		m, xNew, yNew := scalingFit(b, n, ScalingInducing)
+		if !m.IsLowRank() {
+			b.Fatalf("n=%d did not produce a low-rank model", n)
+		}
+		warmAppend(b, m, n, xNew, yNew)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := m.AppendObservation(xNew, yNew); err != nil {
+				b.Fatal(err)
+			}
+			if err := m.Truncate(n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// fitSeeded runs gp.Fit with a fixed RNG seed so every benchmark iteration
+// performs identical arithmetic.
+func fitSeeded(X [][]float64, y []float64, cfg gp.Config) (*gp.Model, error) {
+	return gp.Fit(X, y, cfg, rand.New(rand.NewSource(29)))
+}
+
+// ScalingName labels one scaling workload in reports: "Tell<Mode>/n=<n>".
+func ScalingName(mode string, n int) string {
+	return fmt.Sprintf("Tell%s/n=%d", mode, n)
+}

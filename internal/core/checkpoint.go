@@ -42,6 +42,13 @@ type Checkpoint struct {
 	HighX, HighY [][]float64
 	// Warm-start hyperparameters per output (may contain nil entries).
 	WarmLow, WarmHigh [][]float64
+	// SinceRefit is the Incremental-mode fit-skip counter: the number of
+	// proposals served from the cached models since the last full
+	// hyperparameter refit. The model cache itself is not serialized — the
+	// first proposal after a restore performs a full refit — but restoring
+	// the counter keeps the RefitEvery schedule aligned with the original
+	// run.
+	SinceRefit int `json:",omitempty"`
 	// Full simulation history and degradation log.
 	History      []Observation
 	Degradations []Degradation
@@ -103,6 +110,7 @@ func (st *state) snapshot() *Checkpoint {
 		HighY:          cloneMatrix(st.high.Y),
 		WarmLow:        cloneMatrix(st.warmLow),
 		WarmHigh:       cloneMatrix(st.warmHigh),
+		SinceRefit:     st.sinceRefit,
 		History:        hist,
 		Degradations:   append([]Degradation(nil), st.res.Degradations...),
 	}

@@ -77,6 +77,26 @@ type Config struct {
 	// between, models are re-factorized with warm hyperparameters
 	// (default 1 = every iteration).
 	RefitEvery int
+	// Incremental enables O(n²) surrogate maintenance between full refits:
+	// instead of re-factorizing the Gram matrix from scratch on every
+	// proposal (O(n³)), new observations are folded into the cached models
+	// with bordered rank-1 Cholesky updates, fantasy rows are retracted
+	// exactly, and models whose fidelity received no new data are left
+	// untouched. Hyperparameters are still re-optimized every RefitEvery
+	// proposals, or earlier when a model's per-point NLML degrades by more
+	// than NLMLTrigger nats versus its last full refit. With RefitEvery = 1
+	// every proposal is a full refit and the trajectory is bit-identical to
+	// Incremental = false (the exact path).
+	Incremental bool
+	// NLMLTrigger is the per-point NLML degradation (in nats, standardized
+	// units) that forces an early full refit in Incremental mode
+	// (default 0.5; negative disables the trigger).
+	NLMLTrigger float64
+	// LowRankAfter, when positive, switches any surrogate whose training set
+	// exceeds this many points to the opt-in low-rank inducing-point
+	// approximation with LowRankAfter inducing points (see
+	// gp.Config.Inducing). Zero (the default) keeps exact GPs everywhere.
+	LowRankAfter int
 	// Propagation and NumSamples configure the fused posterior (§3.2);
 	// defaults: MonteCarlo with 30 common-random-number samples.
 	Propagation mfgp.Propagation
@@ -161,6 +181,12 @@ func (c *Config) defaults() error {
 	}
 	if c.RefitEvery <= 0 {
 		c.RefitEvery = 1
+	}
+	if c.NLMLTrigger == 0 {
+		c.NLMLTrigger = 0.5
+	}
+	if c.LowRankAfter < 0 {
+		return fmt.Errorf("core: negative LowRankAfter %d", c.LowRankAfter)
 	}
 	if c.NumSamples <= 0 {
 		c.NumSamples = 30
@@ -304,18 +330,20 @@ func (d *dataset) window(max int) ([][]float64, *dataset) {
 // hits the registry's lock. All fields are nil (and every operation a no-op)
 // when telemetry is off.
 type coreMetrics struct {
-	iterations  *telemetry.Counter
-	evalsLow    *telemetry.Counter
-	evalsHigh   *telemetry.Counter
-	evalsFailed *telemetry.Counter
-	degrade     map[DegradeStage]*telemetry.Counter
-	fitRestarts *telemetry.Counter
-	fitDiverged *telemetry.Counter
-	fitSeconds  *telemetry.Histogram
-	acqSeconds  *telemetry.Histogram
-	askSeconds  *telemetry.Histogram
-	cost        *telemetry.Gauge
-	best        *telemetry.Gauge
+	iterations   *telemetry.Counter
+	evalsLow     *telemetry.Counter
+	evalsHigh    *telemetry.Counter
+	evalsFailed  *telemetry.Counter
+	degrade      map[DegradeStage]*telemetry.Counter
+	fitRestarts  *telemetry.Counter
+	fitDiverged  *telemetry.Counter
+	fitSkipped   *telemetry.Counter
+	rank1Updates *telemetry.Counter
+	fitSeconds   *telemetry.Histogram
+	acqSeconds   *telemetry.Histogram
+	askSeconds   *telemetry.Histogram
+	cost         *telemetry.Gauge
+	best         *telemetry.Gauge
 }
 
 func newCoreMetrics(reg *telemetry.Registry) *coreMetrics {
@@ -332,13 +360,15 @@ func newCoreMetrics(reg *telemetry.Registry) *coreMetrics {
 			DegradeLowOnly:    reg.Counter("mfbo_degradations_total", "graceful surrogate downgrades by ladder rung", "stage", string(DegradeLowOnly)),
 			DegradeRandom:     reg.Counter("mfbo_degradations_total", "graceful surrogate downgrades by ladder rung", "stage", string(DegradeRandom)),
 		},
-		fitRestarts: reg.Counter("mfbo_fit_restarts_total", "GP hyperparameter-training starts run"),
-		fitDiverged: reg.Counter("mfbo_fit_diverged_total", "GP training starts that diverged to a non-finite NLML"),
-		fitSeconds:  reg.Histogram("mfbo_fit_seconds", "surrogate-fit wall time per iteration", nil),
-		acqSeconds:  reg.Histogram("mfbo_acq_seconds", "acquisition-maximization wall time per iteration", nil),
-		askSeconds:  reg.Histogram("mfbo_ask_seconds", "end-to-end Ask wall time (adaptive iterations)", nil),
-		cost:        reg.Gauge("mfbo_cost_equivalent_sims", "budget spent, summed across runs sharing the registry"),
-		best:        reg.Gauge("mfbo_best_objective", "best feasible high-fidelity objective (last run to update wins)"),
+		fitRestarts:  reg.Counter("mfbo_fit_restarts_total", "GP hyperparameter-training starts run"),
+		fitDiverged:  reg.Counter("mfbo_fit_diverged_total", "GP training starts that diverged to a non-finite NLML"),
+		fitSkipped:   reg.Counter("mfbo_gp_fit_skipped_total", "proposals served by extending cached surrogates instead of refitting"),
+		rank1Updates: reg.Counter("mfbo_gp_rank1_updates_total", "rank-1 surrogate factor extensions applied (fantasy rows included)"),
+		fitSeconds:   reg.Histogram("mfbo_fit_seconds", "surrogate-fit wall time per iteration", nil),
+		acqSeconds:   reg.Histogram("mfbo_acq_seconds", "acquisition-maximization wall time per iteration", nil),
+		askSeconds:   reg.Histogram("mfbo_ask_seconds", "end-to-end Ask wall time (adaptive iterations)", nil),
+		cost:         reg.Gauge("mfbo_cost_equivalent_sims", "budget spent, summed across runs sharing the registry"),
+		best:         reg.Gauge("mfbo_best_objective", "best feasible high-fidelity objective (last run to update wins)"),
 	}
 }
 
@@ -359,6 +389,14 @@ type state struct {
 	iter      int // next adaptive iteration
 
 	warmLow, warmHigh [][]float64
+
+	// Incremental-surrogate state (Config.Incremental): the cached models
+	// extended in place between full refits, and the proposals-since-refit
+	// counter driving the fit-skip schedule. cache is never checkpointed —
+	// a restore starts with a full refit — but sinceRefit is, so the
+	// schedule phase survives resume.
+	cache      *surrCache
+	sinceRefit int
 
 	// Telemetry plumbing (all nil when Config.Telemetry is nil; never part
 	// of a Checkpoint). ev is the in-flight iteration event: propose fills
@@ -552,6 +590,7 @@ func (st *state) fitSurrogates(iter int, fullRefit bool, span *telemetry.Span) (
 			FixedNoise:   cfg.FixedNoise,
 			WarmStart:    st.warmLow[k],
 			SkipTraining: !fullRefit && st.warmLow[k] != nil,
+			Inducing:     cfg.LowRankAfter,
 			Workers:      cfg.Workers,
 			Span:         span,
 		}, st.rng)
@@ -565,6 +604,7 @@ func (st *state) fitSurrogates(iter int, fullRefit bool, span *telemetry.Span) (
 				FixedNoise:   cfg.FixedNoise,
 				WarmStart:    st.warmLow[k],
 				SkipTraining: true,
+				Inducing:     cfg.LowRankAfter,
 				Workers:      cfg.Workers,
 				Span:         span,
 			}, st.rng)
@@ -590,6 +630,7 @@ func (st *state) fitSurrogates(iter int, fullRefit bool, span *telemetry.Span) (
 			Propagation:   cfg.Propagation,
 			NumSamples:    cfg.NumSamples,
 			WarmStartHigh: st.warmHigh[k],
+			Inducing:      cfg.LowRankAfter,
 			Workers:       cfg.Workers,
 			Span:          span,
 		}, st.rng)
@@ -604,6 +645,7 @@ func (st *state) fitSurrogates(iter int, fullRefit bool, span *telemetry.Span) (
 				NumSamples:    cfg.NumSamples,
 				WarmStartHigh: st.warmHigh[k],
 				SkipTraining:  true,
+				Inducing:      cfg.LowRankAfter,
 				Workers:       cfg.Workers,
 				Span:          span,
 			}, st.rng)
@@ -668,13 +710,28 @@ func (st *state) propose(iter int, span *telemetry.Span, wantFantasy bool) ([]fl
 		ev = &telemetry.IterationEvent{Iter: iter, Nc: st.nc, Gamma: cfg.Gamma}
 		st.ev = ev
 	}
-	fullRefit := iter%cfg.RefitEvery == 0
 	var tFit time.Time
 	if ev != nil {
 		tFit = time.Now()
 	}
-	lowGPs, fused, ok := st.fitSurrogates(iter, fullRefit, span)
+	var lowGPs []*gp.Model
+	var fused []*mfgp.Model
+	var ok bool
+	if cfg.Incremental {
+		var skipped bool
+		lowGPs, fused, ok, skipped = st.incrementalSurrogates(iter, span)
+		if ev != nil {
+			ev.FitSkipped = skipped
+			ev.SinceRefit = st.sinceRefit
+		}
+	} else {
+		fullRefit := iter%cfg.RefitEvery == 0
+		lowGPs, fused, ok = st.fitSurrogates(iter, fullRefit, span)
+	}
 	if ev != nil {
+		if ok && lowGPs[0].IsLowRank() {
+			ev.LowRank = true
+		}
 		d := time.Since(tFit)
 		ev.FitMs = float64(d.Nanoseconds()) / 1e6
 		if st.met != nil {

@@ -168,6 +168,7 @@ func RestoreEngine(p problem.Problem, cfg Config, rng *rand.Rand, ck *Checkpoint
 	if len(ck.WarmHigh) == st.nOut {
 		st.warmHigh = cloneMatrix(ck.WarmHigh)
 	}
+	st.sinceRefit = ck.SinceRefit
 	st.res.NumLow = ck.NumLow
 	st.res.NumHigh = ck.NumHigh
 	st.res.NumFailed = ck.NumFailed
@@ -492,6 +493,7 @@ func (e *Engine) proposeSlot(batch bool) {
 	x, fid, fantasy := st.propose(iter, span, batch)
 	st.low.X, st.low.Y = st.low.X[:nLow], st.low.Y[:nLow]
 	st.high.X, st.high.Y = st.high.X[:nHigh], st.high.Y[:nHigh]
+	st.retractCache(nLow, nHigh)
 	if st.telem != nil {
 		span.End()
 		if st.met != nil {

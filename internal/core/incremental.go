@@ -1,0 +1,180 @@
+// Incremental surrogate maintenance (Config.Incremental): a cache of the
+// fitted per-output models that is extended in place with rank-1 factor
+// updates when new observations arrive, instead of refitting from scratch on
+// every proposal. Full hyperparameter refits still run on the RefitEvery
+// schedule, when the training window slides, when a model's per-point NLML
+// degrades past NLMLTrigger, or when an extension fails numerically.
+package core
+
+import (
+	"errors"
+
+	"repro/internal/gp"
+	"repro/internal/mfgp"
+	"repro/internal/telemetry"
+)
+
+// surrCache holds the models served between full refits, together with the
+// dataset coordinates they cover so extensions and retractions line up.
+type surrCache struct {
+	lowGPs []*gp.Model
+	fused  []*mfgp.Model
+
+	lowStart int // window start index of the low training view at fit time
+	lowN     int // low rows (window-relative) folded into the models
+	highN    int // high rows folded into the models
+
+	// Per-point NLML at the last full refit, for the degradation trigger.
+	baseLow, baseHigh []float64
+}
+
+var errCacheUnusable = errors.New("core: surrogate cache unusable")
+
+// incrementalSurrogates serves one proposal's models: extend the cache with
+// rank-1 updates when the schedule allows, otherwise fall back to a full
+// fitSurrogates and rebuild the cache. skipped reports which path ran.
+func (st *state) incrementalSurrogates(iter int, span *telemetry.Span) (lowGPs []*gp.Model, fused []*mfgp.Model, ok, skipped bool) {
+	cfg := &st.cfg
+	lowX, _ := st.low.window(cfg.MaxLowData)
+	start := len(st.low.X) - len(lowX)
+	if c := st.cache; c != nil && st.sinceRefit+1 < cfg.RefitEvery && c.lowStart == start && !st.nlmlDegraded(c) {
+		if err := st.extendCache(c); err == nil {
+			st.sinceRefit++
+			if st.met != nil {
+				st.met.fitSkipped.Add(1)
+			}
+			return c.lowGPs, c.fused, true, true
+		}
+		// A failed extension (e.g. an indefinite downdate residue) poisons
+		// the cache; fall through to a full refit.
+		st.cache = nil
+	}
+	st.cache = nil
+	st.sinceRefit = 0
+	lowGPs, fused, ok = st.fitSurrogates(iter, true, span)
+	if !ok {
+		return nil, nil, false, false
+	}
+	c := &surrCache{
+		lowGPs:   lowGPs,
+		fused:    fused,
+		lowStart: start,
+		lowN:     len(lowX),
+		highN:    len(st.high.X),
+		baseLow:  make([]float64, st.nOut),
+		baseHigh: make([]float64, st.nOut),
+	}
+	for k := 0; k < st.nOut; k++ {
+		c.baseLow[k] = perPointNLML(lowGPs[k])
+		if fused[k] != nil {
+			c.baseHigh[k] = perPointNLML(fused[k].High())
+		}
+	}
+	st.cache = c
+	return lowGPs, fused, true, false
+}
+
+func perPointNLML(m *gp.Model) float64 {
+	if n := m.TrainingSize(); n > 0 {
+		return m.NLML() / float64(n)
+	}
+	return 0
+}
+
+// nlmlDegraded reports whether any cached model's per-point NLML has drifted
+// more than NLMLTrigger nats above its last-full-refit baseline — the early
+// warning that frozen hyperparameters no longer explain the data.
+func (st *state) nlmlDegraded(c *surrCache) bool {
+	trig := st.cfg.NLMLTrigger
+	if trig < 0 {
+		return false
+	}
+	for k := 0; k < st.nOut; k++ {
+		if perPointNLML(c.lowGPs[k]) > c.baseLow[k]+trig {
+			return true
+		}
+		if c.fused[k] != nil && perPointNLML(c.fused[k].High()) > c.baseHigh[k]+trig {
+			return true
+		}
+	}
+	return false
+}
+
+// extendCache folds every dataset row the cached models have not seen yet —
+// real observations and fantasy rows alike — into the models with rank-1
+// updates (O(n²) per row). Models whose fidelity received no new data are
+// left untouched. On error the caller must discard the cache: some models may
+// already hold the new rows.
+func (st *state) extendCache(c *surrCache) error {
+	cfg := &st.cfg
+	lowX, lowView := st.low.window(cfg.MaxLowData)
+	updates := 0
+	for i := c.lowN; i < len(lowX); i++ {
+		for k := 0; k < st.nOut; k++ {
+			if err := c.lowGPs[k].AppendObservation(lowX[i], lowView.Y[i][k]); err != nil {
+				return err
+			}
+			updates++
+		}
+		c.lowN = i + 1
+	}
+	for i := c.highN; i < len(st.high.X); i++ {
+		for k := 0; k < st.nOut; k++ {
+			if c.fused[k] == nil {
+				// Low-only degraded output: no high model to extend.
+				return errCacheUnusable
+			}
+			if err := c.fused[k].AppendHigh(st.high.X[i], st.high.Y[i][k]); err != nil {
+				return err
+			}
+			updates++
+		}
+		c.highN = i + 1
+	}
+	if updates > 0 {
+		if st.met != nil {
+			st.met.rank1Updates.Add(uint64(updates))
+		}
+		if ev := st.ev; ev != nil {
+			ev.Rank1Updates += updates
+		}
+	}
+	return nil
+}
+
+// retractCache truncates the cached models back to the committed dataset
+// sizes after a batch proposal retracted its fantasy rows. nLow/nHigh are the
+// committed (fantasy-free) dataset lengths. Any mismatch the truncation
+// cannot reconcile poisons the cache so the next proposal refits.
+func (st *state) retractCache(nLow, nHigh int) {
+	c := st.cache
+	if c == nil {
+		return
+	}
+	lowTarget := nLow - c.lowStart
+	if lowTarget < 1 || nHigh < 1 || lowTarget > c.lowN || nHigh > c.highN {
+		st.cache = nil
+		return
+	}
+	if lowTarget < c.lowN {
+		for k := 0; k < st.nOut; k++ {
+			if err := c.lowGPs[k].Truncate(lowTarget); err != nil {
+				st.cache = nil
+				return
+			}
+		}
+		c.lowN = lowTarget
+	}
+	if nHigh < c.highN {
+		for k := 0; k < st.nOut; k++ {
+			if c.fused[k] == nil {
+				continue
+			}
+			if err := c.fused[k].TruncateHigh(nHigh); err != nil {
+				st.cache = nil
+				return
+			}
+		}
+		c.highN = nHigh
+	}
+}

@@ -51,6 +51,13 @@ type Config struct {
 	// BO loop uses it between periodic full refits: the covariance is
 	// re-factorized with the new data but hyperparameters stay put.
 	SkipTraining bool
+	// Inducing, when positive and smaller than the training size, switches
+	// the model to the opt-in low-rank (inducing-point / DTC) approximation:
+	// hyperparameters are trained subset-of-data on Inducing strided points
+	// and the posterior is the deterministic-training-conditional over that
+	// set — O(n·m²) training, O(m) mean / O(m²) variance prediction, and
+	// O(m²) incremental appends. Zero (the default) keeps the exact GP.
+	Inducing int
 	// Workers bounds the goroutines used for multi-restart training and
 	// batched prediction: 0 selects parallel.DefaultWorkers(), 1 forces the
 	// serial path, n > 1 uses up to n goroutines. Results are bit-identical
@@ -101,6 +108,13 @@ type Model struct {
 	alpha []float64 // K⁻¹ y (standardized)
 	nlml  float64
 	info  FitInfo
+
+	// lowRank, when non-nil, replaces chol/alpha with the inducing-point
+	// approximation (Config.Inducing).
+	lowRank *lowRankState
+
+	// Incremental-maintenance scratch (AppendObservation / Truncate).
+	rowBuf, diffBuf, solveBuf []float64
 
 	// predPool holds *predictScratch buffers so that PredictLatent allocates
 	// nothing in steady state even under concurrent batch prediction.
@@ -155,6 +169,16 @@ func Fit(X [][]float64, y []float64, cfg Config, rng *rand.Rand) (*Model, error)
 	span.Attr("dim", float64(d))
 	m := &Model{cfg: cfg, kern: cfg.Kernel}
 	m.standardize(X, y)
+
+	if cfg.Inducing > 0 && cfg.Inducing < n {
+		span.Attr("inducing", float64(cfg.Inducing))
+		if err := m.fitLowRank(rng); err != nil {
+			span.Attr("failed", 1)
+			return nil, err
+		}
+		span.Attr("nlml", m.nlml)
+		return m, nil
+	}
 
 	nk := m.kern.NumHyper()
 	nTotal := nk
@@ -300,6 +324,7 @@ type FitInfo struct {
 	Diverged        int // starts whose NLML ended non-finite
 	BestStart       int // winning start index (0 = default/warm start)
 	SkippedTraining bool
+	LowRank         bool // inducing-point approximation active
 }
 
 // FitInfo returns the training bookkeeping recorded by Fit.
@@ -435,7 +460,15 @@ func (m *Model) PredictLatent(x []float64) (mean, variance float64) {
 func (m *Model) predictLatentInto(x []float64, sc *predictScratch) (mean, variance float64) {
 	m.toStdXInto(x, sc.x)
 	n := len(m.xs)
-	ks := sc.ks
+	// Incremental appends can outgrow pooled buffers sized at fit time.
+	if len(sc.ks) < n {
+		sc.ks = make([]float64, n)
+		sc.v = make([]float64, n)
+	}
+	if m.lowRank != nil {
+		return m.lowRank.predict(m, sc)
+	}
+	ks := sc.ks[:n]
 	if sc.prof != nil {
 		diff := sc.diff
 		for i := 0; i < n; i++ {
@@ -451,7 +484,8 @@ func (m *Model) predictLatentInto(x []float64, sc *predictScratch) (mean, varian
 		}
 	}
 	mu := linalg.Dot(ks, m.alpha)
-	m.chol.ForwardSolveInto(ks, sc.v)
+	v := sc.v[:n]
+	m.chol.ForwardSolveInto(ks, v)
 	var kss float64
 	if sc.prof != nil {
 		for t := range sc.diff {
@@ -461,7 +495,7 @@ func (m *Model) predictLatentInto(x []float64, sc *predictScratch) (mean, varian
 	} else {
 		kss = m.kern.Eval(sc.x, sc.x)
 	}
-	va := kss - linalg.Dot(sc.v, sc.v)
+	va := kss - linalg.Dot(v, v)
 	if va < 0 {
 		va = 0
 	}
@@ -486,6 +520,9 @@ func (m *Model) PredictBatch(xs [][]float64) (means, variances []float64) {
 // acquisition (§2.4 lists it among the alternatives to wEI). The joint
 // covariance is Σ = K** − K*ᵀ(K+σ²I)⁻¹K*, factorized with jitter.
 func (m *Model) SampleJoint(xs [][]float64, rng *rand.Rand) ([]float64, error) {
+	if m.lowRank != nil {
+		return nil, errors.New("gp: SampleJoint is not supported on low-rank models")
+	}
 	q := len(xs)
 	std := make([][]float64, q)
 	for i, x := range xs {
@@ -549,6 +586,9 @@ func (m *Model) OutputStd() float64 { return m.yStd }
 // Large standardized residuals flag model misspecification; the experiment
 // harness uses them as a surrogate-health diagnostic.
 func (m *Model) LOO() (residuals, variances []float64) {
+	if m.lowRank != nil {
+		return nil, nil // no exact Gram inverse on the low-rank path
+	}
 	n := len(m.xs)
 	Kinv := m.chol.Inverse()
 	residuals = make([]float64, n)

@@ -1,0 +1,274 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/linalg"
+)
+
+func incrTrainSet(rng *rand.Rand, n, d int) ([][]float64, []float64) {
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = make([]float64, d)
+		s := 0.0
+		for j := range X[i] {
+			X[i][j] = rng.Float64() * 4
+			s += X[i][j]
+		}
+		y[i] = math.Sin(s) + 0.1*X[i][0]*X[i][0]
+	}
+	return X, y
+}
+
+// TestAppendObservationMatchesBatchFactor appends points one at a time and
+// pins the maintained factor, α and NLML against a from-scratch factorization
+// of the same kernel matrix (same frozen hyperparameters/standardization).
+func TestAppendObservationMatchesBatchFactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	X, y := incrTrainSet(rng, 30, 2)
+	m, err := Fit(X[:20], y[:20], Config{Kernel: kernel.NewSEARD(2), Restarts: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 20; i < 30; i++ {
+		if err := m.AppendObservation(X[i], y[i]); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if m.TrainingSize() != 30 {
+		t.Fatalf("size %d, want 30", m.TrainingSize())
+	}
+	// Rebuild K over the maintained standardized data with the same hypers.
+	n := len(m.xs)
+	K := linalg.NewMatrix(n, n)
+	noise2 := math.Exp(2 * m.logNoise)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := m.kern.Eval(m.xs[i], m.xs[j])
+			K.Set(i, j, v)
+			K.Set(j, i, v)
+		}
+		K.Add(i, i, noise2)
+	}
+	fresh, err := linalg.NewCholesky(K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			if !almostEqF(m.chol.L.At(i, j), fresh.L.At(i, j), 1e-8) {
+				t.Fatalf("factor[%d,%d]: incremental %v vs fresh %v", i, j, m.chol.L.At(i, j), fresh.L.At(i, j))
+			}
+		}
+	}
+	alpha := fresh.SolveVec(m.ys)
+	for i := range alpha {
+		if !almostEqF(m.alpha[i], alpha[i], 1e-7) {
+			t.Fatalf("alpha[%d]: %v vs %v", i, m.alpha[i], alpha[i])
+		}
+	}
+	wantNLML := 0.5*linalg.Dot(m.ys, alpha) + 0.5*fresh.LogDet() + 0.5*float64(n)*math.Log(2*math.Pi)
+	if !almostEqF(m.nlml, wantNLML, 1e-8) {
+		t.Fatalf("nlml %v vs %v", m.nlml, wantNLML)
+	}
+}
+
+// TestTruncateRestoresExactModelBitwise proves the fantasy cycle is an exact
+// no-op on the exact path: append then truncate leaves α, NLML and
+// predictions bit-identical.
+func TestTruncateRestoresExactModelBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	X, y := incrTrainSet(rng, 28, 3)
+	m, err := Fit(X[:25], y[:25], Config{Kernel: kernel.NewSEARD(3), Restarts: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := make([][]float64, 5)
+	for i := range probes {
+		probes[i] = []float64{rng.Float64() * 4, rng.Float64() * 4, rng.Float64() * 4}
+	}
+	muBefore := make([]float64, len(probes))
+	vaBefore := make([]float64, len(probes))
+	for i, p := range probes {
+		muBefore[i], vaBefore[i] = m.PredictLatent(p)
+	}
+	nlmlBefore := m.NLML()
+	for i := 25; i < 28; i++ {
+		if err := m.AppendObservation(X[i], y[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Truncate(25); err != nil {
+		t.Fatal(err)
+	}
+	if m.NLML() != nlmlBefore {
+		t.Fatalf("nlml changed across append+truncate: %v vs %v", m.NLML(), nlmlBefore)
+	}
+	for i, p := range probes {
+		mu, va := m.PredictLatent(p)
+		if mu != muBefore[i] || va != vaBefore[i] {
+			t.Fatalf("prediction %d changed across append+truncate", i)
+		}
+	}
+}
+
+// TestLowRankFitApproximatesExact checks the inducing-point model against the
+// exact GP on a smooth function: predictions should track closely and the
+// NLML must be finite.
+func TestLowRankFitApproximatesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 160
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{8 * float64(i) / float64(n-1)}
+		y[i] = math.Sin(X[i][0]) + 0.2*X[i][0]
+	}
+	exact, err := Fit(X, y, Config{Kernel: kernel.NewSEARD(1), FixedNoise: fixedNoise(1e-3), Restarts: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := Fit(X, y, Config{Kernel: kernel.NewSEARD(1), FixedNoise: fixedNoise(1e-3), Restarts: 1, Inducing: 40}, rand.New(rand.NewSource(13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lr.IsLowRank() || lr.InducingCount() != 40 {
+		t.Fatalf("expected a 40-point low-rank model, got lowRank=%v m=%d", lr.IsLowRank(), lr.InducingCount())
+	}
+	if exact.IsLowRank() {
+		t.Fatal("exact model reports low-rank")
+	}
+	if math.IsNaN(lr.NLML()) || math.IsInf(lr.NLML(), 0) {
+		t.Fatalf("low-rank NLML not finite: %v", lr.NLML())
+	}
+	var worst float64
+	for q := 0.0; q <= 8; q += 0.25 {
+		me, _ := exact.PredictLatent([]float64{q})
+		ml, vl := lr.PredictLatent([]float64{q})
+		if vl < 0 {
+			t.Fatalf("negative low-rank variance at %v", q)
+		}
+		if d := math.Abs(me - ml); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.05 {
+		t.Fatalf("low-rank posterior mean deviates by %v from exact", worst)
+	}
+	if _, err := lr.SampleJoint([][]float64{{1}}, rng); err == nil {
+		t.Fatal("SampleJoint should refuse low-rank models")
+	}
+	if r, v := lr.LOO(); r != nil || v != nil {
+		t.Fatal("LOO should be nil on low-rank models")
+	}
+}
+
+// TestLowRankAppendMatchesRebuild folds points in incrementally and compares
+// the maintained weights/NLML against a from-scratch rebuild of the DTC state
+// over the same inducing set.
+func TestLowRankAppendMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	X, y := incrTrainSet(rng, 80, 2)
+	m, err := Fit(X[:60], y[:60], Config{Kernel: kernel.NewSEARD(2), FixedNoise: fixedNoise(1e-2), Restarts: 1, Inducing: 20}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 60; i < 80; i++ {
+		if err := m.AppendObservation(X[i], y[i]); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	lr := m.lowRank
+	mi := len(lr.zs)
+	// Rebuild Σ and b from scratch over the maintained data.
+	kmm := linalg.NewMatrix(mi, mi)
+	for i := 0; i < mi; i++ {
+		for j := i; j < mi; j++ {
+			v := m.kern.Eval(lr.zs[i], lr.zs[j])
+			kmm.Set(i, j, v)
+			kmm.Set(j, i, v)
+		}
+		kmm.Add(i, i, 1e-8)
+	}
+	sigma := kmm.Clone()
+	b := make([]float64, mi)
+	km := make([]float64, mi)
+	inv := 1 / lr.noise2
+	for t2 := 0; t2 < len(m.xs); t2++ {
+		for i := 0; i < mi; i++ {
+			km[i] = m.kern.Eval(lr.zs[i], m.xs[t2])
+		}
+		for i := 0; i < mi; i++ {
+			b[i] += km[i] * m.ys[t2]
+			for j := 0; j < mi; j++ {
+				sigma.Add(i, j, inv*km[i]*km[j])
+			}
+		}
+	}
+	cholS, err := linalg.NewCholesky(sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := cholS.SolveVec(b)
+	for i := range w {
+		w[i] *= inv
+		if !almostEqF(lr.w[i], w[i], 1e-4) {
+			t.Fatalf("w[%d]: incremental %v vs rebuilt %v", i, lr.w[i], w[i])
+		}
+	}
+	if !almostEqF(lr.cholSigma.LogDet(), cholS.LogDet(), 1e-6) {
+		t.Fatalf("logdet Σ: %v vs %v", lr.cholSigma.LogDet(), cholS.LogDet())
+	}
+}
+
+// TestLowRankTruncateRetractsFantasies checks the downdate-based retraction:
+// append then truncate restores predictions within roundoff.
+func TestLowRankTruncateRetractsFantasies(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	X, y := incrTrainSet(rng, 70, 2)
+	m, err := Fit(X[:66], y[:66], Config{Kernel: kernel.NewSEARD(2), FixedNoise: fixedNoise(1e-2), Restarts: 1, Inducing: 24}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := [][]float64{{1, 1}, {2, 3}, {0.5, 3.5}}
+	muBefore := make([]float64, len(probes))
+	for i, p := range probes {
+		muBefore[i], _ = m.PredictLatent(p)
+	}
+	for i := 66; i < 70; i++ {
+		if err := m.AppendObservation(X[i], y[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Truncate(66); err != nil {
+		t.Fatal(err)
+	}
+	if m.TrainingSize() != 66 {
+		t.Fatalf("size %d after truncate, want 66", m.TrainingSize())
+	}
+	for i, p := range probes {
+		mu, _ := m.PredictLatent(p)
+		if !almostEqF(mu, muBefore[i], 1e-9) {
+			t.Fatalf("probe %d: %v vs %v after retraction", i, mu, muBefore[i])
+		}
+	}
+	// Truncating past the last full fit must be refused.
+	if err := m.Truncate(60); err == nil {
+		t.Fatal("expected error truncating past the fitted prefix")
+	}
+}
+
+func almostEqF(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Abs(a-b) <= tol*scale
+}

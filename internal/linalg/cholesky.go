@@ -13,10 +13,19 @@ var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite
 // Cholesky holds the lower-triangular factor L of A = L·Lᵀ together with the
 // jitter that had to be added to the diagonal to make the factorization
 // succeed (zero when A was numerically SPD as given).
+//
+// The factor storage may be larger than the logical dimension: L is an s×s
+// matrix with s = Cap() ≥ N, of which only the top-left N×N lower triangle is
+// meaningful. All methods index with stride L.Cols, so a factor can grow to
+// N+1 in place via AppendRow (and shrink via DropLast) without reallocating
+// until the capacity is exhausted — the primitive behind the GP layer's
+// O(n²) incremental updates.
 type Cholesky struct {
 	L      *Matrix
 	N      int
 	Jitter float64
+
+	work []float64 // rank-1 update/downdate scratch, lazily grown
 }
 
 // cholBlock is the column-block width of the blocked factorization. Blocks
@@ -24,6 +33,15 @@ type Cholesky struct {
 // every dot product is unchanged versus the unblocked algorithm, so the
 // factor is bit-identical to the reference column-by-column code.
 const cholBlock = 48
+
+// Cap returns the factor's storage capacity: the largest dimension this
+// Cholesky can hold without reallocating.
+func (c *Cholesky) Cap() int {
+	if c.L == nil {
+		return 0
+	}
+	return c.L.Cols
+}
 
 // NewCholesky factorizes the symmetric matrix a (only the lower triangle is
 // read). If the plain factorization fails, an escalating diagonal jitter
@@ -34,19 +52,32 @@ func NewCholesky(a *Matrix) (*Cholesky, error) {
 }
 
 // NewCholeskyReuse is NewCholesky with buffer reuse: when reuse is non-nil
-// and has matching dimension, its L storage is overwritten in place and the
-// same *Cholesky is returned. The GP training loop calls this once per
-// objective evaluation, so reuse removes the dominant per-iteration
+// and its capacity admits the dimension, its L storage is overwritten in
+// place and the same *Cholesky is returned. The GP training loop calls this
+// once per objective evaluation, so reuse removes the dominant per-iteration
 // allocation.
+//
+// Growth past the capacity is explicit, never silent: the replacement buffer
+// doubles the old capacity (at least), so a factor that is reused across a
+// growing dataset reallocates O(log n) times instead of every call and the
+// steady state of incremental AppendRow updates stays allocation-free.
 func NewCholeskyReuse(a *Matrix, reuse *Cholesky) (*Cholesky, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("linalg: cholesky of non-square %d×%d matrix", a.Rows, a.Cols)
 	}
 	n := a.Rows
 	c := reuse
-	if c == nil || c.N != n || c.L == nil || c.L.Rows != n || c.L.Cols != n {
+	if c == nil {
 		c = &Cholesky{L: NewMatrix(n, n), N: n}
+	} else if c.Cap() < n {
+		// Capacity-doubling growth: the next few increments are free.
+		newCap := 2 * c.Cap()
+		if newCap < n {
+			newCap = n
+		}
+		c.L = NewMatrix(newCap, newCap)
 	}
+	c.N = n
 	meanDiag := 0.0
 	for i := 0; i < n; i++ {
 		meanDiag += math.Abs(a.At(i, i))
@@ -73,17 +104,20 @@ func NewCholeskyReuse(a *Matrix, reuse *Cholesky) (*Cholesky, error) {
 	return nil, ErrNotPositiveDefinite
 }
 
-// choleskyInto writes the lower-triangular factor of a + jitter·I into L
-// (upper triangle zeroed), using a right-looking blocked algorithm. Each
-// element's subtraction sequence runs over k ascending exactly as in the
-// textbook column algorithm, so the result is bit-identical to it.
+// choleskyInto writes the lower-triangular factor of a + jitter·I into the
+// top-left block of L (upper triangle of that block zeroed), using a
+// right-looking blocked algorithm. L may be larger than a; rows are indexed
+// with stride L.Cols. Each element's subtraction sequence runs over k
+// ascending exactly as in the textbook column algorithm, so the result is
+// bit-identical to it.
 func choleskyInto(a *Matrix, jitter float64, L *Matrix) bool {
 	n := a.Rows
+	s := L.Cols
 	// Seed L's lower triangle with a (+ jitter on the diagonal); the factor
 	// is computed in place by subtracting the already-final columns.
 	for i := 0; i < n; i++ {
-		ai := a.Data[i*n : i*n+i+1]
-		li := L.Data[i*n : (i+1)*n]
+		ai := a.Data[i*a.Cols : i*a.Cols+i+1]
+		li := L.Data[i*s : i*s+n]
 		copy(li[:i+1], ai)
 		li[i] += jitter
 		for j := i + 1; j < n; j++ {
@@ -98,8 +132,8 @@ func choleskyInto(a *Matrix, jitter float64, L *Matrix) bool {
 		// Factor the diagonal block in place (columns k0..k1 only depend on
 		// columns ≥ k0 after the trailing updates of earlier blocks).
 		for j := k0; j < k1; j++ {
-			lj := L.Data[j*n+k0 : j*n+j]
-			d := L.Data[j*n+j]
+			lj := L.Data[j*s+k0 : j*s+j]
+			d := L.Data[j*s+j]
 			for _, v := range lj {
 				d -= v * v
 			}
@@ -107,14 +141,14 @@ func choleskyInto(a *Matrix, jitter float64, L *Matrix) bool {
 				return false
 			}
 			ljj := math.Sqrt(d)
-			L.Data[j*n+j] = ljj
+			L.Data[j*s+j] = ljj
 			for i := j + 1; i < k1; i++ {
-				s := L.Data[i*n+j]
-				li := L.Data[i*n+k0 : i*n+j]
+				sum := L.Data[i*s+j]
+				li := L.Data[i*s+k0 : i*s+j]
 				for t, v := range lj {
-					s -= li[t] * v
+					sum -= li[t] * v
 				}
-				L.Data[i*n+j] = s / ljj
+				L.Data[i*s+j] = sum / ljj
 			}
 		}
 		if k1 == n {
@@ -122,32 +156,188 @@ func choleskyInto(a *Matrix, jitter float64, L *Matrix) bool {
 		}
 		// Panel solve: rows below the block against the block's triangle.
 		for i := k1; i < n; i++ {
-			li := L.Data[i*n+k0 : i*n+k1]
+			li := L.Data[i*s+k0 : i*s+k1]
 			for j := k0; j < k1; j++ {
-				s := li[j-k0]
-				lj := L.Data[j*n+k0 : j*n+j]
+				sum := li[j-k0]
+				lj := L.Data[j*s+k0 : j*s+j]
 				for t, v := range lj {
-					s -= li[t] * v
+					sum -= li[t] * v
 				}
-				li[j-k0] = s / L.Data[j*n+j]
+				li[j-k0] = sum / L.Data[j*s+j]
 			}
 		}
 		// Trailing update of the remaining lower triangle:
 		// A22 ← A22 − L21·L21ᵀ, row by contiguous row.
 		for i := k1; i < n; i++ {
-			li := L.Data[i*n+k0 : i*n+k1]
-			row := L.Data[i*n : i*n+i+1]
+			li := L.Data[i*s+k0 : i*s+k1]
+			row := L.Data[i*s : i*s+i+1]
 			for j := k1; j <= i; j++ {
-				lj := L.Data[j*n+k0 : j*n+k1]
-				s := row[j]
+				lj := L.Data[j*s+k0 : j*s+k1]
+				sum := row[j]
 				for t, v := range li {
-					s -= v * lj[t]
+					sum -= v * lj[t]
 				}
-				row[j] = s
+				row[j] = sum
 			}
 		}
 	}
 	return true
+}
+
+// AppendRow extends the factor from N to N+1 in O(N²): given the
+// cross-covariance row a (len N, the new point against the existing ones) and
+// the new diagonal element d, it computes the bordered update
+//
+//	l = L⁻¹·a,   λ = √(d − l·l),   L ← [L 0; lᵀ λ],
+//
+// which is exactly the factor of the bordered matrix [A a; aᵀ d]. The
+// existing N×N block is untouched, so DropLast restores the previous factor
+// bit-identically. When the Schur complement d − l·l is not positive, an
+// escalating jitter (starting at 1e-10·|d|) is added to the new diagonal
+// only, mirroring NewCholesky's escalation; ErrNotPositiveDefinite is
+// returned when even that fails, leaving the factor logically unchanged.
+//
+// Storage grows by capacity doubling when the factor is full; in steady
+// state (capacity available) AppendRow allocates nothing.
+func (c *Cholesky) AppendRow(a []float64, d float64) error {
+	n := c.N
+	if len(a) != n {
+		panic(fmt.Sprintf("linalg: append row length %d != %d", len(a), n))
+	}
+	if c.Cap() < n+1 {
+		c.grow(n + 1)
+	}
+	s := c.L.Cols
+	l := c.L.Data[n*s : n*s+n]
+	// Forward solve L·l = a against the existing triangle.
+	for i := 0; i < n; i++ {
+		sum := a[i]
+		li := c.L.Data[i*s : i*s+i]
+		for k, v := range li {
+			sum -= v * l[k]
+		}
+		l[i] = sum / c.L.Data[i*s+i]
+	}
+	schur := d
+	for _, v := range l {
+		schur -= v * v
+	}
+	base := math.Abs(d)
+	if base == 0 {
+		base = 1
+	}
+	const maxTries = 8
+	jitter := 0.0
+	for try := 0; try <= maxTries; try++ {
+		if v := schur + jitter; v > 0 && !math.IsNaN(v) {
+			c.L.Data[n*s+n] = math.Sqrt(v)
+			if jitter > c.Jitter {
+				c.Jitter = jitter
+			}
+			c.N = n + 1
+			return nil
+		}
+		if jitter == 0 {
+			jitter = 1e-10 * base
+		} else {
+			jitter *= 10
+		}
+	}
+	return ErrNotPositiveDefinite
+}
+
+// DropLast shrinks the factor by k rows in O(1) — the retraction matching
+// AppendRow. Because a bordered update never touches the leading block, the
+// remaining factor is bit-identical to the one before the appends: fantasy
+// observations can be pushed for batch proposals and popped before any real
+// state sees them.
+func (c *Cholesky) DropLast(k int) {
+	if k < 0 || k > c.N {
+		panic(fmt.Sprintf("linalg: drop %d rows from factor of %d", k, c.N))
+	}
+	c.N -= k
+}
+
+// grow reallocates the factor storage with at least minCap capacity (doubling
+// the old capacity when that is larger), copying the live triangle.
+func (c *Cholesky) grow(minCap int) {
+	newCap := 2 * c.Cap()
+	if newCap < minCap {
+		newCap = minCap
+	}
+	nl := NewMatrix(newCap, newCap)
+	if c.L != nil {
+		oldS := c.L.Cols
+		for i := 0; i < c.N; i++ {
+			copy(nl.Data[i*newCap:i*newCap+i+1], c.L.Data[i*oldS:i*oldS+i+1])
+		}
+	}
+	c.L = nl
+}
+
+// RankOneUpdate rewrites the factor to that of A + v·vᵀ in O(N²) using the
+// classic Givens-based sweep. v is not modified. An update always succeeds:
+// A + v·vᵀ is SPD whenever A is.
+func (c *Cholesky) RankOneUpdate(v []float64) {
+	n := c.N
+	if len(v) != n {
+		panic(fmt.Sprintf("linalg: rank-1 update length %d != %d", len(v), n))
+	}
+	w := c.scratch(n)
+	copy(w, v)
+	s := c.L.Cols
+	for k := 0; k < n; k++ {
+		lkk := c.L.Data[k*s+k]
+		r := math.Hypot(lkk, w[k])
+		cth := r / lkk
+		sth := w[k] / lkk
+		c.L.Data[k*s+k] = r
+		for i := k + 1; i < n; i++ {
+			lik := (c.L.Data[i*s+k] + sth*w[i]) / cth
+			w[i] = cth*w[i] - sth*lik
+			c.L.Data[i*s+k] = lik
+		}
+	}
+}
+
+// RankOneDowndate rewrites the factor to that of A − v·vᵀ in O(N²) — the
+// inverse of RankOneUpdate(v). v is not modified. When A − v·vᵀ is not
+// positive definite the factor is left in an undefined state and
+// ErrNotPositiveDefinite is returned; callers retract speculative updates
+// with the matching downdate (or DropLast for bordered rows), where the
+// operation is well-posed by construction.
+func (c *Cholesky) RankOneDowndate(v []float64) error {
+	n := c.N
+	if len(v) != n {
+		panic(fmt.Sprintf("linalg: rank-1 downdate length %d != %d", len(v), n))
+	}
+	w := c.scratch(n)
+	copy(w, v)
+	s := c.L.Cols
+	for k := 0; k < n; k++ {
+		lkk := c.L.Data[k*s+k]
+		d := (lkk - w[k]) * (lkk + w[k])
+		if d <= 0 || math.IsNaN(d) {
+			return ErrNotPositiveDefinite
+		}
+		r := math.Sqrt(d)
+		cth := r / lkk
+		sth := w[k] / lkk
+		c.L.Data[k*s+k] = r
+		for i := k + 1; i < n; i++ {
+			lik := (c.L.Data[i*s+k] - sth*w[i]) / cth
+			w[i] = cth*w[i] - sth*lik
+			c.L.Data[i*s+k] = lik
+		}
+	}
+	return nil
+}
+
+func (c *Cholesky) scratch(n int) []float64 {
+	if cap(c.work) < n {
+		c.work = make([]float64, n)
+	}
+	return c.work[:n]
 }
 
 // SolveVec solves A·x = b, returning x as a new vector.
@@ -177,13 +367,14 @@ func (c *Cholesky) ForwardSolveInto(b, y []float64) {
 	if len(b) != n || len(y) != n {
 		panic(fmt.Sprintf("linalg: forward solve lengths %d/%d != %d", len(b), len(y), n))
 	}
+	s := c.L.Cols
 	for i := 0; i < n; i++ {
-		s := b[i]
-		row := c.L.Data[i*n : i*n+i]
+		sum := b[i]
+		row := c.L.Data[i*s : i*s+i]
 		for k, v := range row {
-			s -= v * y[k]
+			sum -= v * y[k]
 		}
-		y[i] = s / c.L.Data[i*n+i]
+		y[i] = sum / c.L.Data[i*s+i]
 	}
 }
 
@@ -200,12 +391,13 @@ func (c *Cholesky) BackwardSolveInto(y, x []float64) {
 	if len(y) != n || len(x) != n {
 		panic(fmt.Sprintf("linalg: backward solve lengths %d/%d != %d", len(y), len(x), n))
 	}
+	s := c.L.Cols
 	for i := n - 1; i >= 0; i-- {
-		s := y[i]
+		sum := y[i]
 		for k := i + 1; k < n; k++ {
-			s -= c.L.Data[k*n+i] * x[k]
+			sum -= c.L.Data[k*s+i] * x[k]
 		}
-		x[i] = s / c.L.Data[i*n+i]
+		x[i] = sum / c.L.Data[i*s+i]
 	}
 }
 
@@ -259,10 +451,11 @@ func (c *Cholesky) InverseInto(dst *Matrix, scratch []float64) {
 
 // LogDet returns log|A| = 2·Σ log L_ii.
 func (c *Cholesky) LogDet() float64 {
-	s := 0.0
+	sum := 0.0
 	n := c.N
+	s := c.L.Cols
 	for i := 0; i < n; i++ {
-		s += math.Log(c.L.Data[i*n+i])
+		sum += math.Log(c.L.Data[i*s+i])
 	}
-	return 2 * s
+	return 2 * sum
 }

@@ -65,6 +65,10 @@ type Config struct {
 	// fallback of the BO loop re-factorizes with frozen hyperparameters when
 	// a full refit fails (see gp.Config.SkipTraining).
 	SkipTraining bool
+	// Inducing, when positive, switches the high-fidelity GP to the low-rank
+	// inducing-point approximation once its history exceeds Inducing points
+	// (see gp.Config.Inducing). Zero keeps the exact GP.
+	Inducing int
 	// Workers bounds the goroutines for GP training restarts and batched
 	// prediction (see gp.Config.Workers): 0 = default, 1 = serial. Results
 	// are bit-identical for every setting.
@@ -157,6 +161,7 @@ func FitWithLow(low *gp.Model, d int, Xh [][]float64, yh []float64, cfg Config, 
 		Kernel: highK, Restarts: cfg.Restarts, MaxIter: cfg.MaxIter,
 		FixedNoise: cfg.FixedNoise, WarmStart: cfg.WarmStartHigh,
 		SkipTraining: cfg.SkipTraining && cfg.WarmStartHigh != nil,
+		Inducing:     cfg.Inducing,
 		Workers:      cfg.Workers,
 		Span:         cfg.Span,
 	}, rng)
@@ -187,6 +192,29 @@ func FitWithLow(low *gp.Model, d int, Xh [][]float64, yh []float64, cfg Config, 
 	}
 	return m, nil
 }
+
+// AppendHigh folds one new high-fidelity observation into the fused model
+// without retraining: the augmented coordinate is taken from the *current*
+// low-fidelity posterior (previously stored rows stay frozen — the standard
+// streaming approximation, reset by the next full refit) and the high GP's
+// covariance factor is rank-1-extended in O(n²). Errors leave the model
+// unchanged; callers fall back to a full FitWithLow.
+func (m *Model) AppendHigh(x []float64, y float64) error {
+	if len(x) != m.dim {
+		return fmt.Errorf("mfgp: append dim %d != %d", len(x), m.dim)
+	}
+	mu, _ := m.low.PredictLatent(x)
+	aug := append(append(make([]float64, 0, m.dim+1), x...), mu)
+	return m.high.AppendObservation(aug, y)
+}
+
+// TruncateHigh retracts appended high-fidelity observations down to n — the
+// fantasy-retraction primitive for batch proposals. On the exact path the
+// restored high-GP factor is bit-identical to the pre-append state.
+func (m *Model) TruncateHigh(n int) error { return m.high.Truncate(n) }
+
+// HighSize returns the number of high-fidelity observations in the model.
+func (m *Model) HighSize() int { return m.high.TrainingSize() }
 
 // Dim returns the design-space dimensionality.
 func (m *Model) Dim() int { return m.dim }

@@ -484,6 +484,9 @@ func coreConfig(req *api.CreateSessionRequest) core.Config {
 		GPRestarts:    req.GPRestarts,
 		GPMaxIter:     req.GPMaxIter,
 		RefitEvery:    req.RefitEvery,
+		Incremental:   req.Incremental,
+		NLMLTrigger:   req.NLMLTrigger,
+		LowRankAfter:  req.LowRankAfter,
 		MaxLowData:    req.MaxLowData,
 		MaxIterations: req.MaxIterations,
 		Workers:       req.Workers,

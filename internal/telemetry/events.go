@@ -86,6 +86,17 @@ type IterationEvent struct {
 	FitRestarts int       `json:"fit_restarts,omitempty"`
 	FitDiverged int       `json:"fit_diverged,omitempty"`
 
+	// Incremental-surrogate bookkeeping (core's fit-skip schedule):
+	// FitSkipped marks iterations that extended the cached models with
+	// rank-1 updates instead of refitting (Rank1Updates counts the per-model
+	// factor extensions applied, fantasy rows included), SinceRefit counts
+	// proposals since the last hyperparameter re-optimization, and LowRank
+	// marks iterations whose surrogates use the inducing-point approximation.
+	FitSkipped   bool `json:"fit_skipped,omitempty"`
+	Rank1Updates int  `json:"rank1_updates,omitempty"`
+	SinceRefit   int  `json:"since_refit,omitempty"`
+	LowRank      bool `json:"low_rank,omitempty"`
+
 	// MSP bookkeeping (§4.1): starts run and locally-diverged starts for the
 	// low- and high-fidelity acquisition maximizations.
 	MSPStartsLow    int `json:"msp_starts_low,omitempty"`

@@ -19,6 +19,9 @@ type Summary struct {
 	Degraded   int // iterations that took any degradation rung
 	Bootstrap  int // iterations in §4.2 first-feasible mode
 	Duplicates int // duplicate-argmax fallbacks
+	FitSkipped int // proposals served from the cached surrogates (incremental mode)
+	Rank1      int // rank-1 factor extensions applied across the run
+	LowRank    int // iterations served by the low-rank inducing-point surrogate
 	Spans      map[string]SpanStats
 }
 
@@ -65,6 +68,13 @@ func Summarize(events []Event) *Summary {
 			}
 			if it.DuplicateFallback {
 				s.Duplicates++
+			}
+			if it.FitSkipped {
+				s.FitSkipped++
+			}
+			s.Rank1 += it.Rank1Updates
+			if it.LowRank {
+				s.LowRank++
 			}
 		case ev.Span != nil:
 			st := s.Spans[ev.Span.Name]
@@ -127,6 +137,12 @@ func (s *Summary) Table() string {
 		if it.ForcedHigh {
 			notes = append(notes, "forced-high")
 		}
+		if it.FitSkipped {
+			notes = append(notes, fmt.Sprintf("fit-skip:%d", it.SinceRefit))
+		}
+		if it.LowRank {
+			notes = append(notes, "low-rank")
+		}
 		fmt.Fprintf(&b, "%-5d %-4s %-11s %-11s %-11.4g %-11.6g %-11s %-8.2f %s\n",
 			it.Iter, it.Fidelity, sigma, thr, it.AcqHigh, it.Objective,
 			bestStr, it.CumCost, strings.Join(notes, ","))
@@ -135,6 +151,10 @@ func (s *Summary) Table() string {
 		s.InitLow+s.InitHigh, s.InitLow, s.InitHigh,
 		len(s.Iterations), s.NumLow, s.NumHigh, s.NumFailed,
 		s.Degraded, s.Bootstrap, s.Duplicates)
+	if s.FitSkipped > 0 || s.Rank1 > 0 || s.LowRank > 0 {
+		fmt.Fprintf(&b, "incremental: %d fit-skips, %d rank-1 updates, %d low-rank iterations\n",
+			s.FitSkipped, s.Rank1, s.LowRank)
+	}
 	return b.String()
 }
 
