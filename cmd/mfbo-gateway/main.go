@@ -1,0 +1,125 @@
+// Command mfbo-gateway is the stateless HTTP front of a sharded MFBO
+// deployment: it routes /v1/sessions/* (dispatch endpoints included) to the
+// replica owning each session by consistent-hash ring lookup, retries across
+// dead replicas and ownership movement, and exposes its own health and
+// metrics.
+//
+//	mfbo-gateway -addr :8930 \
+//	    -replica http://10.0.0.1:8932 -replica http://10.0.0.2:8932 \
+//	    -ring-seed 42
+//
+// Any number of gateways may front the same replica set: with the same
+// -ring-seed they route identically without coordinating, and the session-
+// ownership leases of the replicas (mfbod -replica-id) stay the single
+// safety interlock. See DESIGN.md §13.
+//
+//	GET /v1/healthz   gateway liveness + per-replica health + ring view
+//	GET /metrics      Prometheus text exposition (mfbo_gateway_*)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/gateway"
+	"repro/internal/shard"
+	"repro/internal/telemetry"
+)
+
+// replicaList collects repeated -replica flags.
+type replicaList []string
+
+func (r *replicaList) String() string { return fmt.Sprint([]string(*r)) }
+func (r *replicaList) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+	log.SetPrefix("mfbo-gateway: ")
+
+	var replicas replicaList
+	addr := flag.String("addr", ":8930", "listen address")
+	flag.Var(&replicas, "replica", "backend replica base URL (repeatable)")
+	ringSeed := flag.Uint64("ring-seed", 0, "consistent-hash ring seed; must match across every gateway of the deployment")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per replica on the ring (0 = default 64)")
+	healthEvery := flag.Duration("health-every", 500*time.Millisecond, "replica health-check period")
+	retryBudget := flag.Duration("retry-budget", 15*time.Second, "total retry time per request across dead replicas and ownership movement (should exceed the replicas' -ownership-ttl)")
+	metrics := flag.Bool("metrics", true, "serve Prometheus metrics at /metrics")
+	verbose := flag.Bool("v", false, "log routing events")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("mfbo-gateway"))
+		return
+	}
+	if len(replicas) == 0 {
+		log.Fatal("at least one -replica URL is required")
+	}
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = log.Printf
+	}
+	var rec *telemetry.Recorder
+	if *metrics {
+		rec = telemetry.NewRecorder(nil, 0)
+	}
+
+	gw, err := gateway.New(gateway.Config{
+		Replicas:    replicas,
+		Ring:        shard.RingConfig{Seed: *ringSeed, VNodes: *vnodes},
+		HealthEvery: *healthEvery,
+		RetryBudget: *retryBudget,
+		Telemetry:   rec,
+		Logf:        logf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer gw.Close()
+
+	root := http.NewServeMux()
+	root.Handle("/v1/", gw)
+	if rec != nil {
+		root.Handle("GET /metrics", rec.Metrics.Handler())
+	}
+	hs := &http.Server{
+		Addr:         *addr,
+		Handler:      root,
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 10 * time.Minute, // proxied suggests may wait on fits
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("listening on %s, fronting %d replica(s)", *addr, len(replicas))
+
+	select {
+	case <-ctx.Done():
+		log.Print("shutting down…")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
+	log.Print("bye")
+}

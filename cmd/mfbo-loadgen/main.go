@@ -1,0 +1,113 @@
+// Command mfbo-loadgen is the closed-loop load harness for a sharded MFBO
+// deployment (see internal/loadgen): it drives many concurrent optimization
+// sessions through a gateway, prints latency quantiles, throughput and error
+// rate, audits that no acked observation was lost, and exits non-zero when an
+// SLO gate fails — which makes it a CI smoke gate as-is.
+//
+//	mfbo-loadgen -target http://127.0.0.1:8930 \
+//	    -sessions 500 -concurrency 64 \
+//	    -max-error-rate 0.01 -max-p99 5s -verify-sample 3
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/loadgen"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+	log.SetPrefix("mfbo-loadgen: ")
+
+	target := flag.String("target", "http://127.0.0.1:8930", "gateway (or replica) base URL")
+	sessions := flag.Int("sessions", 100, "total optimization sessions to run")
+	concurrency := flag.Int("concurrency", 32, "sessions in flight at once")
+	problemName := flag.String("problem", "forrester", "catalog problem every session optimizes")
+	budget := flag.Float64("budget", 4, "per-session cost budget")
+	seed := flag.Int64("seed", 1, "base seed; session i uses seed+i")
+	prefix := flag.String("prefix", "lg", "session ID prefix")
+	verifySample := flag.Int("verify-sample", 0, "sessions to re-run in-process and compare bit-for-bit")
+	del := flag.Bool("delete", false, "delete sessions after their audit")
+	retries := flag.Int("retries", 8, "per-request transient-retry budget")
+	maxErrorRate := flag.Float64("max-error-rate", 0, "SLO: tolerated request error-rate fraction (0 = only hard invariants)")
+	maxP50 := flag.Duration("max-p50", 0, "SLO: p50 latency bound (0 = unchecked)")
+	maxP95 := flag.Duration("max-p95", 0, "SLO: p95 latency bound (0 = unchecked)")
+	maxP99 := flag.Duration("max-p99", 0, "SLO: p99 latency bound (0 = unchecked)")
+	minThroughput := flag.Float64("min-throughput", 0, "SLO: minimum completed sessions/s (0 = unchecked)")
+	out := flag.String("out", "", "write the result as JSON to this file")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("mfbo-loadgen"))
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := loadgen.Config{
+		Target:       *target,
+		Sessions:     *sessions,
+		Concurrency:  *concurrency,
+		Problem:      *problemName,
+		Budget:       *budget,
+		Seed:         *seed,
+		IDPrefix:     *prefix,
+		VerifySample: *verifySample,
+		Delete:       *del,
+		Retries:      *retries,
+		Logf:         log.Printf,
+	}
+	slo := loadgen.SLO{
+		MaxErrorRate:  *maxErrorRate,
+		MaxP50:        *maxP50,
+		MaxP95:        *maxP95,
+		MaxP99:        *maxP99,
+		MinThroughput: *minThroughput,
+	}
+
+	log.Printf("driving %d sessions (concurrency %d, problem %s) against %s",
+		cfg.Sessions, cfg.Concurrency, cfg.Problem, cfg.Target)
+	res, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+
+	fmt.Printf("sessions:    %d completed, %d failed (of %d)\n", res.Completed, res.Failed, res.Sessions)
+	fmt.Printf("requests:    %d total, %d errors (rate %.4f)\n", res.Requests, res.Errors, res.ErrorRate())
+	fmt.Printf("latency:     p50 %v  p95 %v  p99 %v\n", res.P50, res.P95, res.P99)
+	fmt.Printf("throughput:  %.2f sessions/s, %.1f requests/s over %v\n", res.Throughput, res.RequestRate, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("durability:  %d observations acked, %d session(s) lost acks\n", res.Acked, len(res.Lost))
+	if *verifySample > 0 {
+		fmt.Printf("verified:    %d/%d sampled sessions bit-identical to in-process runs\n", res.Verified, *verifySample)
+	}
+	for _, e := range res.SessionErrors {
+		log.Printf("session error: %s", e)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatalf("marshal result: %v", err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("write %s: %v", *out, err)
+		}
+		log.Printf("result written to %s", *out)
+	}
+
+	if err := res.Check(slo); err != nil {
+		log.Printf("SLO FAILED:\n%v", err)
+		os.Exit(1)
+	}
+	log.Print("SLO passed")
+}

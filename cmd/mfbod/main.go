@@ -62,6 +62,8 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 4, "max concurrently-leased evaluations per session (dispatch backpressure)")
 	leaseAttempts := flag.Int("lease-attempts", 3, "lease expiries before an evaluation is abandoned as failed")
 	leaseScan := flag.Duration("lease-scan", time.Second, "dispatch-queue expiry scan period")
+	replicaID := flag.String("replica-id", "", "identify this process as one replica of a sharded deployment (requires a -checkpoint-dir shared by all replicas; see DESIGN.md §13)")
+	ownershipTTL := flag.Duration("ownership-ttl", 0, "session-ownership lease duration for sharded deployments (0 = default 5s)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -119,6 +121,8 @@ func main() {
 		Logf:              logf,
 		Telemetry:         rec,
 		EventRingSize:     *ringSize,
+		ReplicaID:         *replicaID,
+		OwnershipTTL:      *ownershipTTL,
 		Dispatch: dispatch.Config{
 			LeaseTTL:    *leaseTTL,
 			MaxInFlight: *maxInFlight,

@@ -37,12 +37,29 @@ const (
 	// not outstanding — typically a duplicate report for a requeued
 	// evaluation whose result already arrived from another worker.
 	CodeUnknownSuggestion = "unknown_suggestion"
+	// CodeWrongOwner rejects a session request that landed on a replica which
+	// does not hold the session's ownership lease (sharded deployments; HTTP
+	// 421). ErrorReply.Owner names the replica that does when known, and
+	// RetryAfterSeconds hints how long until the lease could move (its
+	// remaining TTL). Gateways re-resolve and re-route; plain clients retry.
+	CodeWrongOwner = "wrong_owner"
 )
+
+// StatusWrongOwner is the HTTP status carrying CodeWrongOwner replies: 421
+// Misdirected Request — the request reached a server unable to produce an
+// authoritative answer for it.
+const StatusWrongOwner = 421
 
 // ErrorReply is the body of every non-2xx response.
 type ErrorReply struct {
 	Error string `json:"error"`
 	Code  string `json:"code,omitempty"`
+	// Owner names the replica holding the session's ownership lease on
+	// CodeWrongOwner replies (empty when unknown — e.g. the lease is in
+	// flux); RetryAfterSeconds is the remaining lease TTL, the earliest a
+	// retry against this replica could succeed.
+	Owner             string  `json:"owner,omitempty"`
+	RetryAfterSeconds float64 `json:"retry_after_seconds,omitempty"`
 }
 
 // CreateSessionRequest opens (or, with Resume, reattaches to) a session.
@@ -213,6 +230,40 @@ type HealthReply struct {
 	FitSlotsInUse   int `json:"fit_slots_in_use"`
 	FitSlotsWaiting int `json:"fit_slots_waiting"`
 	FitSlots        int `json:"fit_slots"`
+	// ReplicaID identifies this replica in a sharded deployment ("" when the
+	// server runs unsharded). OwnedSessions counts the sessions whose
+	// ownership lease this replica currently holds in memory, and Ring is the
+	// replica-membership view derived from the shared store's heartbeat
+	// records — what this replica believes the deployment looks like.
+	ReplicaID     string   `json:"replica_id,omitempty"`
+	OwnedSessions int      `json:"owned_sessions,omitempty"`
+	Ring          []string `json:"ring,omitempty"`
+}
+
+// GatewayReplica is one backend replica as the gateway sees it.
+type GatewayReplica struct {
+	// ID is the replica's self-reported identity (HealthReply.ReplicaID);
+	// empty until the first successful health check.
+	ID string `json:"id,omitempty"`
+	// URL is the replica's configured base URL.
+	URL string `json:"url"`
+	// Healthy reports the outcome of the newest health check (or a forward
+	// that found the replica unreachable, which marks it suspect until the
+	// next check).
+	Healthy bool `json:"healthy"`
+}
+
+// GatewayHealthReply is GET /v1/healthz of mfbo-gateway: gateway liveness
+// plus its routing view — which replicas it believes are healthy and the
+// ring membership it routes by. OK means at least one replica is routable.
+type GatewayHealthReply struct {
+	OK            bool             `json:"ok"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Version       string           `json:"version,omitempty"`
+	Replicas      []GatewayReplica `json:"replicas"`
+	// Ring lists the healthy replica IDs currently on the consistent-hash
+	// ring, sorted.
+	Ring []string `json:"ring,omitempty"`
 }
 
 // LeaseRequest is the body of POST /v1/sessions/{id}/lease: a worker asking

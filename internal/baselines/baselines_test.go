@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/optimize"
 	"repro/internal/problem"
 	"repro/internal/testfunc"
@@ -74,6 +75,109 @@ func TestWEIBOHistoryMonotoneCost(t *testing.T) {
 	if res.EquivalentSims != float64(res.NumHigh) {
 		t.Fatal("single-fidelity equivalent sims must equal the count")
 	}
+}
+
+// sameResult compares two baseline runs bit-for-bit: every point, objective,
+// constraint and cost in the history, plus the reported best.
+func sameResult(t *testing.T, name string, a, b *core.Result) {
+	t.Helper()
+	if len(a.History) != len(b.History) {
+		t.Fatalf("%s: history lengths %d vs %d", name, len(a.History), len(b.History))
+	}
+	for i := range a.History {
+		oa, ob := a.History[i], b.History[i]
+		if oa.Iter != ob.Iter || oa.Fid != ob.Fid || oa.Eval.Failed != ob.Eval.Failed {
+			t.Fatalf("%s: obs %d metadata differs: %+v vs %+v", name, i, oa, ob)
+		}
+		for j := range oa.X {
+			if math.Float64bits(oa.X[j]) != math.Float64bits(ob.X[j]) {
+				t.Fatalf("%s: obs %d x[%d] differs: %v vs %v", name, i, j, oa.X[j], ob.X[j])
+			}
+		}
+		if math.Float64bits(oa.Eval.Objective) != math.Float64bits(ob.Eval.Objective) {
+			t.Fatalf("%s: obs %d objective differs", name, i)
+		}
+	}
+	if math.Float64bits(a.Best.Objective) != math.Float64bits(b.Best.Objective) {
+		t.Fatalf("%s: best differs: %v vs %v", name, a.Best.Objective, b.Best.Objective)
+	}
+}
+
+// TestBaselinesIncrementalRefitEvery1Oracle mirrors the core oracle: with
+// RefitEvery = 1 every iteration is a full refit, so Incremental = true must
+// reproduce the exact-path trajectory bit-identically for both GP baselines.
+func TestBaselinesIncrementalRefitEvery1Oracle(t *testing.T) {
+	p := func() problem.Problem { return testfunc.ConstrainedSynthetic() }
+	t.Run("WEIBO", func(t *testing.T) {
+		exact, err := WEIBO(p(), WEIBOConfig{Budget: 18, Init: 10, MSP: fastMSP()}, rand.New(rand.NewSource(41)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		incr, err := WEIBO(p(), WEIBOConfig{Budget: 18, Init: 10, MSP: fastMSP(),
+			Incremental: true, RefitEvery: 1}, rand.New(rand.NewSource(41)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, "WEIBO", exact, incr)
+	})
+	t.Run("GASPAD", func(t *testing.T) {
+		exact, err := GASPAD(p(), GASPADConfig{Budget: 20, Init: 10}, rand.New(rand.NewSource(42)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		incr, err := GASPAD(p(), GASPADConfig{Budget: 20, Init: 10,
+			Incremental: true, RefitEvery: 1}, rand.New(rand.NewSource(42)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, "GASPAD", exact, incr)
+	})
+}
+
+// TestBaselinesIncrementalSchedule runs both baselines with a real
+// fit-skipping schedule and low-rank surrogates enabled: the run must spend
+// its exact budget, keep a finite best, and still land in the optimum's basin
+// — the approximations change the arithmetic but not the outcome.
+func TestBaselinesIncrementalSchedule(t *testing.T) {
+	t.Run("WEIBO", func(t *testing.T) {
+		res, err := WEIBO(testfunc.Forrester(), WEIBOConfig{
+			Budget: 24, Init: 10, MSP: fastMSP(),
+			Incremental: true, RefitEvery: 3, LowRankAfter: 14,
+		}, rand.New(rand.NewSource(43)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NumHigh != 24 {
+			t.Fatalf("simulations %d, want exactly 24", res.NumHigh)
+		}
+		if math.IsNaN(res.Best.Objective) || res.Best.Objective > -5.0 {
+			t.Fatalf("incremental WEIBO best %.4f, want < -5", res.Best.Objective)
+		}
+	})
+	t.Run("GASPAD", func(t *testing.T) {
+		res, err := GASPAD(testfunc.Forrester(), GASPADConfig{
+			Budget: 30, Init: 12,
+			Incremental: true, RefitEvery: 3, LowRankAfter: 16,
+		}, rand.New(rand.NewSource(44)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NumHigh != 30 {
+			t.Fatalf("simulations %d, want exactly 30", res.NumHigh)
+		}
+		if math.IsNaN(res.Best.Objective) || res.Best.Objective > -4.5 {
+			t.Fatalf("incremental GASPAD best %.4f, want < -4.5", res.Best.Objective)
+		}
+	})
+	t.Run("negative LowRankAfter rejected", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(45))
+		if _, err := WEIBO(testfunc.Pedagogical(), WEIBOConfig{Budget: 10, Init: 4, LowRankAfter: -1}, rng); err == nil {
+			t.Fatal("WEIBO accepted negative LowRankAfter")
+		}
+		if _, err := GASPAD(testfunc.Pedagogical(), GASPADConfig{Budget: 10, Init: 4, LowRankAfter: -1}, rng); err == nil {
+			t.Fatal("GASPAD accepted negative LowRankAfter")
+		}
+	})
 }
 
 func TestGASPADValidation(t *testing.T) {

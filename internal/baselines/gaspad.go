@@ -9,7 +9,6 @@ import (
 	"repro/internal/acq"
 	"repro/internal/core"
 	"repro/internal/gp"
-	"repro/internal/kernel"
 	"repro/internal/problem"
 	"repro/internal/stats"
 )
@@ -31,6 +30,15 @@ type GASPADConfig struct {
 	F, CR float64
 	// GPRestarts / GPMaxIter / RefitEvery tune surrogate training.
 	GPRestarts, GPMaxIter, RefitEvery int
+	// Incremental maintains the surrogates between full refits with O(n²)
+	// rank-1 Cholesky appends instead of refactorizing from scratch — the
+	// same machinery as core.Config.Incremental. With RefitEvery = 1 it is
+	// bit-identical to the exact path.
+	Incremental bool
+	// LowRankAfter, when positive, switches any surrogate whose training set
+	// exceeds it to the inducing-point approximation with LowRankAfter
+	// inducing points (gp.Config.Inducing). Zero keeps exact GPs.
+	LowRankAfter int
 	// FixedNoise pins GP observation noise.
 	FixedNoise *float64
 	// Callback observes every simulation.
@@ -75,6 +83,9 @@ func (c *GASPADConfig) defaults() error {
 	if c.RefitEvery <= 0 {
 		c.RefitEvery = 1
 	}
+	if c.LowRankAfter < 0 {
+		return fmt.Errorf("baselines: GASPAD negative LowRankAfter %d", c.LowRankAfter)
+	}
 	if c.FixedNoise == nil {
 		v := 1e-4
 		c.FixedNoise = &v
@@ -114,33 +125,14 @@ func GASPAD(p problem.Problem, cfg GASPADConfig, rng *rand.Rand) (*core.Result, 
 		record(-1, x)
 	}
 
-	warm := make([][]float64, nOut)
-	column := func(k int) []float64 {
-		col := make([]float64, len(Y))
-		for i, row := range Y {
-			col[i] = row[k]
-		}
-		return col
-	}
+	surr := newSurrogates(d, nOut, cfg.Incremental, cfg.LowRankAfter,
+		cfg.GPRestarts, cfg.GPMaxIter, cfg.FixedNoise, cfg.Workers)
 
 	for iter := 0; res.NumHigh < cfg.Budget; iter++ {
 		fullRefit := iter%cfg.RefitEvery == 0
-		models := make([]*gp.Model, nOut)
-		for k := 0; k < nOut; k++ {
-			m, err := gp.Fit(X, column(k), gp.Config{
-				Kernel:       kernel.NewSEARD(d),
-				Restarts:     cfg.GPRestarts,
-				MaxIter:      cfg.GPMaxIter,
-				FixedNoise:   cfg.FixedNoise,
-				WarmStart:    warm[k],
-				SkipTraining: !fullRefit && warm[k] != nil,
-				Workers:      cfg.Workers,
-			}, rng)
-			if err != nil {
-				return nil, fmt.Errorf("baselines: GASPAD iter %d output %d: %w", iter, k, err)
-			}
-			warm[k] = m.Hyper()
-			models[k] = m
+		models, err := surr.models(X, Y, fullRefit, rng)
+		if err != nil {
+			return nil, fmt.Errorf("baselines: GASPAD iter %d %w", iter, err)
 		}
 
 		parents := topParents(X, Y, cfg.ParentPool)

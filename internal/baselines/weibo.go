@@ -16,8 +16,6 @@ import (
 
 	"repro/internal/acq"
 	"repro/internal/core"
-	"repro/internal/gp"
-	"repro/internal/kernel"
 	"repro/internal/optimize"
 	"repro/internal/problem"
 	"repro/internal/stats"
@@ -35,6 +33,15 @@ type WEIBOConfig struct {
 	MSP optimize.MSPConfig
 	// GPRestarts / GPMaxIter / RefitEvery tune surrogate training.
 	GPRestarts, GPMaxIter, RefitEvery int
+	// Incremental maintains the surrogates between full refits with O(n²)
+	// rank-1 Cholesky appends instead of refactorizing from scratch — the
+	// same machinery as core.Config.Incremental. With RefitEvery = 1 it is
+	// bit-identical to the exact path.
+	Incremental bool
+	// LowRankAfter, when positive, switches any surrogate whose training set
+	// exceeds it to the inducing-point approximation with LowRankAfter
+	// inducing points (gp.Config.Inducing). Zero keeps exact GPs.
+	LowRankAfter int
 	// FixedNoise pins GP observation noise (default 1e-4, standardized).
 	FixedNoise *float64
 	// Callback observes every simulation.
@@ -63,6 +70,9 @@ func (c *WEIBOConfig) defaults() error {
 	}
 	if c.RefitEvery <= 0 {
 		c.RefitEvery = 1
+	}
+	if c.LowRankAfter < 0 {
+		return fmt.Errorf("baselines: WEIBO negative LowRankAfter %d", c.LowRankAfter)
 	}
 	if c.FixedNoise == nil {
 		v := 1e-4
@@ -106,33 +116,14 @@ func WEIBO(p problem.Problem, cfg WEIBOConfig, rng *rand.Rand) (*core.Result, er
 		record(-1, x)
 	}
 
-	warm := make([][]float64, nOut)
-	column := func(k int) []float64 {
-		col := make([]float64, len(Y))
-		for i, row := range Y {
-			col[i] = row[k]
-		}
-		return col
-	}
+	surr := newSurrogates(d, nOut, cfg.Incremental, cfg.LowRankAfter,
+		cfg.GPRestarts, cfg.GPMaxIter, cfg.FixedNoise, cfg.Workers)
 
 	for iter := 0; res.NumHigh < cfg.Budget; iter++ {
 		fullRefit := iter%cfg.RefitEvery == 0
-		models := make([]*gp.Model, nOut)
-		for k := 0; k < nOut; k++ {
-			m, err := gp.Fit(X, column(k), gp.Config{
-				Kernel:       kernel.NewSEARD(d),
-				Restarts:     cfg.GPRestarts,
-				MaxIter:      cfg.GPMaxIter,
-				FixedNoise:   cfg.FixedNoise,
-				WarmStart:    warm[k],
-				SkipTraining: !fullRefit && warm[k] != nil,
-				Workers:      cfg.Workers,
-			}, rng)
-			if err != nil {
-				return nil, fmt.Errorf("baselines: WEIBO iter %d output %d: %w", iter, k, err)
-			}
-			warm[k] = m.Hyper()
-			models[k] = m
+		models, err := surr.models(X, Y, fullRefit, rng)
+		if err != nil {
+			return nil, fmt.Errorf("baselines: WEIBO iter %d %w", iter, err)
 		}
 		obj := func(x []float64) (float64, float64) { return models[0].PredictLatent(x) }
 		cons := make([]acq.Posterior, nc)

@@ -35,6 +35,11 @@ type APIError struct {
 	Status  int    // HTTP status code
 	Code    string // api.Code* wire code ("" when the body was not an ErrorReply)
 	Message string
+	// Owner and RetryAfterSeconds carry the routing hints of wrong_owner
+	// replies (sharded deployments): which replica holds the session's
+	// ownership lease and its remaining TTL. Zero-valued otherwise.
+	Owner             string
+	RetryAfterSeconds float64
 }
 
 func (e *APIError) Error() string {
@@ -73,6 +78,15 @@ func (e *APIError) Unwrap() error {
 func IsLeaseExpired(err error) bool {
 	var ae *APIError
 	return errors.As(err, &ae) && ae.Code == api.CodeLeaseExpired
+}
+
+// IsWrongOwner reports whether err is a sharded replica rejecting the request
+// because another replica holds the session's ownership lease. The client
+// retries these internally (the session is mid-migration); it only escapes
+// when the retry budget ran out before ownership settled.
+func IsWrongOwner(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == api.CodeWrongOwner
 }
 
 // Option customizes a Client.
@@ -130,15 +144,17 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 }
 
 // retryable reports whether the request should be retried: network-level
-// failures and the transient HTTP statuses a restarting or overloaded server
-// emits.
+// failures, the transient HTTP statuses a restarting or overloaded server
+// emits, and wrong_owner (421) — a session mid-migration between sharded
+// replicas lands on its new owner once the old lease expires.
 func retryable(status int, err error) bool {
 	if err != nil {
 		return true // transport error (refused, reset, EOF, …)
 	}
 	switch status {
 	case http.StatusTooManyRequests, http.StatusBadGateway,
-		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout,
+		api.StatusWrongOwner:
 		return true
 	}
 	return false
@@ -168,6 +184,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			var rep api.ErrorReply
 			if jsonErr := json.Unmarshal(data, &rep); jsonErr == nil && rep.Error != "" {
 				apiErr.Code, apiErr.Message = rep.Code, rep.Error
+				apiErr.Owner, apiErr.RetryAfterSeconds = rep.Owner, rep.RetryAfterSeconds
 			}
 			lastErr = apiErr
 		} else {
@@ -176,7 +193,21 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if attempt >= c.retries || !retryable(status, err) {
 			return lastErr
 		}
-		if err := c.sleep(ctx, robust.Backoff(attempt, c.policy)); err != nil {
+		delay := robust.Backoff(attempt, c.policy)
+		// wrong_owner replies hint how long the blocking lease could still
+		// hold; waiting that out (capped by the backoff ceiling so a long
+		// production TTL can't stall a request for seconds per attempt) beats
+		// hammering a replica that cannot take the session over yet.
+		var ae *APIError
+		if errors.As(lastErr, &ae) && ae.Code == api.CodeWrongOwner && ae.RetryAfterSeconds > 0 {
+			if hint := time.Duration(ae.RetryAfterSeconds * float64(time.Second)); hint > delay {
+				delay = hint
+			}
+			if c.policy.BackoffMax > 0 && delay > c.policy.BackoffMax {
+				delay = c.policy.BackoffMax
+			}
+		}
+		if err := c.sleep(ctx, delay); err != nil {
 			return errors.Join(err, lastErr)
 		}
 	}

@@ -312,7 +312,7 @@ func (q *Queue) Lease(ctx context.Context, sessionID, worker string, ttl time.Du
 		}
 		q.seq++
 		l := &lease{
-			id:        fmt.Sprintf("lease-%d-%s-%s", q.seq, sessionID, sugs[i].ID),
+			id:        leaseID(q.seq, sessionID, sugs[i].ID),
 			sessionID: sessionID,
 			sugID:     sugs[i].ID,
 			worker:    worker,

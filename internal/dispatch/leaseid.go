@@ -1,0 +1,32 @@
+package dispatch
+
+import (
+	"fmt"
+	"strings"
+)
+
+// leaseID builds a lease identifier that embeds the session it belongs to:
+// "l<seq>.<sessionID>.<sugID>". The '.' separator cannot appear in session
+// IDs (the server restricts them to [A-Za-z0-9_-]) or suggestion IDs
+// ("iter-3", "init-low-0"), so the session is recoverable from the opaque
+// token — which is what lets a sharding gateway route a bare
+// POST /v1/leases/{id}/heartbeat to the replica owning the session.
+func leaseID(seq uint64, sessionID, sugID string) string {
+	return fmt.Sprintf("l%d.%s.%s", seq, sessionID, sugID)
+}
+
+// SessionOfLease recovers the session ID a lease identifier was minted for
+// (false for malformed or foreign tokens, in which case a router must fall
+// back to broadcasting the heartbeat). Inverse of the grant's ID scheme;
+// workers still treat lease IDs as opaque.
+func SessionOfLease(id string) (string, bool) {
+	if !strings.HasPrefix(id, "l") {
+		return "", false
+	}
+	first := strings.IndexByte(id, '.')
+	last := strings.LastIndexByte(id, '.')
+	if first < 0 || last <= first+1 {
+		return "", false
+	}
+	return id[first+1 : last], true
+}

@@ -1,0 +1,312 @@
+package gateway_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/gateway"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/storage"
+	"repro/internal/telemetry"
+)
+
+// replica is one in-process backend.
+type replica struct {
+	srv *server.Server
+	ts  *httptest.Server
+}
+
+// newCluster boots n sharded replicas over one shared store plus a gateway
+// fronting them.
+func newCluster(t *testing.T, n int, ttl time.Duration) ([]replica, *gateway.Gateway, *httptest.Server) {
+	t.Helper()
+	store := storage.NewMem(storage.MemConfig{})
+	reps := make([]replica, n)
+	urls := make([]string, n)
+	for i := range reps {
+		id := string(rune('a' + i))
+		srv, err := server.New(server.Config{Store: store, ReplicaID: "r" + id, OwnershipTTL: ttl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		reps[i] = replica{srv: srv, ts: ts}
+		urls[i] = ts.URL
+	}
+	gw, err := gateway.New(gateway.Config{
+		Replicas:    urls,
+		Ring:        shard.RingConfig{Seed: 99},
+		HealthEvery: 50 * time.Millisecond,
+		RetryBudget: 10 * time.Second,
+		Telemetry:   telemetry.NewRecorder(nil, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gts := httptest.NewServer(gw)
+	t.Cleanup(func() {
+		gts.Close()
+		gw.Close()
+		for _, r := range reps {
+			r.ts.Close()
+			_ = r.srv.Close()
+		}
+	})
+	return reps, gw, gts
+}
+
+func gwPost(t *testing.T, ts *httptest.Server, path string, in, out any) int {
+	t.Helper()
+	body, _ := json.Marshal(in)
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		_ = json.NewDecoder(resp.Body).Decode(out)
+	}
+	return resp.StatusCode
+}
+
+func gwGet(t *testing.T, ts *httptest.Server, path string, out any) int {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		_ = json.NewDecoder(resp.Body).Decode(out)
+	}
+	return resp.StatusCode
+}
+
+func sessionReq(id string, seed int64) api.CreateSessionRequest {
+	return api.CreateSessionRequest{
+		ID: id, Problem: "forrester", Seed: seed, Budget: 4,
+		InitLow: 8, InitHigh: 4, MSPStarts: 4, MSPLocalIter: 15, GPMaxIter: 30,
+	}
+}
+
+// TestGatewayRoutesAndServes: sessions created through the gateway land on
+// exactly one replica each, and every subsequent request reaches it — the
+// client never sees a wrong_owner even though it talks only to the gateway.
+func TestGatewayRoutesAndServes(t *testing.T) {
+	reps, _, gts := newCluster(t, 3, time.Minute)
+	ids := []string{"alpha", "bravo", "charlie", "delta", "echo"}
+	for i, id := range ids {
+		var info api.SessionInfo
+		if code := gwPost(t, gts, "/v1/sessions", sessionReq(id, int64(i)), &info); code != http.StatusCreated {
+			t.Fatalf("create %s: %d", id, code)
+		}
+		if info.ID != id {
+			t.Fatalf("create %s echoed %q", id, info.ID)
+		}
+	}
+	for _, id := range ids {
+		var st api.StatusReply
+		if code := gwGet(t, gts, "/v1/sessions/"+id+"/status", &st); code != http.StatusOK {
+			t.Fatalf("status %s: %d", id, code)
+		}
+		if st.ID != id {
+			t.Fatalf("status %s answered for %q", id, st.ID)
+		}
+	}
+	// Each session is resident on exactly one replica.
+	for _, id := range ids {
+		owners := 0
+		for _, r := range reps {
+			var reply api.SessionsReply
+			resp, err := r.ts.Client().Get(r.ts.URL + "/v1/sessions")
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = json.NewDecoder(resp.Body).Decode(&reply)
+			resp.Body.Close()
+			for _, s := range reply.Sessions {
+				if s == id {
+					owners++
+				}
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("session %s resident on %d replicas, want 1", id, owners)
+		}
+	}
+	// The merged gateway listing sees them all.
+	var list api.SessionsReply
+	if code := gwGet(t, gts, "/v1/sessions", &list); code != http.StatusOK {
+		t.Fatalf("list: %d", code)
+	}
+	if len(list.Sessions) != len(ids) {
+		t.Fatalf("merged list %v, want %d sessions", list.Sessions, len(ids))
+	}
+}
+
+// TestGatewayGeneratesID: an anonymous create gets its ID minted by the
+// gateway (placement needs the ID before routing).
+func TestGatewayGeneratesID(t *testing.T) {
+	_, _, gts := newCluster(t, 2, time.Minute)
+	req := sessionReq("", 1)
+	var info api.SessionInfo
+	if code := gwPost(t, gts, "/v1/sessions", req, &info); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	if info.ID == "" {
+		t.Fatal("no session ID assigned")
+	}
+	var st api.StatusReply
+	if code := gwGet(t, gts, "/v1/sessions/"+info.ID+"/status", &st); code != http.StatusOK {
+		t.Fatalf("status: %d", code)
+	}
+}
+
+// TestGatewayFollowsWrongOwner: a session claimed directly on one replica
+// (bypassing the gateway, so likely off-ring) is still reachable through the
+// gateway — the wrong_owner reply's owner hint redirects the forward.
+func TestGatewayFollowsWrongOwner(t *testing.T) {
+	reps, _, gts := newCluster(t, 3, time.Minute)
+	// Create on every replica directly so at least one placement disagrees
+	// with the ring for some session.
+	for i, r := range reps {
+		id := "direct-" + string(rune('0'+i))
+		body, _ := json.Marshal(sessionReq(id, int64(i)))
+		resp, err := r.ts.Client().Post(r.ts.URL+"/v1/sessions", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("direct create on replica %d: %d", i, resp.StatusCode)
+		}
+	}
+	for i := range reps {
+		id := "direct-" + string(rune('0'+i))
+		var st api.StatusReply
+		if code := gwGet(t, gts, "/v1/sessions/"+id+"/status", &st); code != http.StatusOK {
+			t.Fatalf("gateway status %s: %d", id, code)
+		}
+	}
+}
+
+// TestGatewayHealthView: the gateway health endpoint reports per-replica
+// state and drops dead replicas from the ring after a sweep.
+func TestGatewayHealthView(t *testing.T) {
+	reps, _, gts := newCluster(t, 3, time.Minute)
+	var h api.GatewayHealthReply
+	if code := gwGet(t, gts, "/v1/healthz", &h); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if !h.OK || len(h.Replicas) != 3 || len(h.Ring) != 3 {
+		t.Fatalf("health = %+v", h)
+	}
+	// Kill one replica; the sweep notices.
+	reps[2].srv.Kill()
+	reps[2].ts.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		gwGet(t, gts, "/v1/healthz", &h)
+		healthy := 0
+		for _, r := range h.Replicas {
+			if r.Healthy {
+				healthy++
+			}
+		}
+		if healthy == 2 && len(h.Ring) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gateway never noticed the dead replica: %+v", h)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestGatewayDispatchEndpoints: the worker-facing lease/report/heartbeat
+// endpoints ride the ring through the gateway, heartbeats routed by the
+// session embedded in the lease ID.
+func TestGatewayDispatchEndpoints(t *testing.T) {
+	_, _, gts := newCluster(t, 3, time.Minute)
+	var info api.SessionInfo
+	if code := gwPost(t, gts, "/v1/sessions", sessionReq("work", 3), &info); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	var grant api.LeaseReply
+	if code := gwPost(t, gts, "/v1/sessions/work/lease", api.LeaseRequest{Worker: "w1"}, &grant); code != http.StatusOK {
+		t.Fatalf("lease: %d", code)
+	}
+	if grant.LeaseID == "" {
+		t.Fatalf("no lease granted: %+v", grant)
+	}
+	var hb api.HeartbeatReply
+	if code := gwPost(t, gts, "/v1/leases/"+grant.LeaseID+"/heartbeat", api.HeartbeatRequest{Worker: "w1"}, &hb); code != http.StatusOK {
+		t.Fatalf("heartbeat: %d", code)
+	}
+	if hb.DeadlineUnixMs == 0 {
+		t.Fatal("heartbeat extended nothing")
+	}
+	var rep api.ReportReply
+	code := gwPost(t, gts, "/v1/sessions/work/report", api.ReportRequest{
+		LeaseID: grant.LeaseID, SuggestionID: grant.SuggestionID, Objective: 1.5,
+	}, &rep)
+	if code != http.StatusOK {
+		t.Fatalf("report: %d", code)
+	}
+	// An opaque (foreign-format) lease ID falls back to broadcast and gets an
+	// honest lease_expired from some replica rather than a routing error.
+	var er api.ErrorReply
+	code = gwPost(t, gts, "/v1/leases/not-a-real-lease/heartbeat", api.HeartbeatRequest{}, &er)
+	if code != http.StatusConflict || er.Code != api.CodeLeaseExpired {
+		t.Fatalf("broadcast heartbeat: %d %+v", code, er)
+	}
+}
+
+// TestGatewayMetricsExposition: the mfbo_gateway_* series exist in the
+// Prometheus exposition (CI's gateway-smoke job additionally runs promlint
+// over the live endpoint).
+func TestGatewayMetricsExposition(t *testing.T) {
+	rec := telemetry.NewRecorder(nil, 0)
+	store := storage.NewMem(storage.MemConfig{})
+	srv, err := server.New(server.Config{Store: store, ReplicaID: "ra"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer func() { ts.Close(); _ = srv.Close() }()
+	gw, err := gateway.New(gateway.Config{
+		Replicas:  []string{ts.URL},
+		Telemetry: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	gts := httptest.NewServer(gw)
+	defer gts.Close()
+	var info api.SessionInfo
+	if code := gwPost(t, gts, "/v1/sessions", sessionReq("m", 1), &info); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	var sb strings.Builder
+	if err := rec.Metrics.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"mfbo_gateway_requests_total",
+		"mfbo_gateway_healthy_replicas",
+		"mfbo_gateway_ring_size",
+		"mfbo_gateway_proxy_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition lacks %s:\n%s", want, text)
+		}
+	}
+}

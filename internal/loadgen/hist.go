@@ -1,0 +1,72 @@
+package loadgen
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// histBounds are the geometric bucket upper bounds shared by every Hist:
+// 10µs growing by ×1.3 per bucket until one hour is covered. Quantile
+// estimates are therefore conservative to within +30% — fine for SLO gating,
+// where the gate must not pass on an estimate below the true latency.
+var histBounds = func() []time.Duration {
+	var b []time.Duration
+	for d := 10 * time.Microsecond; d < time.Hour; d = d * 13 / 10 {
+		b = append(b, d)
+	}
+	return append(b, time.Hour)
+}()
+
+// Hist is a fixed-bucket latency histogram safe for concurrent Observe.
+type Hist struct {
+	counts []atomic.Uint64 // one per bound, plus overflow at the end
+	total  atomic.Uint64
+}
+
+// NewHist returns an empty histogram.
+func NewHist() *Hist {
+	return &Hist{counts: make([]atomic.Uint64, len(histBounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Hist) Observe(d time.Duration) {
+	i := 0
+	for i < len(histBounds) && d > histBounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() uint64 { return h.total.Load() }
+
+// Quantile returns an upper bound for the q-th quantile (q in [0,1]): the
+// upper edge of the bucket holding the q·N-th sample. Zero when empty.
+func (h *Hist) Quantile(q float64) time.Duration {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen > rank {
+			if i < len(histBounds) {
+				return histBounds[i]
+			}
+			return histBounds[len(histBounds)-1] // overflow: clamp to the top edge
+		}
+	}
+	return histBounds[len(histBounds)-1]
+}

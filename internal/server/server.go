@@ -54,6 +54,7 @@ import (
 	"repro/internal/optimize"
 	"repro/internal/problem"
 	"repro/internal/session"
+	"repro/internal/shard"
 	"repro/internal/storage"
 	"repro/internal/telemetry"
 )
@@ -102,6 +103,18 @@ type Config struct {
 	// are supplied by the server; the remaining fields (MaxInFlight,
 	// LeaseTTL, MaxAttempts, ScanEvery, ...) default sensibly when zero.
 	Dispatch dispatch.Config
+	// ReplicaID identifies this process as one replica of a horizontally
+	// sharded deployment. Setting it (together with a Store/CheckpointDir
+	// shared by every replica) turns on session-ownership leases: sessions
+	// are claimed before being served, renewed while resident, fenced on
+	// every checkpoint write, and requests for sessions owned elsewhere
+	// answer wrong_owner (HTTP 421). Empty = unsharded single-node service.
+	// See internal/shard and DESIGN.md §13.
+	ReplicaID string
+	// OwnershipTTL is the session-ownership lease duration (default 5s).
+	// Shorter TTLs migrate sessions off dead replicas faster at the cost of
+	// more lease-renewal writes. Sharded deployments only.
+	OwnershipTTL time.Duration
 }
 
 // Server is the HTTP handler plus its session registry.
@@ -124,12 +137,20 @@ type Server struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
+	// leases/membership are non-nil only in sharded deployments
+	// (Config.ReplicaID set): session-ownership leases and the replica
+	// heartbeat behind the healthz ring view. See shard.go for the glue.
+	leases     *shard.Leases
+	membership *shard.Membership
+
 	mu       sync.RWMutex
 	sessions map[string]*entry
 	closed   bool
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}
+	renewStop   chan struct{}
+	renewDone   chan struct{}
 }
 
 // entry pairs a live session with the request that created it (needed to
@@ -139,6 +160,10 @@ type entry struct {
 	sess *session.Session
 	req  api.CreateSessionRequest
 	ring *telemetry.Ring
+	// epoch is the ownership-lease epoch this replica serves the session
+	// under (0 when unsharded). Stable for the entry's lifetime: renewals
+	// keep the epoch, only ownership changes bump it.
+	epoch uint64
 }
 
 // serverMetrics caches the service-level metric handles. All fields are nil
@@ -259,8 +284,26 @@ func New(cfg Config) (*Server, error) {
 		sessions:    make(map[string]*entry),
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
+		renewStop:   make(chan struct{}),
+		renewDone:   make(chan struct{}),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	if cfg.ReplicaID != "" {
+		if store == nil {
+			return nil, errors.New("server: ReplicaID requires a durable store (Store or CheckpointDir)")
+		}
+		lcfg := shard.LeaseConfig{Store: store, Replica: cfg.ReplicaID, TTL: cfg.OwnershipTTL}
+		leases, err := shard.NewLeases(lcfg)
+		if err != nil {
+			return nil, err
+		}
+		membership, err := shard.StartMembership(lcfg, 0)
+		if err != nil {
+			return nil, err
+		}
+		s.leases = leases
+		s.membership = membership
+	}
 	s.met = newServerMetrics(cfg.Telemetry.Registry(), s)
 	qcfg := cfg.Dispatch
 	qcfg.Resolve = func(id string) (*session.Session, error) {
@@ -296,6 +339,11 @@ func New(cfg Config) (*Server, error) {
 	} else {
 		close(s.janitorDone)
 	}
+	if s.sharded() {
+		go s.renewer()
+	} else {
+		close(s.renewDone)
+	}
 	return s, nil
 }
 
@@ -327,6 +375,8 @@ func (s *Server) Close() error {
 	s.baseCancel()
 	close(s.janitorStop)
 	<-s.janitorDone
+	close(s.renewStop)
+	<-s.renewDone
 	s.queue.Close()
 
 	var errs []error
@@ -335,6 +385,12 @@ func (s *Server) Close() error {
 			errs = append(errs, err)
 		}
 		s.persistRing(ids[i], e)
+		// After the final persist the lease is surrendered so the session's
+		// next owner claims it immediately instead of waiting out the TTL.
+		s.releaseOwned(ids[i], e)
+	}
+	if s.membership != nil {
+		s.membership.Close()
 	}
 	return errors.Join(errs...)
 }
@@ -356,7 +412,15 @@ func (s *Server) Kill() {
 	s.baseCancel()
 	close(s.janitorStop)
 	<-s.janitorDone
+	close(s.renewStop)
+	<-s.renewDone
 	s.queue.Close()
+	if s.membership != nil {
+		// Abandon, not Close: a killed process writes no goodbye. The leases
+		// and the membership record age out by TTL expiry, exactly as after a
+		// real SIGKILL.
+		s.membership.Abandon()
+	}
 }
 
 // janitor periodically persists and evicts idle sessions.
@@ -498,7 +562,7 @@ func coreConfig(req *api.CreateSessionRequest) core.Config {
 // session described by req. Each session gets its own bounded event ring
 // (served at /v1/sessions/{id}/telemetry); when the server carries a
 // process-wide recorder the session's events and metrics also flow into it.
-func (s *Server) buildSession(id string, req *api.CreateSessionRequest) (*entry, error) {
+func (s *Server) buildSession(id string, req *api.CreateSessionRequest, epoch uint64) (*entry, error) {
 	p, err := s.cfg.Lookup(req.Problem)
 	if err != nil {
 		return nil, err
@@ -517,10 +581,12 @@ func (s *Server) buildSession(id string, req *api.CreateSessionRequest) (*entry,
 		rec = s.cfg.Telemetry.Child(ring)
 	}
 	sess, err := session.Open(session.Config{
-		Problem:   p,
-		Core:      coreConfig(req),
-		Seed:      req.Seed,
-		Store:     s.store,
+		Problem: p,
+		Core:    coreConfig(req),
+		Seed:    req.Seed,
+		// Sharded replicas persist through a lease-fenced store so a stale
+		// ex-owner can never clobber the new owner's checkpoints (shard.go).
+		Store:     s.sessionStore(id, epoch),
 		StoreID:   id,
 		Limiter:   s.limiter,
 		Telemetry: rec,
@@ -528,7 +594,7 @@ func (s *Server) buildSession(id string, req *api.CreateSessionRequest) (*entry,
 	if err != nil {
 		return nil, err
 	}
-	return &entry{sess: sess, req: *req, ring: ring}, nil
+	return &entry{sess: sess, req: *req, ring: ring, epoch: epoch}, nil
 }
 
 // getSession resolves id, lazily restoring a persisted session after a
@@ -554,7 +620,15 @@ func (s *Server) getSession(id string) (*entry, error) {
 		}
 		return nil, err
 	}
-	fresh, err := s.buildSession(id, req)
+	// Sharded: become the owner before restoring. A session owned by a live
+	// replica fails here with *shard.WrongOwnerError → wrong_owner on the
+	// wire; one whose owner died is claimed once the old lease expires, and
+	// the restore below IS the migration (checkpoints are ground truth).
+	epoch, err := s.claimOwnership(id)
+	if err != nil {
+		return nil, err
+	}
+	fresh, err := s.buildSession(id, req, epoch)
 	if err != nil {
 		return nil, err
 	}
@@ -666,7 +740,12 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	createdFresh := false
 	if e == nil {
-		fresh, err := s.buildSession(id, &req)
+		epoch, err := s.claimOwnership(id)
+		if err != nil {
+			s.writeSessionErr(w, err)
+			return
+		}
+		fresh, err := s.buildSession(id, &req, epoch)
 		if err != nil {
 			s.writeSessionErr(w, err)
 			return
@@ -789,7 +868,10 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, core.ErrBudgetExhausted):
 		writeErr(w, http.StatusConflict, api.CodeBudgetExhausted, err.Error())
 	default:
-		writeErr(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
+		// Includes the lease fence tripping mid-Tell on a sharded replica
+		// (wrong_owner): the checkpoint was refused, so the observation was
+		// NOT ingested — the client must retry against the new owner.
+		s.writeSessionErr(w, err)
 	}
 }
 
@@ -847,14 +929,30 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	// Sharded: only the owner may destroy a session — a replica that merely
+	// believes an old ring view must not delete state another replica is
+	// actively serving from.
+	if s.sharded() {
+		if _, err := s.leases.Claim(id); err != nil {
+			s.writeSessionErr(w, err)
+			return
+		}
+	}
 	s.mu.Lock()
 	_, ok := s.sessions[id]
 	delete(s.sessions, id)
 	s.mu.Unlock()
 	if s.durable() {
-		for _, kind := range storage.Kinds() {
-			if _, err := s.store.Get(kind, id); err == nil {
-				ok = true
+		// Session-scoped kinds only: KindReplica records are replica-scoped
+		// heartbeats, not session state, and must survive session deletion
+		// even if a session ID collides with a replica ID. The lease record
+		// (KindOwner) goes too — it never counts toward existence, since the
+		// Claim above just created one.
+		for _, kind := range []storage.Kind{storage.KindCheckpoint, storage.KindManifest, storage.KindTelemetry, storage.KindOwner} {
+			if kind != storage.KindOwner {
+				if _, err := s.store.Get(kind, id); err == nil {
+					ok = true
+				}
 			}
 			if err := s.store.Delete(kind, id); err != nil {
 				s.logf("server: delete %s %s: %v", kind, id, err)
@@ -1002,7 +1100,7 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, dispatch.ErrLeaseExpired):
 		writeErr(w, http.StatusConflict, api.CodeLeaseExpired, err.Error())
 	default:
-		writeErr(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
+		s.writeSessionErr(w, err)
 	}
 }
 
@@ -1032,6 +1130,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			reply.OK = false
 		}
 	}
+	if s.sharded() {
+		reply.ReplicaID = s.leases.Replica()
+		reply.OwnedSessions = n
+		if ring, err := shard.LiveReplicas(s.store, time.Now()); err == nil {
+			reply.Ring = ring
+		}
+	}
 	status := http.StatusOK
 	if !reply.OK {
 		status = http.StatusServiceUnavailable
@@ -1056,7 +1161,21 @@ func storageName(st storage.Store) string {
 // writeSessionErr maps registry/session-construction failures onto wire
 // errors.
 func (s *Server) writeSessionErr(w http.ResponseWriter, err error) {
+	var wrong *shard.WrongOwnerError
 	switch {
+	case errors.As(err, &wrong):
+		retry := time.Until(wrong.Expires).Seconds()
+		if retry < 0 {
+			retry = 0
+		}
+		writeJSON(w, api.StatusWrongOwner, api.ErrorReply{
+			Error:             err.Error(),
+			Code:              api.CodeWrongOwner,
+			Owner:             wrong.Owner,
+			RetryAfterSeconds: retry,
+		})
+	case errors.Is(err, shard.ErrNotOwner):
+		writeErr(w, api.StatusWrongOwner, api.CodeWrongOwner, err.Error())
 	case errors.Is(err, errNotFound):
 		writeErr(w, http.StatusNotFound, api.CodeNotFound, err.Error())
 	case errors.Is(err, errShuttingDown):

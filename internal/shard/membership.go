@@ -1,0 +1,140 @@
+// Replica membership: each replica heartbeats a small record into the shared
+// store so that any replica (and its operators, via /v1/healthz) can see the
+// deployment's live membership without talking to the others. This is a
+// reporting surface, not a coordination mechanism — routing is the gateway's
+// job (health checks + ring) and mutual exclusion is the leases'.
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// memberRecord is the stored heartbeat of one replica.
+type memberRecord struct {
+	Replica       string `json:"replica"`
+	ExpiresUnixMs int64  `json:"expires_unix_ms"`
+}
+
+// Membership periodically announces this replica into the store until
+// closed. Construct with StartMembership.
+type Membership struct {
+	cfg   LeaseConfig
+	every time.Duration
+	stop  chan struct{}
+	done  chan struct{}
+
+	stopOnce sync.Once
+	haltMu   sync.Mutex
+	halted   bool
+}
+
+// StartMembership begins heartbeating the replica's membership record every
+// `every` (default TTL/2), with records expiring after cfg.TTL. The first
+// heartbeat is written synchronously so the replica is visible as soon as
+// this returns.
+func StartMembership(cfg LeaseConfig, every time.Duration) (*Membership, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	if every <= 0 {
+		every = cfg.TTL / 2
+	}
+	m := &Membership{cfg: cfg, every: every, stop: make(chan struct{}), done: make(chan struct{})}
+	m.beat()
+	go m.run()
+	return m, nil
+}
+
+func (m *Membership) beat() {
+	rec := memberRecord{
+		Replica:       m.cfg.Replica,
+		ExpiresUnixMs: m.cfg.Now().Add(m.cfg.TTL).UnixMilli(),
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	// Best-effort by design: a failed heartbeat only ages this replica out
+	// of the membership view; sessions it owns are protected by their
+	// leases, not by membership.
+	_ = m.cfg.Store.Put(storage.KindReplica, m.cfg.Replica, data)
+}
+
+func (m *Membership) run() {
+	defer close(m.done)
+	t := time.NewTicker(m.every)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.beat()
+		}
+	}
+}
+
+// Close stops heartbeating and expires the record so the replica leaves the
+// membership view immediately on graceful shutdown.
+func (m *Membership) Close() {
+	if !m.halt() {
+		return
+	}
+	data, err := json.Marshal(memberRecord{Replica: m.cfg.Replica, ExpiresUnixMs: 0})
+	if err == nil {
+		_ = m.cfg.Store.Put(storage.KindReplica, m.cfg.Replica, data)
+	}
+}
+
+// Abandon stops heartbeating WITHOUT expiring the record — the simulated-
+// crash path (server.Kill): a SIGKILLed process writes no goodbye, so the
+// replica must age out of the membership view by TTL expiry exactly as a
+// real crash would. Close after Abandon is a no-op.
+func (m *Membership) Abandon() { m.halt() }
+
+// halt stops the heartbeat loop once; false if it was already stopped.
+func (m *Membership) halt() bool {
+	m.stopOnce.Do(func() { close(m.stop) })
+	<-m.done
+	m.haltMu.Lock()
+	defer m.haltMu.Unlock()
+	if m.halted {
+		return false
+	}
+	m.halted = true
+	return true
+}
+
+// LiveReplicas lists the replicas whose membership heartbeat has not
+// expired, sorted — the ring-membership view /v1/healthz reports.
+func LiveReplicas(store storage.Store, now time.Time) ([]string, error) {
+	ids, err := store.List(storage.KindReplica)
+	if err != nil {
+		return nil, err
+	}
+	var live []string
+	for _, id := range ids {
+		data, err := store.Get(storage.KindReplica, id)
+		if errors.Is(err, storage.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		var rec memberRecord
+		if json.Unmarshal(data, &rec) != nil {
+			continue
+		}
+		if now.Before(time.UnixMilli(rec.ExpiresUnixMs)) {
+			live = append(live, rec.Replica)
+		}
+	}
+	sort.Strings(live)
+	return live, nil
+}

@@ -43,10 +43,18 @@ const (
 	// KindTelemetry is a session's buffered telemetry ring, persisted
 	// best-effort at eviction/shutdown so introspection survives restarts.
 	KindTelemetry Kind = "ring"
+	// KindOwner is a session-ownership lease (internal/shard): which replica
+	// of a sharded deployment currently serves the session, under which
+	// epoch, and until when — the fence that keeps exactly one replica
+	// writing a session's checkpoints at a time.
+	KindOwner Kind = "owner"
+	// KindReplica is a replica-membership heartbeat (internal/shard), the
+	// record behind the ring-membership view /v1/healthz reports.
+	KindReplica Kind = "replica"
 )
 
 // kinds lists every known kind (for Delete-everything sweeps and tests).
-var kinds = []Kind{KindCheckpoint, KindManifest, KindTelemetry}
+var kinds = []Kind{KindCheckpoint, KindManifest, KindTelemetry, KindOwner, KindReplica}
 
 // Kinds returns every record kind the engine knows about.
 func Kinds() []Kind { return append([]Kind(nil), kinds...) }
