@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/buildinfo"
 )
 
 type entry struct {
@@ -85,7 +86,12 @@ func main() {
 	quick := flag.Bool("quick", false, "smoke mode: cap every benchmark at a handful of iterations")
 	scaling := flag.Bool("scaling", false, "run the GP-scaling workloads (per-Tell cost vs history length) instead of the hot paths")
 	baseline := flag.String("baseline", "", "with -scaling: compare speedups against this committed report and exit non-zero on a >25% regression")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("bench"))
+		return
+	}
 
 	if *scaling {
 		// Scaling workloads compare O(n³) against O(n²) per-op costs; a

@@ -35,6 +35,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/dispatch"
 	"repro/internal/server"
 	"repro/internal/storage"
@@ -61,7 +62,12 @@ func main() {
 	corruptEvery := flag.Int("corrupt-every", 5, "corrupt the newest manifest generation after every Nth crash, forcing rollback+quarantine on resume (0 = never)")
 	timeout := flag.Duration("timeout", 10*time.Minute, "whole-run deadline")
 	metricsOut := flag.String("metrics-out", "", "also write the final daemon's full /metrics exposition to this file (for promlint)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("mfbo-chaos"))
+		return
+	}
 
 	if *child {
 		runChild(*dir, *gens)

@@ -56,6 +56,8 @@ func main() {
 	healthEvery := flag.Duration("health-every", 500*time.Millisecond, "replica health-check period")
 	retryBudget := flag.Duration("retry-budget", 15*time.Second, "total retry time per request across dead replicas and ownership movement (should exceed the replicas' -ownership-ttl)")
 	metrics := flag.Bool("metrics", true, "serve Prometheus metrics at /metrics")
+	telemetryPath := flag.String("telemetry", "", "append completed trace spans as JSONL to this file (merge fleet-wide with mfbo-trace -merge)")
+	traceSample := flag.Int("trace-sample", 1, "start a trace on every n-th routed request (1 = all)")
 	verbose := flag.Bool("v", false, "log routing events")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -71,9 +73,21 @@ func main() {
 	if *verbose {
 		logf = log.Printf
 	}
+	var spanLog *telemetry.JSONL
+	if *telemetryPath != "" {
+		var err error
+		if spanLog, err = telemetry.OpenJSONL(*telemetryPath); err != nil {
+			log.Fatal(err)
+		}
+	}
 	var rec *telemetry.Recorder
-	if *metrics {
-		rec = telemetry.NewRecorder(nil, 0)
+	if *metrics || spanLog != nil {
+		var sink telemetry.Sink
+		if spanLog != nil {
+			sink = spanLog
+		}
+		rec = telemetry.NewRecorder(sink, *traceSample)
+		rec.SetService("gateway")
 	}
 
 	gw, err := gateway.New(gateway.Config{
@@ -119,6 +133,11 @@ func main() {
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
+		}
+	}
+	if spanLog != nil {
+		if err := spanLog.Close(); err != nil {
+			log.Printf("telemetry: %v", err)
 		}
 	}
 	log.Print("bye")

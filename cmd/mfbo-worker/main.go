@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/client"
 	"repro/internal/robust"
+	"repro/internal/telemetry"
 	"repro/internal/worker"
 )
 
@@ -48,6 +50,9 @@ func main() {
 	evalTimeout := flag.Duration("eval-timeout", 0, "per-evaluation timeout (0 = robust default)")
 	retries := flag.Int("eval-retries", 0, "per-evaluation retry budget (0 = robust default)")
 	verbose := flag.Bool("v", true, "log lease/report activity")
+	telemetryPath := flag.String("telemetry", "", "append completed trace spans as JSONL to this file (merge fleet-wide with mfbo-trace -merge)")
+	traceSample := flag.Int("trace-sample", 1, "locally sample every n-th root span; leases carrying a traceparent always join their trace")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus mfbo_worker_* metrics at this address under /metrics (empty = off)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -70,13 +75,31 @@ func main() {
 		logf = log.Printf
 	}
 
+	var spanLog *telemetry.JSONL
+	if *telemetryPath != "" {
+		var err error
+		if spanLog, err = telemetry.OpenJSONL(*telemetryPath); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var rec *telemetry.Recorder
+	if spanLog != nil || *metricsAddr != "" {
+		var sink telemetry.Sink
+		if spanLog != nil {
+			sink = spanLog
+		}
+		rec = telemetry.NewRecorder(sink, *traceSample)
+		rec.SetService("worker/" + *name)
+	}
+
 	w, err := worker.New(worker.Config{
-		Client:  client.New(*addr),
-		Session: *sessionID,
-		Name:    *name,
-		TTL:     *ttl,
-		Poll:    *poll,
-		PollMax: *pollMax,
+		Client:    client.New(*addr),
+		Session:   *sessionID,
+		Name:      *name,
+		TTL:       *ttl,
+		Poll:      *poll,
+		PollMax:   *pollMax,
+		Telemetry: rec,
 		Robust: robust.Policy{
 			Timeout:    *evalTimeout,
 			MaxRetries: *retries,
@@ -87,11 +110,33 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var ms *http.Server
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", rec.Metrics.Handler())
+		ms = &http.Server{Addr: *metricsAddr, Handler: mux}
+		go func() {
+			if err := ms.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("metrics: %v", err)
+			}
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	log.Printf("%s serving session %s at %s", *name, *sessionID, *addr)
 	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
 		log.Fatal(err)
+	}
+	if ms != nil {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = ms.Shutdown(shutdownCtx)
+		cancel()
+	}
+	if spanLog != nil {
+		if err := spanLog.Close(); err != nil {
+			log.Printf("telemetry: %v", err)
+		}
 	}
 	log.Printf("done (%d evaluations reported)", w.Evaluated())
 }

@@ -57,6 +57,7 @@ func main() {
 	metrics := flag.Bool("metrics", true, "serve Prometheus metrics at /metrics and expvar JSON at /debug/vars")
 	ringSize := flag.Int("event-ring", 512, "per-session telemetry event-ring capacity (<0 disables)")
 	traceSample := flag.Int("trace-sample", 16, "emit every n-th root trace span into session event streams (1 = all)")
+	telemetryPath := flag.String("telemetry", "", "append completed trace spans as JSONL to this file (merge fleet-wide with mfbo-trace -merge)")
 	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
 	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "default evaluation-lease duration for the worker dispatch queue")
 	maxInFlight := flag.Int("max-inflight", 4, "max concurrently-leased evaluations per session (dispatch backpressure)")
@@ -77,10 +78,28 @@ func main() {
 	}
 
 	// The process-wide recorder: one metrics registry shared by the HTTP
-	// layer and every session, sampled trace spans into each session's ring.
+	// layer and every session, sampled trace spans into each session's ring
+	// and (with -telemetry) into the process span log for fleet-wide
+	// assembly.
+	var spanLog *telemetry.JSONL
+	if *telemetryPath != "" {
+		var err error
+		if spanLog, err = telemetry.OpenJSONL(*telemetryPath); err != nil {
+			log.Fatal(err)
+		}
+	}
 	var rec *telemetry.Recorder
-	if *metrics {
-		rec = telemetry.NewRecorder(nil, *traceSample)
+	if *metrics || spanLog != nil {
+		var sink telemetry.Sink
+		if spanLog != nil {
+			sink = spanLog
+		}
+		rec = telemetry.NewRecorder(sink, *traceSample)
+		if *replicaID != "" {
+			rec.SetService("mfbod/" + *replicaID)
+		} else {
+			rec.SetService("mfbod")
+		}
 	}
 
 	// Resolve the storage engine. The MFBO_STORAGE_CHAOS=seed:rate knob
@@ -180,6 +199,11 @@ func main() {
 	}
 	if err := srv.Close(); err != nil {
 		log.Printf("close: %v", err)
+	}
+	if spanLog != nil {
+		if err := spanLog.Close(); err != nil {
+			log.Printf("telemetry: %v", err)
+		}
 	}
 	log.Print("bye")
 }

@@ -302,6 +302,11 @@ type LeaseReply struct {
 	Attempt int `json:"attempt,omitempty"`
 	// DeadlineUnixMs is the wall-clock lease expiry; heartbeats push it out.
 	DeadlineUnixMs int64 `json:"deadline_unix_ms,omitempty"`
+	// TraceParent is the W3C traceparent of the lease request's server span,
+	// when that request was traced: the worker parents its evaluation spans
+	// on it so cross-process assembly joins the evaluation to the trace that
+	// suggested the work.
+	TraceParent string `json:"traceparent,omitempty"`
 }
 
 // ReportRequest is the body of POST /v1/sessions/{id}/report: the outcome of

@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/problem"
 	"repro/internal/robust"
+	"repro/internal/telemetry"
 )
 
 // APIError is a non-2xx reply from the server.
@@ -226,6 +227,9 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte) (in
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Forward the caller's trace (if any) on every attempt, so retried
+	// requests stay attributed to the same distributed trace.
+	telemetry.SpanFromContext(ctx).Context().Inject(req.Header)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return 0, nil, err

@@ -241,8 +241,14 @@ func RestoreEngine(p problem.Problem, cfg Config, rng *rand.Rand, ck *Checkpoint
 // finishInit takes the post-initialization checkpoint and flips the engine
 // into the adaptive phase.
 func (e *Engine) finishInit() error {
+	return e.finishInitIn(nil)
+}
+
+// finishInitIn is finishInit with the checkpoint write attributed to span's
+// trace.
+func (e *Engine) finishInitIn(span *telemetry.Span) error {
 	e.initDone = true
-	return e.checkpointDurable()
+	return e.checkpointDurableIn(span)
 }
 
 // checkpointDurable takes a checkpoint and tracks durability: on failure the
@@ -255,6 +261,20 @@ func (e *Engine) checkpointDurable() error {
 	}
 	e.ckptDirty = false
 	return nil
+}
+
+// checkpointDurableIn is checkpointDurable with the write wrapped in a
+// storage.put child span, so checkpoint serialization + fsync latency
+// attributes to the request that paid for it (nil-safe: a nil or unsampled
+// parent costs nothing).
+func (e *Engine) checkpointDurableIn(parent *telemetry.Span) error {
+	sp := parent.Child("storage.put")
+	err := e.checkpointDurable()
+	if err != nil {
+		sp.Attr("error", 1)
+	}
+	sp.End()
+	return err
 }
 
 // flushCheckpoint retries a failed checkpoint before any new work is handed
@@ -434,7 +454,7 @@ func (e *Engine) fill(ctx context.Context, q int) error {
 			}
 			return nil
 		}
-		e.proposeSlot(q > 1)
+		e.proposeSlot(ctx, q > 1)
 	}
 	return nil
 }
@@ -463,14 +483,16 @@ func (e *Engine) pushInit(fid problem.Fidelity) {
 // pending set. In batch mode the surrogates are fitted against the training
 // sets temporarily augmented with the outstanding slots' fantasy
 // observations (constant-liar / kriging-believer), which are retracted
-// before returning — the real datasets never see a fantasy row.
-func (e *Engine) proposeSlot(batch bool) {
+// before returning — the real datasets never see a fantasy row. The
+// engine.ask span continues the trace carried by ctx when a request span is
+// present (the service path), otherwise it roots a locally sampled trace.
+func (e *Engine) proposeSlot(ctx context.Context, batch bool) {
 	st := e.st
 	iter := st.iter + e.adaptiveOutstanding()
 	var span *telemetry.Span
 	var t0 time.Time
 	if st.telem != nil {
-		span = st.telem.StartSpan("engine.ask")
+		span = st.telem.StartSpanIn(ctx, "engine.ask")
 		span.Attr("iter", float64(iter))
 		t0 = time.Now()
 	}
@@ -519,6 +541,14 @@ func (e *Engine) proposeSlot(batch bool) {
 // pending Ask returns ErrNoPendingAsk. Batch consumers should prefer
 // TellByID, which is unambiguous under concurrent outstanding suggestions.
 func (e *Engine) Tell(x []float64, fid problem.Fidelity, ev problem.Evaluation) error {
+	return e.TellCtx(context.Background(), x, fid, ev)
+}
+
+// TellCtx is Tell with a context: when ctx carries a request span (the
+// service path), the engine.tell and storage.put spans join that trace.
+// Cancellation is not consulted — an ingested observation is never rolled
+// back.
+func (e *Engine) TellCtx(ctx context.Context, x []float64, fid problem.Fidelity, ev problem.Evaluation) error {
 	if len(e.pending) == 0 {
 		if e.termErr != nil {
 			return e.termErr
@@ -527,7 +557,7 @@ func (e *Engine) Tell(x []float64, fid problem.Fidelity, ev problem.Evaluation) 
 	}
 	for i, p := range e.pending {
 		if p.sug.Fid == fid && equalPoint(p.sug.X, x) {
-			return e.tellAt(i, ev)
+			return e.tellAt(ctx, i, ev)
 		}
 	}
 	// No outstanding suggestion matches: report the mismatch against the
@@ -553,6 +583,12 @@ func (e *Engine) Tell(x []float64, fid problem.Fidelity, ev problem.Evaluation) 
 // at all is outstanding), which duplicate reports from requeued evaluations
 // should treat as "already ingested".
 func (e *Engine) TellByID(id string, ev problem.Evaluation) error {
+	return e.TellByIDCtx(context.Background(), id, ev)
+}
+
+// TellByIDCtx is TellByID with a context, for trace attribution like
+// TellCtx.
+func (e *Engine) TellByIDCtx(ctx context.Context, id string, ev problem.Evaluation) error {
 	if len(e.pending) == 0 {
 		if e.termErr != nil {
 			return e.termErr
@@ -561,7 +597,7 @@ func (e *Engine) TellByID(id string, ev problem.Evaluation) error {
 	}
 	for i, p := range e.pending {
 		if p.sug.ID == id {
-			return e.tellAt(i, ev)
+			return e.tellAt(ctx, i, ev)
 		}
 	}
 	return fmt.Errorf("%w: %q", ErrUnknownSuggestion, id)
@@ -581,28 +617,28 @@ func equalPoint(a, b []float64) bool {
 
 // tellAt consumes pending slot i: its fantasy (if any) vanishes with the
 // slot, the real observation is ingested, and the phase bookkeeping runs.
-func (e *Engine) tellAt(i int, ev problem.Evaluation) error {
+func (e *Engine) tellAt(ctx context.Context, i int, ev problem.Evaluation) error {
 	p := e.pending[i]
 	e.pending = append(e.pending[:i], e.pending[i+1:]...)
 	sug := p.sug
 	var span *telemetry.Span
 	if e.st.telem != nil {
-		span = e.st.telem.StartSpan("engine.tell")
+		span = e.st.telem.StartSpanIn(ctx, "engine.tell")
 		span.Attr("iter", float64(sug.Iter))
 		defer span.End()
 	}
 	e.st.ingest(sug.Iter, sug.X, sug.Fid, ev)
 	if sug.Iter < 0 {
 		if len(e.pending) == 0 && len(e.initLow) == 0 && len(e.initHigh) == 0 {
-			return e.finishInit()
+			return e.finishInitIn(span)
 		}
 		// Initialization observations are checkpointed one by one too: a
 		// distributed run acks each report as it lands, and "acked" must mean
 		// "durably snapshotted" from the very first design point.
-		return e.checkpointDurable()
+		return e.checkpointDurableIn(span)
 	}
 	e.st.iter++ // advance before checkpointing: snapshots store the completed count
-	return e.checkpointDurable()
+	return e.checkpointDurableIn(span)
 }
 
 // Done reports whether the engine reached a terminal state (budget spent,

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"strings"
 	"testing"
 
+	"repro/internal/problem"
 	"repro/internal/telemetry"
 	"repro/internal/testfunc"
 )
@@ -52,6 +55,96 @@ func TestTelemetryOracle(t *testing.T) {
 	if on.Best.Objective != off.Best.Objective || on.EquivalentSims != off.EquivalentSims {
 		t.Fatalf("result diverged: %v/%v vs %v/%v",
 			on.Best.Objective, on.EquivalentSims, off.Best.Objective, off.EquivalentSims)
+	}
+}
+
+// TestTelemetryRemoteTraceOracle is the distributed-tracing oracle: driving
+// the engine under a remote-parented trace context — the path a
+// gateway-routed request takes through the server middleware — must yield the
+// exact trajectory of an untraced drive. Propagation reads request metadata
+// only, never optimizer RNG, so the engine spans must join the remote trace
+// while the trajectory stays bit-identical.
+func TestTelemetryRemoteTraceOracle(t *testing.T) {
+	p := testfunc.Pedagogical()
+	drive := func(rec *telemetry.Recorder, ctx context.Context) *Result {
+		cfg := fastCfg(12)
+		cfg.Telemetry = rec
+		eng, err := NewEngine(p, cfg, rand.New(rand.NewSource(21)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			s, err := eng.Ask(ctx)
+			if errors.Is(err, ErrBudgetExhausted) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev, everr := problem.EvaluateRich(p, s.X, s.Fid)
+			if everr != nil {
+				ev.Failed = true
+			}
+			if err := eng.TellCtx(ctx, s.X, s.Fid, ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := eng.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// The traced drive: a request span continuing a fictitious gateway's
+	// trace, exactly what server middleware puts into the engine context.
+	ring := telemetry.NewRing(4096)
+	rec := telemetry.NewRecorder(ring, 1)
+	gwTC := telemetry.TraceContext{TraceHi: 0x1111, TraceLo: 0x2222, SpanID: 0x3333, Sampled: true}
+	reqSpan := rec.Tracer.StartRemote("server.suggest", gwTC)
+	traced := drive(rec, telemetry.ContextWithSpan(context.Background(), reqSpan))
+	reqSpan.End()
+	plain := drive(nil, context.Background())
+
+	if len(traced.History) != len(plain.History) {
+		t.Fatalf("history length %d vs %d", len(traced.History), len(plain.History))
+	}
+	for i := range traced.History {
+		a, b := traced.History[i], plain.History[i]
+		if a.Fid != b.Fid || a.CumCost != b.CumCost || a.Eval.Objective != b.Eval.Objective {
+			t.Fatalf("history[%d] diverged: %+v vs %+v", i, a, b)
+		}
+		for j := range a.X {
+			if a.X[j] != b.X[j] {
+				t.Fatalf("history[%d].X diverged: %v vs %v", i, a.X, b.X)
+			}
+		}
+	}
+	if traced.Best.Objective != plain.Best.Objective || traced.EquivalentSims != plain.EquivalentSims {
+		t.Fatalf("result diverged: %v/%v vs %v/%v",
+			traced.Best.Objective, traced.EquivalentSims, plain.Best.Objective, plain.EquivalentSims)
+	}
+
+	// Every emitted span joined the gateway's trace, and the engine roots
+	// parented on the request span rather than starting traces of their own.
+	want := gwTC.TraceID()
+	engineSpans := 0
+	for _, ev := range ring.Snapshot() {
+		if ev.Span == nil {
+			continue
+		}
+		if ev.Span.Trace != want {
+			t.Fatalf("span %s carries trace %s, want %s", ev.Span.Name, ev.Span.Trace, want)
+		}
+		if ev.Span.Name == "engine.ask" || ev.Span.Name == "engine.tell" {
+			engineSpans++
+			if ev.Span.Parent == 0 {
+				t.Fatalf("%s span did not parent on the request span", ev.Span.Name)
+			}
+		}
+	}
+	if engineSpans == 0 {
+		t.Fatal("no engine spans joined the remote trace")
 	}
 }
 

@@ -365,6 +365,14 @@ const maxAckedKeys = 4096
 // A non-empty idemKey identifies the evaluation attempt: a retry of an
 // already-acked report short-circuits to a Duplicate ack.
 func (q *Queue) Report(sessionID, leaseID, sugID, idemKey string, ev problem.Evaluation) (*Ack, error) {
+	return q.ReportCtx(context.Background(), sessionID, leaseID, sugID, idemKey, ev)
+}
+
+// ReportCtx is Report with a context: a request span carried by ctx
+// attributes the Tell-side engine work (surrogate ingestion, checkpoint
+// fsync) to the reporting worker's trace. Cancellation is not forwarded —
+// an accepted report is always fully ingested.
+func (q *Queue) ReportCtx(ctx context.Context, sessionID, leaseID, sugID, idemKey string, ev problem.Evaluation) (*Ack, error) {
 	sess, err := q.cfg.Resolve(sessionID)
 	if err != nil {
 		return nil, err
@@ -392,7 +400,7 @@ func (q *Queue) Report(sessionID, leaseID, sugID, idemKey string, ev problem.Eva
 	}
 	q.mu.Unlock()
 
-	if err := sess.TellByID(sugID, ev); err != nil {
+	if err := sess.TellByIDCtx(ctx, sugID, ev); err != nil {
 		if errors.Is(err, core.ErrUnknownSuggestion) || errors.Is(err, core.ErrNoPendingAsk) {
 			// The requeued evaluation already reported from elsewhere (or
 			// the suggestion was abandoned as failed): discard.

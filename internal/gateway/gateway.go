@@ -87,6 +87,7 @@ type Gateway struct {
 	client  *http.Client
 	mux     *http.ServeMux
 	met     *gatewayMetrics
+	tracer  *telemetry.Tracer
 	started time.Time
 
 	mu       sync.RWMutex
@@ -98,12 +99,11 @@ type Gateway struct {
 }
 
 type gatewayMetrics struct {
-	reg        *telemetry.Registry
 	retries    *telemetry.Counter
 	wrongOwner *telemetry.Counter
 	suspects   *telemetry.Counter
 	proxySecs  *telemetry.Histogram
-	reqTotals  sync.Map // "route\x00code" -> *telemetry.Counter
+	reqTotals  *telemetry.CounterVec
 }
 
 func newGatewayMetrics(reg *telemetry.Registry, g *Gateway) *gatewayMetrics {
@@ -111,11 +111,11 @@ func newGatewayMetrics(reg *telemetry.Registry, g *Gateway) *gatewayMetrics {
 		return nil
 	}
 	m := &gatewayMetrics{
-		reg:        reg,
 		retries:    reg.Counter("mfbo_gateway_retries_total", "forwards retried against another replica (dead backend or ownership movement)"),
 		wrongOwner: reg.Counter("mfbo_gateway_wrong_owner_total", "wrong_owner replies received from replicas while routing"),
 		suspects:   reg.Counter("mfbo_gateway_replica_suspected_total", "replicas marked suspect after a failed forward"),
 		proxySecs:  reg.Histogram("mfbo_gateway_proxy_seconds", "end-to-end proxied request latency", nil),
+		reqTotals:  reg.CounterVec("mfbo_gateway_requests_total", "requests routed by the gateway, by route and upstream status code", "route", "code"),
 	}
 	reg.GaugeFunc("mfbo_gateway_healthy_replicas", "backend replicas currently passing health checks", func() float64 {
 		g.mu.RLock()
@@ -138,14 +138,7 @@ func (m *gatewayMetrics) request(route string, code int, dur time.Duration) {
 	if m == nil {
 		return
 	}
-	key := route + "\x00" + strconv.Itoa(code)
-	c, ok := m.reqTotals.Load(key)
-	if !ok {
-		c, _ = m.reqTotals.LoadOrStore(key, m.reg.Counter(
-			"mfbo_gateway_requests_total", "requests routed by the gateway, by route and upstream status code",
-			"route", route, "code", strconv.Itoa(code)))
-	}
-	c.(*telemetry.Counter).Inc()
+	m.reqTotals.With(route, strconv.Itoa(code)).Inc()
 	m.proxySecs.Observe(dur.Seconds())
 }
 
@@ -190,6 +183,7 @@ func New(cfg Config) (*Gateway, error) {
 	}
 	if rec := cfg.Telemetry; rec != nil {
 		g.met = newGatewayMetrics(rec.Registry(), g)
+		g.tracer = rec.Tracer
 	}
 	g.sweep()
 	go g.checker()
@@ -374,9 +368,11 @@ type upstream struct {
 	body   []byte
 }
 
-// tryOnce forwards the request body to one replica. err != nil means the
-// replica was unreachable (transport-level) — retryable against another.
-func (g *Gateway) tryOnce(ctx context.Context, method, url, path, query, contentType string, body []byte) (*upstream, error) {
+// tryOnce forwards the request body to one replica, stamping tc as the W3C
+// traceparent when valid — every attempt, wrong_owner follow-ups included,
+// carries the same trace so the replica-side spans join it. err != nil means
+// the replica was unreachable (transport-level) — retryable against another.
+func (g *Gateway) tryOnce(ctx context.Context, method, url, path, query, contentType string, body []byte, tc telemetry.TraceContext) (*upstream, error) {
 	full := url + path
 	if query != "" {
 		full += "?" + query
@@ -388,6 +384,7 @@ func (g *Gateway) tryOnce(ctx context.Context, method, url, path, query, content
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
+	tc.Inject(req.Header)
 	resp, err := g.client.Do(req)
 	if err != nil {
 		return nil, err
@@ -406,11 +403,36 @@ func retryableStatus(code int) bool {
 	return code == http.StatusBadGateway || code == http.StatusServiceUnavailable || code == http.StatusGatewayTimeout
 }
 
+// startSpan begins the request's span: joining the caller's trace when the
+// inbound request already carries a traceparent, else a locally sampled root
+// — the gateway is where most fleet traces are born. May return nil (tracing
+// off or unsampled); every use below is nil-safe.
+func (g *Gateway) startSpan(r *http.Request, name string) *telemetry.Span {
+	if tc, ok := telemetry.Extract(r.Header); ok {
+		return g.tracer.StartRemote(name, tc)
+	}
+	if g.tracer.Enabled() {
+		return g.tracer.Start(name)
+	}
+	return nil
+}
+
 // forwardSession routes one session-keyed request: ring owner first, then
 // wrong_owner redirects and dead-replica failover until the retry budget
 // runs out, at which point the last upstream reply (or 503) is relayed.
+// The whole routing episode is one span; every forward attempt carries its
+// trace context so replica spans assemble under it.
 func (g *Gateway) forwardSession(w http.ResponseWriter, r *http.Request, route, sessionID string, body []byte) {
 	start := time.Now()
+	span := g.startSpan(r, "gateway."+route)
+	tc := span.Context()
+	retries := 0
+	finish := func(code int) {
+		span.Attr("code", float64(code))
+		span.Attr("retries", float64(retries))
+		span.End()
+		g.met.request(route, code, time.Since(start))
+	}
 	deadline := start.Add(g.cfg.RetryBudget)
 	var last *upstream
 	target, ok := g.ownerURL(sessionID)
@@ -419,13 +441,13 @@ func (g *Gateway) forwardSession(w http.ResponseWriter, r *http.Request, route, 
 			// No routable replica at all right now: wait for the health
 			// sweep to find one rather than failing fast mid-failover.
 			if !g.sleep(r.Context(), g.cfg.HealthEvery) {
-				g.met.request(route, http.StatusBadGateway, time.Since(start))
+				finish(http.StatusBadGateway)
 				return
 			}
 			target, ok = g.ownerURL(sessionID)
 			continue
 		}
-		up, err := g.tryOnce(r.Context(), r.Method, target, r.URL.Path, r.URL.RawQuery, r.Header.Get("Content-Type"), body)
+		up, err := g.tryOnce(r.Context(), r.Method, target, r.URL.Path, r.URL.RawQuery, r.Header.Get("Content-Type"), body, tc)
 		switch {
 		case err != nil:
 			// Replica gone mid-request: suspect it and fail over. The
@@ -433,7 +455,7 @@ func (g *Gateway) forwardSession(w http.ResponseWriter, r *http.Request, route, 
 			// endpoint is idempotent-or-conflict by design, so replay
 			// against the successor is safe.
 			if r.Context().Err() != nil {
-				g.met.request(route, http.StatusBadGateway, time.Since(start))
+				finish(http.StatusBadGateway)
 				return // client hung up; nothing to answer
 			}
 			g.suspect(target)
@@ -447,6 +469,7 @@ func (g *Gateway) forwardSession(w http.ResponseWriter, r *http.Request, route, 
 			if next, okOwner := g.urlOf(er.Owner); okOwner && next != target {
 				// The replica told us who owns the session; go there.
 				target = next
+				retries++
 				if g.met != nil {
 					g.met.retries.Inc()
 				}
@@ -463,7 +486,7 @@ func (g *Gateway) forwardSession(w http.ResponseWriter, r *http.Request, route, 
 				}
 			}
 			if !g.sleep(r.Context(), pause) {
-				g.met.request(route, http.StatusBadGateway, time.Since(start))
+				finish(http.StatusBadGateway)
 				return
 			}
 		case retryableStatus(up.code):
@@ -471,9 +494,10 @@ func (g *Gateway) forwardSession(w http.ResponseWriter, r *http.Request, route, 
 			g.suspect(target)
 		default:
 			g.relay(w, up)
-			g.met.request(route, up.code, time.Since(start))
+			finish(up.code)
 			return
 		}
+		retries++
 		if g.met != nil {
 			g.met.retries.Inc()
 		}
@@ -481,11 +505,11 @@ func (g *Gateway) forwardSession(w http.ResponseWriter, r *http.Request, route, 
 	}
 	if last != nil {
 		g.relay(w, last)
-		g.met.request(route, last.code, time.Since(start))
+		finish(last.code)
 		return
 	}
 	writeErr(w, http.StatusServiceUnavailable, api.CodeShuttingDown, "gateway: no routable replica")
-	g.met.request(route, http.StatusServiceUnavailable, time.Since(start))
+	finish(http.StatusServiceUnavailable)
 }
 
 // sleep waits without outliving the request; false when the client hung up.
@@ -564,9 +588,11 @@ func (g *Gateway) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
+	span := g.startSpan(r, "gateway.heartbeat")
+	tc := span.Context()
 	var last *upstream
 	for _, url := range g.healthyURLs() {
-		up, err := g.tryOnce(r.Context(), r.Method, url, r.URL.Path, r.URL.RawQuery, r.Header.Get("Content-Type"), body)
+		up, err := g.tryOnce(r.Context(), r.Method, url, r.URL.Path, r.URL.RawQuery, r.Header.Get("Content-Type"), body, tc)
 		if err != nil {
 			g.suspect(url)
 			continue
@@ -578,10 +604,14 @@ func (g *Gateway) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	}
 	if last == nil {
 		writeErr(w, http.StatusServiceUnavailable, api.CodeShuttingDown, "gateway: no routable replica")
+		span.Attr("code", http.StatusServiceUnavailable)
+		span.End()
 		g.met.request("heartbeat", http.StatusServiceUnavailable, time.Since(start))
 		return
 	}
 	g.relay(w, last)
+	span.Attr("code", float64(last.code))
+	span.End()
 	g.met.request("heartbeat", last.code, time.Since(start))
 }
 
@@ -590,7 +620,7 @@ func (g *Gateway) handleList(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	seen := make(map[string]bool)
 	for _, url := range g.healthyURLs() {
-		up, err := g.tryOnce(r.Context(), http.MethodGet, url, "/v1/sessions", "", "", nil)
+		up, err := g.tryOnce(r.Context(), http.MethodGet, url, "/v1/sessions", "", "", nil, telemetry.TraceContext{})
 		if err != nil || up.code != http.StatusOK {
 			continue // partial views are fine for a listing
 		}
@@ -615,7 +645,7 @@ func (g *Gateway) handleList(w http.ResponseWriter, r *http.Request) {
 func (g *Gateway) handleProblems(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	for _, url := range g.healthyURLs() {
-		up, err := g.tryOnce(r.Context(), http.MethodGet, url, "/v1/problems", "", "", nil)
+		up, err := g.tryOnce(r.Context(), http.MethodGet, url, "/v1/problems", "", "", nil, telemetry.TraceContext{})
 		if err != nil {
 			g.suspect(url)
 			continue

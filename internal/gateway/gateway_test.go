@@ -2,9 +2,11 @@ package gateway_test
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -308,5 +310,104 @@ func TestGatewayMetricsExposition(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Fatalf("exposition lacks %s:\n%s", want, text)
 		}
+	}
+}
+
+// TestGatewayTraceInjection checks the distributed-tracing contract of the
+// routing layer: every forwarded attempt — the wrong_owner follow-up
+// included — carries the same W3C traceparent, so the replica spans of one
+// routed request all join the gateway's root span.
+func TestGatewayTraceInjection(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string][]string{} // replica id -> traceparent per forwarded request
+
+	mkReplica := func(id string, h http.HandlerFunc) *httptest.Server {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(api.HealthReply{OK: true, ReplicaID: id})
+		})
+		mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			seen[id] = append(seen[id], r.Header.Get("traceparent"))
+			mu.Unlock()
+			h(w, r)
+		})
+		return httptest.NewServer(mux)
+	}
+	// ra refuses everything as wrong_owner naming rb; rb serves.
+	ra := mkReplica("ra", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(api.StatusWrongOwner)
+		_ = json.NewEncoder(w).Encode(api.ErrorReply{Error: "not mine", Code: api.CodeWrongOwner, Owner: "rb"})
+	})
+	defer ra.Close()
+	rb := mkReplica("rb", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(api.StatusReply{})
+	})
+	defer rb.Close()
+
+	ring := telemetry.NewRing(128)
+	rec := telemetry.NewRecorder(ring, 1)
+	rec.SetService("gateway")
+	gw, err := gateway.New(gateway.Config{
+		Replicas:    []string{ra.URL, rb.URL},
+		Ring:        shard.RingConfig{Seed: 7},
+		HealthEvery: 50 * time.Millisecond,
+		RetryBudget: 5 * time.Second,
+		Telemetry:   rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	gts := httptest.NewServer(gw)
+	defer gts.Close()
+
+	// Find a session the ring routes to ra first: its request must bounce
+	// ra → rb with one shared traceparent.
+	bounced := false
+	for i := 0; i < 64 && !bounced; i++ {
+		id := fmt.Sprintf("s%d", i)
+		if code := gwGet(t, gts, "/v1/sessions/"+id+"/status", nil); code != http.StatusOK {
+			t.Fatalf("status(%s) = %d", id, code)
+		}
+		mu.Lock()
+		bounced = len(seen["ra"]) > 0
+		mu.Unlock()
+	}
+	if !bounced {
+		t.Fatal("no session routed to ra; cannot exercise the wrong_owner follow-up")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	first := seen["ra"][len(seen["ra"])-1]
+	follow := seen["rb"][len(seen["rb"])-1]
+	tc, ok := telemetry.ParseTraceparent(first)
+	if !ok {
+		t.Fatalf("first attempt carried unparseable traceparent %q", first)
+	}
+	if follow != first {
+		t.Fatalf("wrong_owner follow-up carried %q, want the original %q", follow, first)
+	}
+
+	// The routing episode emitted exactly one gateway span per request, on
+	// the same trace the replicas saw.
+	found := false
+	for _, ev := range ring.Snapshot() {
+		if ev.Span == nil || ev.Span.Trace != tc.TraceID() {
+			continue
+		}
+		found = true
+		if ev.Span.Name != "gateway.status" {
+			t.Fatalf("span %q on the routed trace", ev.Span.Name)
+		}
+		if ev.Span.Attrs["retries"] < 1 {
+			t.Fatalf("bounced request recorded %v retries", ev.Span.Attrs["retries"])
+		}
+	}
+	if !found {
+		t.Fatalf("no gateway span emitted for trace %s", tc.TraceID())
 	}
 }

@@ -176,7 +176,7 @@ type serverMetrics struct {
 	evicted   *telemetry.Counter
 	deleted   *telemetry.Counter
 	reqSecs   map[string]*telemetry.Histogram // keyed by route
-	reqTotals sync.Map                        // "route\x00code" -> *telemetry.Counter
+	reqTotals *telemetry.CounterVec           // labeled route/code, cached handles
 }
 
 func newServerMetrics(reg *telemetry.Registry, s *Server) *serverMetrics {
@@ -191,6 +191,8 @@ func newServerMetrics(reg *telemetry.Registry, s *Server) *serverMetrics {
 		evicted:  reg.Counter("mfbo_sessions_evicted_total", "idle sessions persisted and evicted from memory"),
 		deleted:  reg.Counter("mfbo_sessions_deleted_total", "sessions deleted by clients"),
 		reqSecs:  make(map[string]*telemetry.Histogram),
+		reqTotals: reg.CounterVec("mfbo_http_requests_total",
+			"HTTP requests served by route and status code", "route", "code"),
 	}
 	reg.GaugeFunc("mfbo_sessions_live", "sessions currently resident in memory", func() float64 {
 		s.mu.RLock()
@@ -209,19 +211,20 @@ func newServerMetrics(reg *telemetry.Registry, s *Server) *serverMetrics {
 	return m
 }
 
+// inflight moves the in-flight gauge (nil-safe, for trace-only servers).
+func (m *serverMetrics) inflight(delta float64) {
+	if m == nil {
+		return
+	}
+	m.inFlight.Add(delta)
+}
+
 // request records one served request into the middleware metrics.
 func (m *serverMetrics) request(route string, code int, dur time.Duration) {
 	if m == nil {
 		return
 	}
-	key := route + "\x00" + strconv.Itoa(code)
-	c, ok := m.reqTotals.Load(key)
-	if !ok {
-		c, _ = m.reqTotals.LoadOrStore(key, m.reg.Counter(
-			"mfbo_http_requests_total", "HTTP requests served by route and status code",
-			"route", route, "code", strconv.Itoa(code)))
-	}
-	c.(*telemetry.Counter).Inc()
+	m.reqTotals.With(route, strconv.Itoa(code)).Inc()
 	if h := m.reqSecs[route]; h != nil {
 		h.Observe(dur.Seconds())
 	}
@@ -238,23 +241,56 @@ func (sr *statusRecorder) WriteHeader(code int) {
 	sr.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps one route handler with request accounting. With
-// telemetry off it returns h unchanged, so the uninstrumented server serves
+// instrument wraps one route handler with request accounting and distributed
+// tracing: an inbound W3C traceparent header continues the caller's trace
+// (malformed headers degrade to a fresh root, never an error), otherwise a
+// locally sampled root starts here. The server span rides the request
+// context so handlers can thread it into the engine. With telemetry fully
+// off it returns h unchanged, so the uninstrumented server serves
 // identically to previous releases.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
-	if s.met == nil {
+	var tracer *telemetry.Tracer
+	if s.cfg.Telemetry != nil {
+		tracer = s.cfg.Telemetry.Tracer
+	}
+	if s.met == nil && tracer == nil {
 		return h
 	}
-	s.met.reqSecs[route] = s.met.reg.Histogram(
-		"mfbo_http_request_seconds", "request latency by route", nil, "route", route)
+	if s.met != nil {
+		s.met.reqSecs[route] = s.met.reg.Histogram(
+			"mfbo_http_request_seconds", "request latency by route", nil, "route", route)
+	}
+	name := "server." + route
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		s.met.inFlight.Add(1)
+		s.met.inflight(1)
+		// A remote continuation is created even when this replica has no span
+		// sink of its own: the span still carries the trace downstream (into
+		// engine context and lease replies) for processes that do record.
+		var span *telemetry.Span
+		if tc, ok := telemetry.Extract(r.Header); ok {
+			span = tracer.StartRemote(name, tc)
+		} else if tracer.Enabled() {
+			span = tracer.Start(name)
+		}
+		if span != nil {
+			r = r.WithContext(telemetry.ContextWithSpan(r.Context(), span))
+		}
 		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		h(sr, r)
-		s.met.inFlight.Add(-1)
+		s.met.inflight(-1)
+		span.Attr("code", float64(sr.code))
+		span.End()
 		s.met.request(route, sr.code, time.Since(start))
 	}
+}
+
+// engineCtx builds the context handlers pass into engine-touching calls:
+// s.baseCtx for lifetime (the session outlives any one client; only server
+// shutdown interrupts the engine) carrying the request's trace span for
+// latency attribution. Allocation-free when the request is untraced.
+func (s *Server) engineCtx(r *http.Request) context.Context {
+	return telemetry.ContextWithSpan(s.baseCtx, telemetry.SpanFromContext(r.Context()))
 }
 
 // New builds the server and, when CheckpointDir is set, ensures the
@@ -825,9 +861,10 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		s.writeSessionErr(w, err)
 		return
 	}
-	// s.baseCtx, not r.Context(): the session outlives any one client, so
-	// only server shutdown may interrupt the engine (see Server.baseCtx).
-	sug, err := e.sess.Ask(s.baseCtx)
+	// engineCtx (s.baseCtx + trace span), not r.Context(): the session
+	// outlives any one client, so only server shutdown may interrupt the
+	// engine (see Server.baseCtx).
+	sug, err := e.sess.Ask(s.engineCtx(r))
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, api.Suggestion{X: sug.X, Fidelity: int(sug.Fid), Iter: sug.Iter})
@@ -856,7 +893,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ev := problem.Evaluation{Objective: ob.Objective, Constraints: ob.Constraints, Failed: ob.Failed}
-	err = e.sess.Tell(ob.X, problem.Fidelity(ob.Fidelity), ev)
+	err = e.sess.TellCtx(s.engineCtx(r), ob.X, problem.Fidelity(ob.Fidelity), ev)
 	switch {
 	case err == nil:
 		st := e.sess.Status()
@@ -1020,12 +1057,14 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 		width = 1 // sessions are sequential unless created with batch > 1
 	}
 	ttl := time.Duration(req.TTLSeconds * float64(time.Second))
-	// s.baseCtx, not r.Context(): the lease top-up runs the shared engine's
-	// batch proposal — a worker disconnecting must not interrupt it (see
-	// Server.baseCtx).
-	grant, err := s.queue.Lease(s.baseCtx, id, req.Worker, ttl, width)
+	// engineCtx (s.baseCtx + trace span), not r.Context(): the lease top-up
+	// runs the shared engine's batch proposal — a worker disconnecting must
+	// not interrupt it (see Server.baseCtx).
+	grant, err := s.queue.Lease(s.engineCtx(r), id, req.Worker, ttl, width)
 	switch {
 	case err == nil:
+		// The grant carries the suggesting request's trace context so the
+		// worker's evaluation spans join the trace that asked for the work.
 		writeJSON(w, http.StatusOK, api.LeaseReply{
 			LeaseID:        grant.LeaseID,
 			SuggestionID:   grant.Suggestion.ID,
@@ -1034,6 +1073,7 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 			Iter:           grant.Suggestion.Iter,
 			Attempt:        grant.Attempt,
 			DeadlineUnixMs: grant.Deadline.UnixMilli(),
+			TraceParent:    telemetry.SpanFromContext(r.Context()).Context().Traceparent(),
 		})
 	case errors.Is(err, dispatch.ErrNoWork):
 		writeJSON(w, http.StatusOK, api.LeaseReply{
@@ -1071,7 +1111,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ev := problem.Evaluation{Objective: req.Objective, Constraints: req.Constraints, Failed: req.Failed}
-	ack, err := s.queue.Report(id, req.LeaseID, req.SuggestionID, req.IdempotencyKey, ev)
+	ack, err := s.queue.ReportCtx(s.engineCtx(r), id, req.LeaseID, req.SuggestionID, req.IdempotencyKey, ev)
 	switch {
 	case err == nil:
 		st := e.sess.Status()

@@ -96,6 +96,114 @@ func TestServerTelemetryEndpointAndMetrics(t *testing.T) {
 	}
 }
 
+// TestServerTracePropagation checks the distributed-tracing middleware: a
+// request carrying a W3C traceparent gets its server-side work — request
+// span, engine spans, lease handling — joined to the caller's trace, and the
+// lease reply relays the trace context onward for workers.
+func TestServerTracePropagation(t *testing.T) {
+	ring := telemetry.NewRing(4096)
+	rec := telemetry.NewRecorder(ring, 1)
+	_, ts, cl := newTestServer(t, server.Config{Telemetry: rec, EventRingSize: 256})
+	ctx := context.Background()
+
+	req := fastReq("pedagogical", 8, 33)
+	req.Batch = 1
+	info, err := cl.CreateSession(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const parent = "00-0123456789abcdef0123456789abcdef-00f067aa0ba902b7-01"
+	tc, ok := telemetry.ParseTraceparent(parent)
+	if !ok {
+		t.Fatal("test traceparent invalid")
+	}
+	do := func(method, path, body string) *http.Response {
+		t.Helper()
+		hreq, err := http.NewRequest(method, ts.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hreq.Header.Set("traceparent", parent)
+		if body != "" {
+			hreq.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := http.DefaultClient.Do(hreq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	resp := do(http.MethodPost, "/v1/sessions/"+info.ID+"/lease", `{"worker":"w0"}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lease status = %d", resp.StatusCode)
+	}
+	var lease api.LeaseReply
+	if err := json.NewDecoder(resp.Body).Decode(&lease); err != nil {
+		t.Fatal(err)
+	}
+	if lease.None || lease.Done {
+		t.Fatalf("lease reply: %+v", lease)
+	}
+	// The lease relays the request's trace so the worker's evaluation span
+	// joins it.
+	ltc, ok := telemetry.ParseTraceparent(lease.TraceParent)
+	if !ok {
+		t.Fatalf("lease TraceParent %q does not parse", lease.TraceParent)
+	}
+	if ltc.TraceHi != tc.TraceHi || ltc.TraceLo != tc.TraceLo {
+		t.Fatalf("lease trace %s, want %s", ltc.TraceID(), tc.TraceID())
+	}
+
+	// Reporting the evaluation runs the Tell-side engine work synchronously
+	// under the same trace.
+	report, err := json.Marshal(api.ReportRequest{
+		LeaseID:        lease.LeaseID,
+		SuggestionID:   lease.SuggestionID,
+		Objective:      1.5,
+		IdempotencyKey: lease.SuggestionID + "/0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3 := do(http.MethodPost, "/v1/sessions/"+info.ID+"/report", string(report))
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("report status = %d", resp3.StatusCode)
+	}
+
+	// Process-stream spans: the request spans continue the caller's trace and
+	// parent on the caller's span; engine work nests beneath them.
+	names := map[string]bool{}
+	for _, ev := range ring.Snapshot() {
+		if ev.Span == nil || ev.Span.Trace != tc.TraceID() {
+			continue
+		}
+		names[ev.Span.Name] = true
+		if strings.HasPrefix(ev.Span.Name, "server.") && ev.Span.Parent != tc.SpanID {
+			t.Fatalf("%s parent = %016x, want caller's %016x", ev.Span.Name, ev.Span.Parent, tc.SpanID)
+		}
+	}
+	for _, want := range []string{"server.lease", "server.report", "engine.tell"} {
+		if !names[want] {
+			t.Fatalf("no %q span joined trace %s (got %v)", want, tc.TraceID(), names)
+		}
+	}
+
+	// A request without a traceparent starts a fresh local root — the server
+	// must not refuse or mis-join untraced traffic.
+	resp2, err := http.Get(ts.URL + "/v1/sessions/" + info.ID + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("untraced status = %d", resp2.StatusCode)
+	}
+}
+
 // TestServerTelemetryDisabled checks the endpoint degrades gracefully when
 // the ring is disabled (EventRingSize < 0) and that an uninstrumented server
 // keeps working without a Telemetry recorder.

@@ -257,9 +257,11 @@ func (s *Session) Ask(ctx context.Context) (core.Suggestion, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.touch()
-	// The engine gets a background context on purpose: a per-request ctx
-	// would terminally interrupt the run on client disconnect.
-	return s.eng.Ask(context.Background())
+	// The engine gets a detached context on purpose: a per-request ctx would
+	// terminally interrupt the run on client disconnect. Detach strips
+	// deadlines and cancellation but keeps the request's trace span, so
+	// engine.ask still attributes to the caller's trace.
+	return s.eng.Ask(telemetry.Detach(ctx))
 }
 
 // AskBatch tops the session up to q concurrently-outstanding suggestions and
@@ -275,9 +277,10 @@ func (s *Session) AskBatch(ctx context.Context, q int) ([]core.Suggestion, error
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.touch()
-	// Background context for the same reason as Ask: a per-request ctx would
-	// terminally interrupt the run on client disconnect.
-	return s.eng.AskBatch(context.Background(), q)
+	// Detached context for the same reason as Ask: a per-request ctx would
+	// terminally interrupt the run on client disconnect, while the trace
+	// span survives for attribution.
+	return s.eng.AskBatch(telemetry.Detach(ctx), q)
 }
 
 // Pending returns copies of the outstanding (asked-but-untold) suggestions,
@@ -292,20 +295,32 @@ func (s *Session) Pending() []core.Suggestion {
 // ID — the out-of-order observation path of a distributed batch run (see
 // core.Engine.TellByID).
 func (s *Session) TellByID(id string, ev problem.Evaluation) error {
+	return s.TellByIDCtx(context.Background(), id, ev)
+}
+
+// TellByIDCtx is TellByID with a context: a request span carried by ctx
+// joins the engine.tell / storage.put spans to the reporting request's
+// trace. Cancellation is never forwarded to the engine.
+func (s *Session) TellByIDCtx(ctx context.Context, id string, ev problem.Evaluation) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.touch()
-	return s.eng.TellByID(id, ev)
+	return s.eng.TellByIDCtx(telemetry.Detach(ctx), id, ev)
 }
 
 // Tell ingests the outcome of the pending suggestion (see core.Engine.Tell
 // for the validation and sanitation contract) and persists a checkpoint when
 // the session is durable.
 func (s *Session) Tell(x []float64, fid problem.Fidelity, ev problem.Evaluation) error {
+	return s.TellCtx(context.Background(), x, fid, ev)
+}
+
+// TellCtx is Tell with a context, for trace attribution like TellByIDCtx.
+func (s *Session) TellCtx(ctx context.Context, x []float64, fid problem.Fidelity, ev problem.Evaluation) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.touch()
-	return s.eng.Tell(x, fid, ev)
+	return s.eng.TellCtx(telemetry.Detach(ctx), x, fid, ev)
 }
 
 // Status summarizes the session.

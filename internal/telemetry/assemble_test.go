@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// span builds one SpanEvent wrapped in its envelope, the shape a merged
+// multi-process JSONL stream yields.
+func span(trace string, id, parent uint64, svc, name string, start, dur int64) Event {
+	return Event{Type: EventSpan, Span: &SpanEvent{
+		Trace: trace, ID: id, Parent: parent, Service: svc, Name: name,
+		StartUnixNs: start, DurNs: dur,
+	}}
+}
+
+// fleetTrace is the canonical gateway→replica→worker request used across the
+// assembler tests: a routed suggest whose engine work and storage write
+// happened on the replica.
+func fleetTrace(id string) []Event {
+	return []Event{
+		span(id, 1, 0, "gateway", "gateway.suggest", 1000, 10000),
+		span(id, 2, 1, "mfbod/ra", "server.suggest", 2000, 8000),
+		span(id, 3, 2, "mfbod/ra", "engine.ask", 2500, 6000),
+		span(id, 4, 3, "mfbod/ra", "gp.fit", 3000, 4000),
+		span(id, 5, 2, "mfbod/ra", "storage.put", 8600, 1000),
+	}
+}
+
+func TestAssembleCrossProcess(t *testing.T) {
+	const id = "0123456789abcdef0123456789abcdef"
+	events := fleetTrace(id)
+	// A second, single-process trace and trace-less noise events.
+	events = append(events,
+		span("ffff0000ffff0000ffff0000ffff0000", 9, 0, "mfbod/rb", "server.status", 500, 100),
+		Event{Type: EventIteration},
+		Event{Type: EventSpan, Span: &SpanEvent{Name: "legacy.span", DurNs: 5}}, // no trace ID: ignored
+	)
+
+	traces := AssembleTraces(events)
+	if len(traces) != 2 {
+		t.Fatalf("assembled %d traces, want 2", len(traces))
+	}
+	// Ordered by earliest start: the rb trace starts at 500.
+	first, second := traces[0], traces[1]
+	if first.ID != "ffff0000ffff0000ffff0000ffff0000" || second.ID != id {
+		t.Fatalf("trace order: %s, %s", first.ID, second.ID)
+	}
+	if first.CrossProcess() {
+		t.Fatal("single-service trace reported cross-process")
+	}
+	if !second.Complete() || !second.CrossProcess() {
+		t.Fatalf("fleet trace: complete=%v crossProcess=%v", second.Complete(), second.CrossProcess())
+	}
+	if got := strings.Join(second.Services, ","); got != "gateway,mfbod/ra" {
+		t.Fatalf("services = %q", got)
+	}
+	if second.Root == nil || second.Root.Name != "gateway.suggest" {
+		t.Fatalf("root = %+v", second.Root)
+	}
+	if len(second.Root.Children) != 1 || len(second.Root.Children[0].Children) != 2 {
+		t.Fatal("tree shape wrong: want gateway → server → (engine.ask, storage.put)")
+	}
+}
+
+func TestAssembleOrphans(t *testing.T) {
+	const id = "0123456789abcdef0123456789abcdef"
+	events := fleetTrace(id)
+	// Drop the replica's server.suggest span (id 2): its process was
+	// SIGKILLed before flushing. Its children become orphans.
+	events = append(events[:1], events[2:]...)
+	tr := AssembleTraces(events)[0]
+	if tr.Complete() {
+		t.Fatal("trace with missing parent reported complete")
+	}
+	if len(tr.Orphans) != 2 { // engine.ask and storage.put both pointed at span 2
+		t.Fatalf("orphans = %d, want 2", len(tr.Orphans))
+	}
+	if len(tr.Roots) != 1 || tr.Roots[0].ID != 1 {
+		t.Fatalf("roots = %+v", tr.Roots)
+	}
+	if !strings.Contains(tr.Render(), "ORPHAN") {
+		t.Fatal("Render must flag orphaned spans")
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	const id = "0123456789abcdef0123456789abcdef"
+	tr := AssembleTraces(fleetTrace(id))[0]
+	path := tr.CriticalPath()
+	want := []string{"gateway.suggest", "server.suggest", "engine.ask", "gp.fit"}
+	if len(path) != len(want) {
+		t.Fatalf("critical path length %d, want %d", len(path), len(want))
+	}
+	for i, n := range path {
+		if n.Name != want[i] {
+			t.Fatalf("path[%d] = %s, want %s", i, n.Name, want[i])
+		}
+	}
+	out := tr.RenderCriticalPath()
+	if !strings.Contains(out, "gp.fit") || !strings.Contains(out, "critical path") {
+		t.Fatalf("RenderCriticalPath output:\n%s", out)
+	}
+}
+
+func TestStageAttribution(t *testing.T) {
+	const id = "0123456789abcdef0123456789abcdef"
+	stats := AggregateStages(AssembleTraces(fleetTrace(id)))
+	bySelf := make(map[string]int64)
+	for _, st := range stats {
+		bySelf[st.Stage] = st.SelfNs
+	}
+	// gp.fit has no children: all 4000ns are self time. engine.ask awaited it:
+	// 6000-4000 = 2000ns self.
+	if bySelf["mfbod/ra gp.fit"] != 4000 {
+		t.Fatalf("gp.fit self = %d", bySelf["mfbod/ra gp.fit"])
+	}
+	if bySelf["mfbod/ra engine.ask"] != 2000 {
+		t.Fatalf("engine.ask self = %d", bySelf["mfbod/ra engine.ask"])
+	}
+	// Sorted by self time descending; gp.fit must lead.
+	if stats[0].Stage != "mfbod/ra gp.fit" {
+		t.Fatalf("top stage = %s", stats[0].Stage)
+	}
+	table := StageTable(AssembleTraces(fleetTrace(id)))
+	for _, col := range []string{"stage", "self_ms", "max_ms", "gp.fit"} {
+		if !strings.Contains(table, col) {
+			t.Fatalf("stage table missing %q:\n%s", col, table)
+		}
+	}
+}
+
+func TestAssembleDuplicateSpans(t *testing.T) {
+	const id = "0123456789abcdef0123456789abcdef"
+	events := append(fleetTrace(id), fleetTrace(id)...) // same log merged twice
+	tr := AssembleTraces(events)[0]
+	if !tr.Complete() {
+		t.Fatal("duplicated stream must still assemble complete")
+	}
+	if len(tr.Root.Children) != 1 {
+		t.Fatalf("duplicate spans created %d children under root", len(tr.Root.Children))
+	}
+}
+
+// TestEndToEndAssembly drives real tracers in three simulated processes —
+// gateway root, replica continuing via Inject/Extract, worker joining off a
+// relayed traceparent — and proves the three streams reassemble into one
+// complete cross-process trace.
+func TestEndToEndAssembly(t *testing.T) {
+	gwRing, raRing, wkRing := NewRing(16), NewRing(16), NewRing(16)
+	gw := NewTracer(gwRing, 1)
+	gw.SetService("gateway")
+	ra := NewTracer(raRing, 1)
+	ra.SetService("mfbod/ra")
+	wk := NewTracer(wkRing, 1)
+	wk.SetService("worker/w0")
+
+	root := gw.Start("gateway.suggest")
+	h := make(map[string][]string)
+	root.Context().Inject(h)
+
+	tc, ok := Extract(h)
+	if !ok {
+		t.Fatal("replica failed to extract gateway context")
+	}
+	srv := ra.StartRemote("server.suggest", tc)
+	ask := srv.Child("engine.ask")
+	relayed := ask.Context().Traceparent() // rides a LeaseReply to the worker
+
+	wtc, ok := ParseTraceparent(relayed)
+	if !ok {
+		t.Fatal("worker failed to parse relayed traceparent")
+	}
+	eval := wk.StartRemote("worker.evaluate", wtc)
+	eval.End()
+	ask.End()
+	srv.End()
+	root.End()
+
+	merged := append(append(gwRing.Snapshot(), raRing.Snapshot()...), wkRing.Snapshot()...)
+	traces := AssembleTraces(merged)
+	if len(traces) != 1 {
+		t.Fatalf("assembled %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if !tr.Complete() || !tr.CrossProcess() {
+		t.Fatalf("complete=%v crossProcess=%v\n%s", tr.Complete(), tr.CrossProcess(), tr.Render())
+	}
+	if tr.Spans != 4 || len(tr.Services) != 3 {
+		t.Fatalf("spans=%d services=%v", tr.Spans, tr.Services)
+	}
+	if tr.ID != root.Context().TraceID() {
+		t.Fatalf("trace ID %s, want the gateway root's %s", tr.ID, root.Context().TraceID())
+	}
+}

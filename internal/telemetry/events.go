@@ -126,7 +126,12 @@ type IterationEvent struct {
 type SpanEvent struct {
 	ID     uint64 `json:"id"`
 	Parent uint64 `json:"parent,omitempty"`
-	Name   string `json:"name"`
+	// Trace is the 128-bit trace ID as 32 lowercase hex digits, shared by
+	// every span in one request tree across all processes it touched.
+	Trace string `json:"trace,omitempty"`
+	// Service names the emitting process ("gateway", "mfbod/ra", ...).
+	Service string `json:"svc,omitempty"`
+	Name    string `json:"name"`
 	// StartUnixNs is wall-clock; DurNs comes from the monotonic clock.
 	StartUnixNs int64              `json:"start_ns"`
 	DurNs       int64              `json:"dur_ns"`

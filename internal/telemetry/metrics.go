@@ -328,6 +328,54 @@ func (r *Registry) Histogram(name, help string, buckets []float64, kv ...string)
 	return s.hist
 }
 
+// CounterVec is a handle cache over one counter family with a fixed label
+// schema: With(values...) returns the live counter for those label values,
+// registering it on first use and serving repeats lock-free from a sync.Map.
+// It replaces the bare per-call-site `sync.Map` keyed by hand-joined label
+// strings that hot HTTP paths otherwise grow — every series it mints goes
+// through the Registry, so it appears in /metrics exposition consistently
+// and survives promlint. Nil-safe: a nil vec (from a nil registry) returns
+// nil counters, which no-op.
+type CounterVec struct {
+	reg        *Registry
+	name, help string
+	keys       []string
+	handles    sync.Map // "\x00"-joined label values -> *Counter
+}
+
+// CounterVec declares a counter family with the given label names.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{reg: r, name: name, help: help, keys: labelNames}
+}
+
+// With returns the counter for the given label values (positionally matching
+// the declared label names; missing values render as ""). The first call per
+// distinct value set registers the series; subsequent calls are a single
+// lock-free map hit.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	key := strings.Join(values, "\x00")
+	if c, ok := v.handles.Load(key); ok {
+		return c.(*Counter)
+	}
+	kv := make([]string, 0, 2*len(v.keys))
+	for i, name := range v.keys {
+		val := ""
+		if i < len(values) {
+			val = values[i]
+		}
+		kv = append(kv, name, val)
+	}
+	c := v.reg.Counter(v.name, v.help, kv...)
+	actual, _ := v.handles.LoadOrStore(key, c)
+	return actual.(*Counter)
+}
+
 func formatFloat(v float64) string {
 	switch {
 	case math.IsInf(v, 1):

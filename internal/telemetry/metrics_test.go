@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"math"
 	"net/http/httptest"
 	"strings"
@@ -122,18 +123,28 @@ func TestNoopPathAllocations(t *testing.T) {
 	var sp *Span
 	var tr *Tracer
 	var rec *Recorder
+	var cv *CounterVec
+	ctx := context.Background()
+	remote := TraceContext{TraceHi: 1, TraceLo: 2, SpanID: 3, Sampled: true}
 	n := testing.AllocsPerRun(100, func() {
 		c.Inc()
 		c.Add(2)
 		g.Set(1)
 		g.Add(1)
 		h.Observe(0.5)
+		cv.With("a", "b").Inc()
 		_ = tr.Start("x")
+		_ = tr.StartRemote("x", remote)
 		_ = sp.Child("y")
 		sp.Attr("k", 1)
 		sp.End()
+		_ = sp.Context()
 		rec.EmitIteration(nil)
 		_ = rec.StartSpan("z")
+		_ = rec.StartSpanIn(ctx, "z")
+		_ = SpanFromContext(ctx)
+		_ = ContextWithSpan(ctx, nil) // nil span: ctx returned unchanged
+		_ = Detach(ctx)
 	})
 	if n != 0 {
 		t.Fatalf("no-op telemetry path allocates %v times per run", n)

@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"context"
+	"net/http"
+)
+
+// TraceparentHeader is the W3C trace-context header this package speaks:
+//
+//	traceparent: 00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+//
+// It is the only header crossing process boundaries; tracestate is not used.
+const TraceparentHeader = "traceparent"
+
+// flagSampled is the W3C sampled bit.
+const flagSampled = 0x01
+
+// Traceparent renders tc as a W3C traceparent value. Invalid contexts render
+// as "" so callers can guard with a single check.
+func (tc TraceContext) Traceparent() string {
+	if !tc.Valid() {
+		return ""
+	}
+	flags := "00"
+	if tc.Sampled {
+		flags = "01"
+	}
+	// 55 bytes: "00-" + 32 + "-" + 16 + "-" + 2.
+	b := make([]byte, 0, 55)
+	b = append(b, '0', '0', '-')
+	b = appendHex(b, tc.TraceHi)
+	b = appendHex(b, tc.TraceLo)
+	b = append(b, '-')
+	b = appendHex(b, tc.SpanID)
+	b = append(b, '-')
+	b = append(b, flags...)
+	return string(b)
+}
+
+// Inject sets the traceparent header on h (a no-op for invalid contexts, so
+// `span.Context().Inject(req.Header)` is safe on a nil span).
+func (tc TraceContext) Inject(h http.Header) {
+	if v := tc.Traceparent(); v != "" {
+		h.Set(TraceparentHeader, v)
+	}
+}
+
+// ParseTraceparent parses a W3C traceparent value. ok is false — never an
+// error — on anything malformed: absent, wrong length, bad hex, the reserved
+// version ff, or all-zero trace/parent IDs. Callers degrade to a fresh root
+// span, so a corrupted header can delay tracing but never fail a request.
+func ParseTraceparent(v string) (tc TraceContext, ok bool) {
+	if len(v) != 55 || v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return TraceContext{}, false
+	}
+	ver, ok := parseHex(v[0:2])
+	if !ok || ver == 0xff {
+		return TraceContext{}, false
+	}
+	hi, ok1 := parseHex(v[3:19])
+	lo, ok2 := parseHex(v[19:35])
+	span, ok3 := parseHex(v[36:52])
+	flags, ok4 := parseHex(v[53:55])
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return TraceContext{}, false
+	}
+	tc = TraceContext{TraceHi: hi, TraceLo: lo, SpanID: span, Sampled: flags&flagSampled != 0}
+	if !tc.Valid() {
+		return TraceContext{}, false
+	}
+	return tc, true
+}
+
+// Extract reads the traceparent header from h. Same degradation contract as
+// ParseTraceparent.
+func Extract(h http.Header) (TraceContext, bool) {
+	return ParseTraceparent(h.Get(TraceparentHeader))
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendHex appends v as exactly 16 lowercase hex digits.
+func appendHex(b []byte, v uint64) []byte {
+	for shift := 60; shift >= 0; shift -= 4 {
+		b = append(b, hexDigits[(v>>shift)&0xf])
+	}
+	return b
+}
+
+// parseHex parses strict lowercase hex — the W3C wire form. Uppercase,
+// signs, prefixes and underscores (which strconv would have to be guarded
+// against) all fail.
+func parseHex(s string) (uint64, bool) {
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		default:
+			return 0, false
+		}
+		v = v<<4 | d
+	}
+	return v, true
+}
+
+// spanKey keys the request span in a context.Context.
+type spanKey struct{}
+
+// ContextWithSpan returns ctx carrying s. A nil span returns ctx unchanged
+// (zero allocations), preserving the tracing-off fast path.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// Detach returns a context that carries ctx's span but none of its deadlines
+// or cancellation — the session layer hands this to the engine so a client
+// disconnect cannot interrupt surrogate fitting mid-Cholesky, while latency
+// still attributes to the request's trace. With no span present it returns
+// context.Background() allocation-free.
+func Detach(ctx context.Context) context.Context {
+	return ContextWithSpan(context.Background(), SpanFromContext(ctx))
+}

@@ -1,5 +1,7 @@
 package telemetry
 
+import "context"
+
 // Recorder bundles the three observability planes — metrics, structured
 // events, trace spans — into the single handle the optimizer stack threads
 // around. Any (or all) of the fields may be nil; every method is nil-safe
@@ -61,6 +63,31 @@ func (r *Recorder) StartSpan(name string) *Span {
 	return r.Tracer.Start(name)
 }
 
+// StartSpanIn begins a span inside the trace carried by ctx: when ctx holds
+// a request span (put there by server middleware), the new span continues
+// that trace on r's own tracer — so it lands in r's sinks, e.g. the
+// per-session ring, not just the process stream — parented on the request
+// span. With no span in ctx it falls back to a locally sampled root.
+// Nil-safe with zero allocations when r is nil or the request is unsampled.
+func (r *Recorder) StartSpanIn(ctx context.Context, name string) *Span {
+	if r == nil {
+		return nil
+	}
+	if parent := SpanFromContext(ctx); parent != nil {
+		return r.Tracer.StartRemote(name, parent.Context())
+	}
+	return r.Tracer.Start(name)
+}
+
+// SetService stamps the service name onto r's tracer (nil-safe); Child
+// recorders inherit it.
+func (r *Recorder) SetService(name string) {
+	if r == nil {
+		return
+	}
+	r.Tracer.SetService(name)
+}
+
 // Registry returns the metrics registry (nil-safe).
 func (r *Recorder) Registry() *Registry {
 	if r == nil {
@@ -79,12 +106,16 @@ func (r *Recorder) Child(sink Sink) *Recorder {
 	}
 	combined := Multi(r.Events, sink)
 	every := 1
+	service := ""
 	if r.Tracer != nil {
 		every = int(r.Tracer.sampleEvery)
+		service = r.Tracer.service
 	}
+	tr := NewTracer(combined, every)
+	tr.SetService(service)
 	return &Recorder{
 		Metrics: r.Metrics,
 		Events:  combined,
-		Tracer:  NewTracer(combined, every),
+		Tracer:  tr,
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/problem"
 	"repro/internal/robust"
+	"repro/internal/telemetry"
 )
 
 // ErrKilled is returned by Run when the worker was hard-aborted with Kill:
@@ -58,15 +59,40 @@ type Config struct {
 	// Lookup resolves the session's problem name to the local evaluator
 	// (default catalog.Lookup — the worker-side twin of the server catalog).
 	Lookup func(name string) (problem.Problem, error)
+	// Telemetry, when non-nil, registers the mfbo_worker_* metrics into its
+	// registry and emits evaluation/heartbeat/report spans through its tracer.
+	// Leases that carry a traceparent join the suggesting request's trace.
+	Telemetry *telemetry.Recorder
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 	// sleep is injectable for tests.
 	sleep func(ctx context.Context, d time.Duration) error
 }
 
+// workerMetrics are the mfbo_worker_* series; every field is nil (and every
+// update free) when the worker runs without telemetry.
+type workerMetrics struct {
+	leases     *telemetry.Counter
+	evals      *telemetry.Counter
+	heartbeats *telemetry.Counter
+	reports    *telemetry.Counter
+	evalSecs   *telemetry.Histogram
+}
+
+func newWorkerMetrics(reg *telemetry.Registry) workerMetrics {
+	return workerMetrics{
+		leases:     reg.Counter("mfbo_worker_leases_total", "evaluation leases granted to this worker"),
+		evals:      reg.Counter("mfbo_worker_evaluations_total", "leased evaluations started"),
+		heartbeats: reg.Counter("mfbo_worker_heartbeats_total", "lease heartbeats sent"),
+		reports:    reg.Counter("mfbo_worker_reports_total", "evaluation reports acknowledged by the server"),
+		evalSecs:   reg.Histogram("mfbo_worker_eval_seconds", "wall-clock duration of one leased evaluation", nil),
+	}
+}
+
 // Worker is one evaluation-daemon loop. Create with New, run with Run.
 type Worker struct {
 	cfg Config
+	met workerMetrics
 
 	killOnce sync.Once
 	killed   chan struct{}
@@ -106,6 +132,7 @@ func New(cfg Config) (*Worker, error) {
 	h.Write([]byte(cfg.Name))
 	return &Worker{
 		cfg:    cfg,
+		met:    newWorkerMetrics(cfg.Telemetry.Registry()),
 		rng:    rand.New(rand.NewSource(int64(h.Sum64()))),
 		killed: make(chan struct{}),
 	}, nil
@@ -218,6 +245,7 @@ func (w *Worker) Run(ctx context.Context) error {
 			continue
 		}
 		idle = 0
+		w.met.leases.Inc()
 		w.serve(safe, &rep)
 	}
 }
@@ -231,6 +259,21 @@ func (w *Worker) isKilled() bool {
 	}
 }
 
+// evalSpan begins the span for one leased evaluation: joined to the
+// suggesting request's trace when the lease carries a traceparent (so a
+// gateway→replica→worker round trip assembles as one trace), else a locally
+// sampled root. May return nil; every use is nil-safe.
+func (w *Worker) evalSpan(lease *api.LeaseReply) *telemetry.Span {
+	rec := w.cfg.Telemetry
+	if rec == nil {
+		return nil
+	}
+	if tc, ok := telemetry.ParseTraceparent(lease.TraceParent); ok {
+		return rec.Tracer.StartRemote("worker.evaluate", tc)
+	}
+	return rec.Tracer.Start("worker.evaluate")
+}
+
 // serve runs one leased evaluation: heartbeat in the background, evaluate
 // under the safety wrapper, report. Contexts are detached from Run's on
 // purpose — a graceful drain finishes and reports the unit it holds.
@@ -238,6 +281,11 @@ func (w *Worker) serve(safe *robust.SafeProblem, lease *api.LeaseReply) {
 	w.mu.Lock()
 	w.evaluated++
 	w.mu.Unlock()
+	w.met.evals.Inc()
+
+	span := w.evalSpan(lease)
+	span.Attr("fidelity", float64(lease.Fidelity))
+	span.Attr("attempt", float64(lease.Attempt))
 
 	// Evaluation aborts on Kill (never on graceful drain).
 	evCtx, cancelEv := context.WithCancel(context.Background())
@@ -245,22 +293,33 @@ func (w *Worker) serve(safe *robust.SafeProblem, lease *api.LeaseReply) {
 	hbDone := make(chan struct{})
 	go func() {
 		defer close(hbDone)
-		w.heartbeats(evCtx, cancelEv, lease)
+		w.heartbeats(evCtx, cancelEv, lease, span)
 	}()
 
+	evStart := time.Now()
 	ev, everr := safe.EvaluateCtx(evCtx, lease.X, problem.Fidelity(lease.Fidelity))
+	w.met.evalSecs.Observe(time.Since(evStart).Seconds())
 	cancelEv() // stop heartbeats
 	<-hbDone
 	if w.isKilled() {
 		w.logf("worker %s: killed holding lease %s; abandoning", w.cfg.Name, lease.LeaseID)
+		span.Attr("abandoned", 1)
+		span.End()
 		return
 	}
 	if everr != nil {
 		ev.Failed = true
 	}
+	if ev.Failed {
+		span.Attr("failed", 1)
+	}
+	defer span.End()
 
 	repCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
+	repSpan := span.Child("worker.report")
+	repCtx = telemetry.ContextWithSpan(repCtx, repSpan)
+	defer repSpan.End()
 	ack, err := w.cfg.Client.Report(repCtx, w.cfg.Session, api.ReportRequest{
 		LeaseID:      lease.LeaseID,
 		SuggestionID: lease.SuggestionID,
@@ -276,6 +335,7 @@ func (w *Worker) serve(safe *robust.SafeProblem, lease *api.LeaseReply) {
 		w.mu.Lock()
 		w.reported++
 		w.mu.Unlock()
+		w.met.reports.Inc()
 		if ack.Duplicate {
 			w.logf("worker %s: report for %s was a duplicate (requeued elsewhere)", w.cfg.Name, lease.SuggestionID)
 		}
@@ -311,7 +371,7 @@ func (w *Worker) jitter(base time.Duration) time.Duration {
 // instead of hammering the daemon in phase. A lease_expired reply aborts the
 // evaluation via cancelEv: the unit was requeued to someone else, so
 // finishing it would be wasted work.
-func (w *Worker) heartbeats(ctx context.Context, cancelEv context.CancelFunc, lease *api.LeaseReply) {
+func (w *Worker) heartbeats(ctx context.Context, cancelEv context.CancelFunc, lease *api.LeaseReply, evalSpan *telemetry.Span) {
 	interval := time.Second
 	if lease.DeadlineUnixMs > 0 {
 		if ttl := time.Until(time.UnixMilli(lease.DeadlineUnixMs)); ttl > 0 {
@@ -333,7 +393,14 @@ func (w *Worker) heartbeats(ctx context.Context, cancelEv context.CancelFunc, le
 		case <-t.C:
 			t.Reset(w.jitter(interval))
 			hbCtx, cancel := context.WithTimeout(ctx, interval)
+			// Heartbeats are children of the evaluation span, created from
+			// this goroutine — safe because Child only reads immutable span
+			// identity, never the parent's mutable attrs.
+			hbSpan := evalSpan.Child("worker.heartbeat")
+			hbCtx = telemetry.ContextWithSpan(hbCtx, hbSpan)
 			_, err := w.cfg.Client.Heartbeat(hbCtx, lease.LeaseID)
+			hbSpan.End()
+			w.met.heartbeats.Inc()
 			cancel()
 			switch {
 			case err == nil, ctx.Err() != nil:
