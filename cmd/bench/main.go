@@ -186,6 +186,10 @@ func runScaling(out, baselinePath string) {
 		{"FullRefit", bench.TellFullRefit},
 		{"Incremental", bench.TellIncremental},
 		{"LowRank", bench.TellLowRank},
+		// Ladder is recorded for visibility but not baseline-gated: its cost is
+		// dominated by the same rank-1 update as Incremental plus a chain
+		// prediction, so the existing gates already cover its regressions.
+		{"Ladder", bench.TellLadder},
 	}
 	rep := scalingReport{
 		Generated: time.Now().UTC().Format(time.RFC3339),

@@ -8,8 +8,10 @@
 //	mfbo -problem forrester -chaos 0.2 -robust -v
 //
 // Problems: poweramp, chargepump, opamp, pedagogical, forrester, branin,
-// currin, park, borehole, hartmann3, constrained. Algorithms: mfbo (ours),
-// weibo, gaspad, de.
+// currin, park, borehole, hartmann3, constrained, plus the three-rung ladder
+// variants forrester3, poweramp3 and chargepump3 (`mfbo -list` prints each
+// problem's rung count and per-rung costs). Algorithms: mfbo (ours), weibo,
+// gaspad, de.
 //
 // Robustness (mfbo algorithm only): -robust wraps the problem in the safe
 // evaluation runtime (panic recovery, NaN sanitization, retries, timeouts);
@@ -27,6 +29,8 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/baselines"
@@ -34,6 +38,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fidelity"
 	"repro/internal/optimize"
 	"repro/internal/robust"
 	"repro/internal/telemetry"
@@ -49,6 +54,9 @@ func main() {
 	initLow := flag.Int("init-low", 0, "low-fidelity initialization size (mfbo; 0 = default)")
 	initHigh := flag.Int("init-high", 0, "high-fidelity initialization size (mfbo; 0 = default)")
 	gamma := flag.Float64("gamma", 0.01, "fidelity-selection threshold γ (mfbo)")
+	initMid := flag.Int("init-mid", 0, "initialization size per intermediate rung of a K>2 ladder (mfbo; 0 = default)")
+	rungCosts := flag.String("fidelity-rungs", "", "comma-separated per-rung relative costs γ_0,…,γ_{K-1} overriding the problem's ladder (last must be 1; count must match the problem's rung count)")
+	list := flag.Bool("list", false, "list the built-in problems with their fidelity ladders and exit")
 	useRobust := flag.Bool("robust", false, "wrap the problem in the safe evaluation runtime")
 	retries := flag.Int("retries", 2, "max retries per evaluation (with -robust)")
 	evalTimeout := flag.Duration("eval-timeout", 0, "per-evaluation timeout, 0 = none (with -robust)")
@@ -66,6 +74,18 @@ func main() {
 	flag.Parse()
 	if *version {
 		fmt.Println(buildinfo.String("mfbo"))
+		return
+	}
+	if *list {
+		infos, err := catalog.Infos()
+		if err != nil {
+			log.Fatalf("mfbo: %v", err)
+		}
+		fmt.Printf("%-12s %-22s %3s %4s %5s  %s\n", "NAME", "PROBLEM", "DIM", "CONS", "RUNGS", "RUNG COSTS")
+		for _, in := range infos {
+			fmt.Printf("%-12s %-22s %3d %4d %5d  %s\n",
+				in.Name, in.ProblemName, in.Dim, in.Constraints, in.Rungs, fmtSlice(in.RungCosts))
+		}
 		return
 	}
 
@@ -123,10 +143,21 @@ func main() {
 	case "mfbo":
 		cfg := core.Config{
 			Budget: *budget, InitLow: *initLow, InitHigh: *initHigh,
-			Gamma: *gamma, MSP: msp, Callback: cb, Workers: *procs,
+			Gamma: *gamma, InitMid: *initMid, MSP: msp, Callback: cb, Workers: *procs,
 			Telemetry:  rec,
 			RefitEvery: *refitEvery, Incremental: *incremental,
 			NLMLTrigger: *nlmlTrigger, LowRankAfter: *lowRankAfter,
+		}
+		if *rungCosts != "" {
+			costs, err := parseCosts(*rungCosts)
+			if err != nil {
+				log.Fatalf("mfbo: -fidelity-rungs: %v", err)
+			}
+			ladder, err := fidelity.FromCosts(costs)
+			if err != nil {
+				log.Fatalf("mfbo: -fidelity-rungs: %v", err)
+			}
+			cfg.Ladder = &ladder
 		}
 		if *ckptPath != "" {
 			cfg.Checkpointer = core.FileCheckpointer(*ckptPath)
@@ -170,8 +201,13 @@ func main() {
 		fmt.Printf("constraints: %v\n", fmtSlice(res.Best.Constraints))
 	}
 	fmt.Printf("best x:    %v\n", fmtSlice(res.BestX))
-	fmt.Printf("cost:      %d low + %d high sims = %.1f equivalent (found best at %.1f)\n",
-		res.NumLow, res.NumHigh, res.EquivalentSims, experiments.SimsToBest(res))
+	if len(res.NumByRung) > 0 {
+		fmt.Printf("cost:      %v sims per rung = %.1f equivalent (found best at %.1f)\n",
+			res.NumByRung, res.EquivalentSims, experiments.SimsToBest(res))
+	} else {
+		fmt.Printf("cost:      %d low + %d high sims = %.1f equivalent (found best at %.1f)\n",
+			res.NumLow, res.NumHigh, res.EquivalentSims, experiments.SimsToBest(res))
+	}
 	fmt.Printf("elapsed:   %s\n", time.Since(start).Round(time.Millisecond))
 	if res.Interrupted {
 		fmt.Println("status:    interrupted (partial result)")
@@ -202,6 +238,18 @@ func main() {
 			fmt.Printf("telemetry: event log written to %s (render with mfbo-trace)\n", *telemetryPath)
 		}
 	}
+}
+
+func parseCosts(s string) ([]float64, error) {
+	var out []float64
+	for _, tok := range strings.Split(s, ",") {
+		c, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad cost %q", tok)
+		}
+		out = append(out, c)
+	}
+	return out, nil
 }
 
 func fmtSlice(v []float64) string {

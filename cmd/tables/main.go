@@ -16,11 +16,12 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/testbench"
+	"repro/internal/testfunc"
 )
 
 func main() {
 	log.SetFlags(0)
-	table := flag.Int("table", 1, "table to regenerate (1, 2, or 3 = op-amp extension)")
+	table := flag.Int("table", 1, "table to regenerate (1, 2, 3 = op-amp extension, 4 = fidelity-ladder vs two-fidelity)")
 	scale := flag.String("scale", "quick", "experiment scale: quick | medium | paper")
 	seed := flag.Int64("seed", 42, "base random seed (replication i uses seed+i)")
 	trace := flag.Bool("trace", false, "also print per-algorithm median convergence traces")
@@ -46,6 +47,15 @@ func main() {
 			sc.GASPADBudget, sc.DEBudget = 100, 100
 		}
 		tab, stats, err = experiments.RunTableOpAmp(testbench.NewOpAmp(), sc, *seed)
+	case 4:
+		// Extension: 3-rung fidelity ladder vs the same engine restricted to
+		// the bottom and top rungs (not in the paper).
+		sc := experiments.QuickScaleLadder()
+		if *scale == "medium" || *scale == "paper" {
+			sc.Runs = 8
+			sc.Budget = 40
+		}
+		tab, stats, err = experiments.RunLadderComparison(testfunc.Forrester3(), sc, *seed)
 	default:
 		log.Fatalf("tables: unknown table %d (want 1, 2 or 3)", *table)
 	}

@@ -76,8 +76,11 @@ type CreateSessionRequest struct {
 	// simulations (required, > 0).
 	Budget float64 `json:"budget"`
 
-	InitLow       int     `json:"init_low,omitempty"`
-	InitHigh      int     `json:"init_high,omitempty"`
+	InitLow  int `json:"init_low,omitempty"`
+	InitHigh int `json:"init_high,omitempty"`
+	// InitMid is the initialization design size per intermediate rung of a
+	// K>2 fidelity-ladder problem (ignored for two-fidelity problems).
+	InitMid       int     `json:"init_mid,omitempty"`
 	Gamma         float64 `json:"gamma,omitempty"`
 	MSPStarts     int     `json:"msp_starts,omitempty"`
 	MSPLocalIter  int     `json:"msp_local_iter,omitempty"`
@@ -120,9 +123,15 @@ type SessionInfo struct {
 	BoundsHi       []float64 `json:"bounds_hi"`
 	CostLow        float64   `json:"cost_low"`
 	CostHigh       float64   `json:"cost_high"`
-	Budget         float64   `json:"budget"`
-	Seed           int64     `json:"seed"`
-	Resumed        bool      `json:"resumed,omitempty"`
+	// Rungs / RungCosts describe the problem's fidelity ladder: the rung
+	// count K (2 for classic two-fidelity problems) and the per-rung costs in
+	// equivalent target-rung simulations (RungCosts[K-1] == 1). Suggestion
+	// and Observation fidelity values are rung indices 0..K-1.
+	Rungs     int       `json:"rungs"`
+	RungCosts []float64 `json:"rung_costs,omitempty"`
+	Budget    float64   `json:"budget"`
+	Seed      int64     `json:"seed"`
+	Resumed   bool      `json:"resumed,omitempty"`
 }
 
 // Suggestion is the reply of GET /v1/sessions/{id}/suggest. When the session
@@ -195,9 +204,20 @@ type HistoryReply struct {
 	Observations []HistoryObservation `json:"observations"`
 }
 
-// ProblemsReply lists the server's problem catalog.
+// ProblemInfo describes one catalog problem, fidelity ladder included.
+type ProblemInfo struct {
+	Name        string    `json:"name"`
+	Dim         int       `json:"dim"`
+	Constraints int       `json:"constraints"`
+	Rungs       int       `json:"rungs"`
+	RungCosts   []float64 `json:"rung_costs,omitempty"`
+}
+
+// ProblemsReply lists the server's problem catalog. Problems keeps the
+// historical name list; Details carries the per-problem shape and ladder.
 type ProblemsReply struct {
-	Problems []string `json:"problems"`
+	Problems []string      `json:"problems"`
+	Details  []ProblemInfo `json:"details,omitempty"`
 }
 
 // SessionsReply lists live session IDs.

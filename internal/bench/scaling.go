@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/gp"
 	"repro/internal/kernel"
+	"repro/internal/mfgp"
 )
 
 // ScalingSizes are the history lengths the scaling report measures.
@@ -120,6 +121,57 @@ func TellLowRank(n int) func(*testing.B) {
 				b.Fatal(err)
 			}
 			if err := m.Truncate(n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// ScalingRungs is the ladder depth of the K-rung workload.
+const ScalingRungs = 3
+
+// TellLadder measures the K-rung (K = ScalingRungs) incremental Tell path at
+// bottom-rung history length n: fold one observation into the TOP level of a
+// recursive multi-level chain via AppendLevel's bordered rank-1 update, then
+// retract it with TruncateLevel — the per-Tell maintenance cost of the
+// fidelity-ladder engine between full refits. Rung sizes taper n, n/2, n/4,
+// mirroring the cost-weighted sampling profile of a ladder run, so the timed
+// update operates on the smallest (top) factor plus one propagated prediction
+// through the chain below it.
+func TellLadder(n int) func(*testing.B) {
+	return func(b *testing.B) {
+		sizes := [ScalingRungs]int{n, n / 2, n / 4}
+		X, y, _, _ := dataset(23, n+1, scalingDim)
+		var LX [][][]float64
+		var Ly [][]float64
+		for _, sz := range sizes {
+			LX = append(LX, X[:sz])
+			Ly = append(Ly, y[:sz])
+		}
+		noise := 1e-4
+		m, err := mfgp.FitMultiLevel(LX, Ly, mfgp.MultiLevelConfig{
+			MaxIter:    25,
+			FixedNoise: &noise,
+		}, rand.New(rand.NewSource(29)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		top := ScalingRungs - 1
+		xNew, yNew := X[n], y[n]
+		// One untimed cycle grows the top factor's capacity (see warmAppend).
+		if err := m.AppendLevel(top, xNew, yNew); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.TruncateLevel(top, sizes[top]); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := m.AppendLevel(top, xNew, yNew); err != nil {
+				b.Fatal(err)
+			}
+			if err := m.TruncateLevel(top, sizes[top]); err != nil {
 				b.Fatal(err)
 			}
 		}

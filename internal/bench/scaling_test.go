@@ -11,6 +11,7 @@ func BenchmarkTellFullRefit400(b *testing.B)   { TellFullRefit(400)(b) }
 func BenchmarkTellIncremental100(b *testing.B) { TellIncremental(100)(b) }
 func BenchmarkTellIncremental400(b *testing.B) { TellIncremental(400)(b) }
 func BenchmarkTellLowRank400(b *testing.B)     { TellLowRank(400)(b) }
+func BenchmarkTellLadder400(b *testing.B)      { TellLadder(400)(b) }
 
 // TestIncrementalTellSpeedupGated asserts the headline claim of the
 // incremental machinery: at history length 400 the rank-1 maintenance path is

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/fidelity"
 	"repro/internal/problem"
 	"repro/internal/testbench"
 	"repro/internal/testfunc"
@@ -30,6 +31,10 @@ var builtins = map[string]func() problem.Problem{
 	"borehole":    func() problem.Problem { return testfunc.BoreholeMF() },
 	"hartmann3":   func() problem.Problem { return testfunc.Hartmann3() },
 	"constrained": func() problem.Problem { return testfunc.ConstrainedSynthetic() },
+	// Three-rung fidelity-ladder problems (K = 3).
+	"forrester3":  func() problem.Problem { return testfunc.Forrester3() },
+	"poweramp3":   func() problem.Problem { return testbench.NewPowerAmp3() },
+	"chargepump3": func() problem.Problem { return testbench.NewChargePump3() },
 }
 
 // Register adds a problem constructor under name. It is meant for init-time
@@ -65,4 +70,52 @@ func Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Info describes one registered problem: shape, constraints and its fidelity
+// ladder — everything a client needs to choose a problem without
+// instantiating it.
+type Info struct {
+	// Name is the registry key; ProblemName the instance's own Name().
+	Name        string
+	ProblemName string
+	Dim         int
+	Constraints int
+	// Rungs is the fidelity rung count (2 for classic problems); RungCosts
+	// the per-rung relative costs (RungCosts[Rungs-1] == 1).
+	Rungs     int
+	RungCosts []float64
+}
+
+// Describe instantiates the named problem and summarizes it.
+func Describe(name string) (Info, error) {
+	p, err := Lookup(name)
+	if err != nil {
+		return Info{}, err
+	}
+	ladder, err := fidelity.OfProblem(p)
+	if err != nil {
+		return Info{}, fmt.Errorf("catalog: problem %q: %w", name, err)
+	}
+	return Info{
+		Name:        name,
+		ProblemName: p.Name(),
+		Dim:         p.Dim(),
+		Constraints: p.NumConstraints(),
+		Rungs:       ladder.Rungs(),
+		RungCosts:   ladder.Costs(),
+	}, nil
+}
+
+// Infos summarizes every registered problem, sorted by name.
+func Infos() ([]Info, error) {
+	var out []Info
+	for _, n := range Names() {
+		info, err := Describe(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, info)
+	}
+	return out, nil
 }

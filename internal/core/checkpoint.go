@@ -58,6 +58,20 @@ type Checkpoint struct {
 	// can still report after a restart. Empty for purely sequential runs
 	// snapshotted at the usual post-Tell boundary.
 	Pending []PendingSuggestion `json:",omitempty"`
+
+	// Fidelity-ladder state (K>2 runs only — all fields absent on classic
+	// two-fidelity snapshots, which therefore stay byte-identical to earlier
+	// releases; a snapshot with Rungs == 0 decodes as a two-rung run).
+	// Rungs/RungCosts/InitMid are RNG-visible config validated on Resume;
+	// MidX/MidY hold the intermediate-rung training sets (index = rung-1);
+	// WarmChain carries the per-output per-level chain hyperparameters.
+	Rungs     int           `json:",omitempty"`
+	RungCosts []float64     `json:",omitempty"`
+	InitMid   int           `json:",omitempty"`
+	NumByRung []int         `json:",omitempty"`
+	MidX      [][][]float64 `json:",omitempty"`
+	MidY      [][][]float64 `json:",omitempty"`
+	WarmChain [][][]float64 `json:",omitempty"`
 }
 
 // PendingSuggestion is the serialized form of one outstanding suggestion:
@@ -90,7 +104,7 @@ func (st *state) snapshot() *Checkpoint {
 		ob.Eval.Constraints = append([]float64(nil), ob.Eval.Constraints...)
 		hist[i] = ob
 	}
-	return &Checkpoint{
+	ck := &Checkpoint{
 		Version:        CheckpointVersion,
 		Problem:        st.p.Name(),
 		Dim:            st.d,
@@ -114,6 +128,22 @@ func (st *state) snapshot() *Checkpoint {
 		History:        hist,
 		Degradations:   append([]Degradation(nil), st.res.Degradations...),
 	}
+	if st.ladder.Rungs() > 2 {
+		ck.Rungs = st.ladder.Rungs()
+		ck.RungCosts = st.ladder.Costs()
+		ck.InitMid = st.cfg.InitMid
+		ck.NumByRung = append([]int(nil), st.res.NumByRung...)
+		ck.MidX = make([][][]float64, len(st.mid))
+		ck.MidY = make([][][]float64, len(st.mid))
+		for i, d := range st.mid {
+			ck.MidX[i] = cloneMatrix(d.X)
+			ck.MidY[i] = cloneMatrix(d.Y)
+		}
+		for _, levels := range st.warmChain {
+			ck.WarmChain = append(ck.WarmChain, cloneMatrix(levels))
+		}
+	}
+	return ck
 }
 
 // checkpoint invokes the configured Checkpointer hook, if any, with a full
@@ -261,6 +291,17 @@ func validateResume(p problem.Problem, cfg *Config, ck *Checkpoint) error {
 	}
 	if ck.Gamma != cfg.Gamma {
 		return fmt.Errorf("%w: checkpoint gamma %v != config gamma %v", ErrResumeMismatch, ck.Gamma, cfg.Gamma)
+	}
+	// Rung count: a snapshot with Rungs == 0 is a legacy (or current
+	// two-fidelity) checkpoint and resumes onto any 2-rung problem; a K>2
+	// snapshot requires the same ladder shape.
+	rungs := ck.Rungs
+	if rungs == 0 {
+		rungs = 2
+	}
+	if k := problem.NumFidelities(p); k != rungs {
+		return fmt.Errorf("%w: checkpoint has %d fidelity rungs, problem %q has %d",
+			ErrResumeMismatch, rungs, p.Name(), k)
 	}
 	return nil
 }

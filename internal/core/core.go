@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"repro/internal/acq"
+	"repro/internal/fidelity"
 	"repro/internal/gp"
 	"repro/internal/kernel"
 	"repro/internal/mfgp"
@@ -69,6 +70,16 @@ type Config struct {
 	// Gamma is the fidelity-selection threshold of eq. (11) on standardized
 	// posterior variance (default 0.01).
 	Gamma float64
+	// InitMid is the Latin-hypercube initialization size per intermediate
+	// rung of a K>2 fidelity ladder (default 5). Ignored by two-fidelity
+	// problems.
+	InitMid int
+	// Ladder, when non-nil, overrides the fidelity ladder derived from the
+	// problem's Cost schedule (fidelity.OfProblem). The rung count must match
+	// the problem's. Nil (the default) derives it from the problem; for
+	// classic two-fidelity problems that reproduces the historical
+	// low/high-cost-ratio engine exactly.
+	Ladder *fidelity.Ladder
 	// MSP configures acquisition maximization (§4.1).
 	MSP optimize.MSPConfig
 	// GPRestarts / GPMaxIter tune surrogate training (defaults 1 / 60).
@@ -173,6 +184,9 @@ func (c *Config) defaults() error {
 	if c.Gamma <= 0 {
 		c.Gamma = 0.01
 	}
+	if c.InitMid <= 0 {
+		c.InitMid = 5
+	}
 	if c.GPRestarts <= 0 {
 		c.GPRestarts = 1
 	}
@@ -273,8 +287,12 @@ type Result struct {
 	Best     problem.Evaluation
 	Feasible bool
 	// NumLow / NumHigh count simulations at each fidelity (failed ones
-	// included — they are charged).
+	// included — they are charged). On a K>2 fidelity ladder NumLow
+	// aggregates every sub-target rung; NumByRung has the full breakdown.
 	NumLow, NumHigh int
+	// NumByRung counts simulations per ladder rung (index = rung). Populated
+	// only for K>2 ladders; nil on classic two-fidelity runs.
+	NumByRung []int `json:",omitempty"`
 	// NumFailed counts evaluations that failed (simulator crash, panic,
 	// timeout, non-finite output). They are charged against the budget and
 	// recorded in History with Eval.Failed set, but excluded from surrogate
@@ -333,6 +351,8 @@ type coreMetrics struct {
 	iterations   *telemetry.Counter
 	evalsLow     *telemetry.Counter
 	evalsHigh    *telemetry.Counter
+	evalsByRung  []*telemetry.Counter
+	costByRung   []*telemetry.Gauge
 	evalsFailed  *telemetry.Counter
 	degrade      map[DegradeStage]*telemetry.Counter
 	fitRestarts  *telemetry.Counter
@@ -346,14 +366,23 @@ type coreMetrics struct {
 	best         *telemetry.Gauge
 }
 
-func newCoreMetrics(reg *telemetry.Registry) *coreMetrics {
+func newCoreMetrics(reg *telemetry.Registry, ladder fidelity.Ladder) *coreMetrics {
 	if reg == nil {
 		return nil
+	}
+	evalsByRung := make([]*telemetry.Counter, ladder.Rungs())
+	costByRung := make([]*telemetry.Gauge, ladder.Rungs())
+	for k := 0; k < ladder.Rungs(); k++ {
+		rung := fmt.Sprintf("%d", k)
+		evalsByRung[k] = reg.Counter("mfbo_fidelity_evals_total", "simulations by ladder rung (0 = cheapest)", "rung", rung)
+		costByRung[k] = reg.Gauge("mfbo_fidelity_cost_equivalent_sims", "budget spent per ladder rung, in equivalent target-rung simulations", "rung", rung)
 	}
 	return &coreMetrics{
 		iterations:  reg.Counter("mfbo_iterations_total", "adaptive optimizer iterations completed"),
 		evalsLow:    reg.Counter("mfbo_evaluations_total", "simulations by fidelity", "fidelity", "low"),
 		evalsHigh:   reg.Counter("mfbo_evaluations_total", "simulations by fidelity", "fidelity", "high"),
+		evalsByRung: evalsByRung,
+		costByRung:  costByRung,
 		evalsFailed: reg.Counter("mfbo_evaluations_failed_total", "evaluations that failed (charged, excluded from training)"),
 		degrade: map[DegradeStage]*telemetry.Counter{
 			DegradeWarmHypers: reg.Counter("mfbo_degradations_total", "graceful surrogate downgrades by ladder rung", "stage", string(DegradeWarmHypers)),
@@ -388,14 +417,23 @@ type state struct {
 	costLow   float64
 	iter      int // next adaptive iteration
 
+	// Fidelity ladder (always set; two rungs for classic problems). mid
+	// holds the intermediate-rung training sets (len = Rungs()-2, empty for
+	// K=2); warmChain carries per-output per-level warm hyperparameters for
+	// the K>2 recursive surrogate.
+	ladder    fidelity.Ladder
+	mid       []*dataset
+	warmChain [][][]float64
+
 	warmLow, warmHigh [][]float64
 
 	// Incremental-surrogate state (Config.Incremental): the cached models
 	// extended in place between full refits, and the proposals-since-refit
 	// counter driving the fit-skip schedule. cache is never checkpointed —
 	// a restore starts with a full refit — but sinceRefit is, so the
-	// schedule phase survives resume.
+	// schedule phase survives resume. lcache is the K>2 ladder analogue.
 	cache      *surrCache
+	lcache     *ladderCache
 	sinceRefit int
 
 	// Telemetry plumbing (all nil when Config.Telemetry is nil; never part
@@ -407,10 +445,21 @@ type state struct {
 	ev    *telemetry.IterationEvent
 }
 
-func newState(p problem.Problem, cfg Config, rng *rand.Rand) *state {
+func newState(p problem.Problem, cfg Config, rng *rand.Rand) (*state, error) {
 	d := p.Dim()
 	nc := p.NumConstraints()
 	lo, hi := p.Bounds()
+	ladder, err := fidelity.OfProblem(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.Ladder != nil {
+		if cfg.Ladder.Rungs() != ladder.Rungs() {
+			return nil, fmt.Errorf("core: Config.Ladder has %d rungs, problem %q has %d",
+				cfg.Ladder.Rungs(), p.Name(), ladder.Rungs())
+		}
+		ladder = *cfg.Ladder
+	}
 	st := &state{
 		p: p, cfg: cfg, rng: rng,
 		d: d, nc: nc, nOut: 1 + nc,
@@ -419,14 +468,59 @@ func newState(p problem.Problem, cfg Config, rng *rand.Rand) *state {
 		res:     &Result{},
 		low:     &dataset{},
 		high:    &dataset{},
-		costLow: p.Cost(problem.Low) / p.Cost(problem.High),
+		ladder:  ladder,
+		costLow: ladder.Cost(0),
 		warmLow: make([][]float64, 1+nc), warmHigh: make([][]float64, 1+nc),
+		// warmChain is allocated for every K so the ladder path is exercisable
+		// on two-rung problems (the K=2 bit-identity oracle test); production
+		// proposals only consult it when K > 2.
+		warmChain: make([][][]float64, 1+nc),
+	}
+	if k := ladder.Rungs(); k > 2 {
+		st.mid = make([]*dataset, k-2)
+		for i := range st.mid {
+			st.mid[i] = &dataset{}
+		}
 	}
 	if cfg.Telemetry != nil {
 		st.telem = cfg.Telemetry
-		st.met = newCoreMetrics(cfg.Telemetry.Metrics)
+		st.met = newCoreMetrics(cfg.Telemetry.Metrics, ladder)
 	}
-	return st
+	return st, nil
+}
+
+// rungOf clamps a fidelity value into the ladder's rung range. For classic
+// two-fidelity problems this is the identity on {Low, High}.
+func (st *state) rungOf(fid problem.Fidelity) int {
+	k := int(fid)
+	if k < 0 {
+		return 0
+	}
+	if t := st.ladder.Target(); k > t {
+		return t
+	}
+	return k
+}
+
+// ds returns the training set of rung k.
+func (st *state) ds(k int) *dataset {
+	switch {
+	case k == 0:
+		return st.low
+	case k == st.ladder.Target():
+		return st.high
+	default:
+		return st.mid[k-1]
+	}
+}
+
+// datasetSizes snapshots every rung's training-set length, rung order.
+func (st *state) datasetSizes() []int {
+	sizes := make([]int, st.ladder.Rungs())
+	for k := range sizes {
+		sizes[k] = len(st.ds(k).X)
+	}
+	return sizes
 }
 
 // evaluate dispatches to the richest evaluation interface the problem
@@ -448,19 +542,22 @@ func (st *state) ingest(iter int, x []float64, fid problem.Fidelity, e problem.E
 		e.Failed = true
 		st.res.NumFailed++
 	}
-	if fid == problem.Low {
-		st.res.NumLow++
-		st.cost += st.costLow
-	} else {
+	rung := st.rungOf(fid)
+	if rung == st.ladder.Target() {
 		st.res.NumHigh++
 		st.cost++
+	} else {
+		st.res.NumLow++
+		st.cost += st.ladder.Cost(rung)
+	}
+	if st.ladder.Rungs() > 2 {
+		if st.res.NumByRung == nil {
+			st.res.NumByRung = make([]int, st.ladder.Rungs())
+		}
+		st.res.NumByRung[rung]++
 	}
 	if !failed {
-		if fid == problem.Low {
-			st.low.add(x, e)
-		} else {
-			st.high.add(x, e)
-		}
+		st.ds(rung).add(x, e)
 	}
 	ob := Observation{Iter: iter, X: append([]float64(nil), x...), Fid: fid, Eval: e, CumCost: st.cost}
 	st.res.History = append(st.res.History, ob)
@@ -478,11 +575,16 @@ func (st *state) ingest(iter int, x []float64, fid problem.Fidelity, e problem.E
 // optimizer metrics. Called only when telemetry is on; it reads — never
 // mutates — optimizer state.
 func (st *state) observeTelemetry(ob *Observation, failed bool) {
+	rung := st.rungOf(ob.Fid)
 	ev := st.ev
 	if ev == nil || ev.Iter != ob.Iter {
 		// Initialization point (or an observation without a matching
-		// propose, e.g. right after a resume): emit a minimal event.
-		ev = &telemetry.IterationEvent{Iter: ob.Iter, Nc: st.nc, Fidelity: ob.Fid.String()}
+		// propose, e.g. right after a resume): emit a minimal event. The
+		// ladder rung name degrades to "low"/"high" on two-rung problems.
+		ev = &telemetry.IterationEvent{Iter: ob.Iter, Nc: st.nc, Fidelity: st.ladder.Name(rung)}
+		if st.ladder.Rungs() > 2 {
+			ev.Rung = rung
+		}
 	}
 	st.ev = nil
 	ev.X = ob.X
@@ -501,23 +603,26 @@ func (st *state) observeTelemetry(ob *Observation, failed bool) {
 	if m == nil {
 		return
 	}
-	if ob.Fid == problem.Low {
-		m.evalsLow.Inc()
-	} else {
+	target := st.ladder.Target()
+	if rung == target {
 		m.evalsHigh.Inc()
+	} else {
+		m.evalsLow.Inc()
 	}
+	m.evalsByRung[rung].Inc()
+	m.costByRung[rung].Add(st.ladder.Cost(rung))
 	if failed {
 		m.evalsFailed.Inc()
 	}
 	if ob.Iter >= 0 {
 		m.iterations.Inc()
 	}
-	if ob.Fid == problem.Low {
-		m.cost.Add(st.costLow)
-	} else {
+	if rung == target {
 		m.cost.Add(1)
+	} else {
+		m.cost.Add(st.ladder.Cost(rung))
 	}
-	if ob.Fid == problem.High && !failed {
+	if rung == target && !failed {
 		if _, be, feas := bestOf(st.high); feas {
 			m.best.Set(be.Objective)
 		}
@@ -702,6 +807,12 @@ func (st *state) noteFit(iter int, m *gp.Model, fusedHigh bool) {
 // point's observation while later batch slots are proposed; it is nil for a
 // random-exploration fallback, where no surrogate exists to fantasize from.
 func (st *state) propose(iter int, span *telemetry.Span, wantFantasy bool) ([]float64, problem.Fidelity, []float64) {
+	if st.ladder.Rungs() > 2 {
+		// K>2 fidelity ladders run the generalized recursive-surrogate path
+		// (ladder.go); K=2 stays on this code path untouched, so classic
+		// two-fidelity trajectories are bit-identical to every prior release.
+		return st.proposeLadder(iter, span, wantFantasy)
+	}
 	cfg := &st.cfg
 	var ev *telemetry.IterationEvent
 	if st.telem != nil {

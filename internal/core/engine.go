@@ -70,12 +70,13 @@ type pendingSug struct {
 type Engine struct {
 	st *state
 
-	// Remaining (not yet handed out) initialization design points, issued
-	// low first, then high — the same order OptimizeCtx evaluates them.
-	// initLowNext/initHighNext index the next design point within the full
+	// Remaining (not yet handed out) initialization design points per ladder
+	// rung, issued cheapest rung first — for classic two-fidelity problems
+	// that is low first, then high, the same order OptimizeCtx evaluates
+	// them. initNext[r] indexes the next design point within rung r's full
 	// design, for deterministic suggestion IDs across restores.
-	initLow, initHigh         [][]float64
-	initLowNext, initHighNext int
+	initQ    [][][]float64
+	initNext []int
 	// initDone records that the post-initialization checkpoint was taken
 	// and the engine is in (or past) the adaptive phase.
 	initDone bool
@@ -100,19 +101,52 @@ type Engine struct {
 }
 
 // NewEngine validates cfg and builds a fresh engine for p. The
-// initialization designs are drawn from rng immediately (low design first,
-// then high), so the RNG consumption matches OptimizeCtx exactly.
+// initialization designs are drawn from rng immediately, cheapest rung first
+// (for two-fidelity problems: low design, then high), so the RNG consumption
+// matches OptimizeCtx exactly.
 func NewEngine(p problem.Problem, cfg Config, rng *rand.Rand) (*Engine, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
-	st := newState(p, cfg, rng)
+	st, err := newState(p, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
 	st.emitRun(false)
-	return &Engine{
-		st:       st,
-		initLow:  cfg.InitSampler(rng, st.lo, st.hi, cfg.InitLow),
-		initHigh: cfg.InitSampler(rng, st.lo, st.hi, cfg.InitHigh),
-	}, nil
+	e := &Engine{st: st}
+	sizes := st.initSizes()
+	e.initQ = make([][][]float64, len(sizes))
+	e.initNext = make([]int, len(sizes))
+	for r, n := range sizes {
+		e.initQ[r] = cfg.InitSampler(rng, st.lo, st.hi, n)
+	}
+	return e, nil
+}
+
+// initSizes returns the per-rung initialization design sizes, rung order:
+// InitLow at rung 0, InitMid per intermediate rung, InitHigh at the target.
+func (st *state) initSizes() []int {
+	sizes := make([]int, st.ladder.Rungs())
+	sizes[0] = st.cfg.InitLow
+	for r := 1; r < st.ladder.Target(); r++ {
+		sizes[r] = st.cfg.InitMid
+	}
+	sizes[st.ladder.Target()] = st.cfg.InitHigh
+	return sizes
+}
+
+// initID names rung r's idx-th initialization design point. The two-fidelity
+// vocabulary is preserved at the ladder extremes so restored engines replay
+// historical suggestion IDs verbatim.
+func (st *state) initID(r, idx int) string {
+	switch {
+	case r == 0:
+		return fmt.Sprintf("init-low-%d", idx)
+	case r == st.ladder.Target():
+		return fmt.Sprintf("init-high-%d", idx)
+	default:
+		return fmt.Sprintf("init-mid%d-%d", r, idx)
+	}
 }
 
 // emitRun publishes the run-metadata event that makes an event log
@@ -121,7 +155,7 @@ func (st *state) emitRun(resumed bool) {
 	if st.telem == nil {
 		return
 	}
-	st.telem.EmitRun(&telemetry.RunEvent{
+	ev := &telemetry.RunEvent{
 		Problem:        st.p.Name(),
 		Dim:            st.d,
 		NumConstraints: st.nc,
@@ -130,7 +164,13 @@ func (st *state) emitRun(resumed bool) {
 		InitLow:        st.cfg.InitLow,
 		InitHigh:       st.cfg.InitHigh,
 		Resumed:        resumed,
-	})
+	}
+	if st.ladder.Rungs() > 2 {
+		ev.Rungs = st.ladder.Rungs()
+		ev.RungCosts = st.ladder.Costs()
+		ev.InitMid = st.cfg.InitMid
+	}
+	st.telem.EmitRun(ev)
 }
 
 // RestoreEngine rebuilds an engine from a Checkpoint: datasets, history,
@@ -157,21 +197,39 @@ func RestoreEngine(p problem.Problem, cfg Config, rng *rand.Rand, ck *Checkpoint
 	if err := validateResume(p, &cfg, ck); err != nil {
 		return nil, err
 	}
-	st := newState(p, cfg, rng)
+	st, err := newState(p, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
 	st.iter = ck.Iter
 	st.cost = ck.Cost
 	st.low = &dataset{X: cloneMatrix(ck.LowX), Y: cloneMatrix(ck.LowY)}
 	st.high = &dataset{X: cloneMatrix(ck.HighX), Y: cloneMatrix(ck.HighY)}
+	for i := range st.mid {
+		// Legacy (pre-ladder) snapshots carry no MidX/MidY — the rungs start
+		// empty and refill through the redrawn initialization design below.
+		if i < len(ck.MidX) {
+			st.mid[i] = &dataset{X: cloneMatrix(ck.MidX[i]), Y: cloneMatrix(ck.MidY[i])}
+		}
+	}
 	if len(ck.WarmLow) == st.nOut {
 		st.warmLow = cloneMatrix(ck.WarmLow)
 	}
 	if len(ck.WarmHigh) == st.nOut {
 		st.warmHigh = cloneMatrix(ck.WarmHigh)
 	}
+	if len(ck.WarmChain) == st.nOut && st.ladder.Rungs() > 2 {
+		for k, levels := range ck.WarmChain {
+			st.warmChain[k] = cloneMatrix(levels)
+		}
+	}
 	st.sinceRefit = ck.SinceRefit
 	st.res.NumLow = ck.NumLow
 	st.res.NumHigh = ck.NumHigh
 	st.res.NumFailed = ck.NumFailed
+	if len(ck.NumByRung) == st.ladder.Rungs() && st.ladder.Rungs() > 2 {
+		st.res.NumByRung = append([]int(nil), ck.NumByRung...)
+	}
 	st.res.History = make([]Observation, len(ck.History))
 	for i, ob := range ck.History {
 		ob.X = append([]float64(nil), ob.X...)
@@ -184,7 +242,8 @@ func RestoreEngine(p problem.Problem, cfg Config, rng *rand.Rand, ck *Checkpoint
 	e := &Engine{st: st}
 	// Replay the outstanding pending set verbatim (deep-copied): suggestions
 	// asked before the snapshot stay askable and tellable after it.
-	pendLow, pendHigh := 0, 0
+	pend := make([]int, st.ladder.Rungs())
+	pendInit := 0
 	for _, ps := range ck.Pending {
 		e.pending = append(e.pending, &pendingSug{
 			sug: Suggestion{
@@ -196,44 +255,43 @@ func RestoreEngine(p problem.Problem, cfg Config, rng *rand.Rand, ck *Checkpoint
 			fantasy: append([]float64(nil), ps.Fantasy...),
 		})
 		if ps.Iter < 0 {
-			if ps.Fid == problem.Low {
-				pendLow++
-			} else {
-				pendHigh++
-			}
+			pend[st.rungOf(ps.Fid)]++
+			pendInit++
 		}
 	}
 	// Initialization progress is derived from the restored history (every
 	// initialization observation was recorded there, failures included) plus
 	// the replayed pending set (handed out but not yet told).
-	doneLow, doneHigh := 0, 0
+	done := make([]int, st.ladder.Rungs())
 	for _, ob := range st.res.History {
 		if ob.Iter == -1 {
-			if ob.Fid == problem.Low {
-				doneLow++
-			} else {
-				doneHigh++
-			}
+			done[st.rungOf(ob.Fid)]++
 		}
 	}
-	e.initLowNext = doneLow + pendLow
-	e.initHighNext = doneHigh + pendHigh
-	if e.initLowNext >= cfg.InitLow && e.initHighNext >= cfg.InitHigh {
+	sizes := st.initSizes()
+	e.initNext = make([]int, len(sizes))
+	e.initQ = make([][][]float64, len(sizes))
+	allOut := true
+	for r := range sizes {
+		e.initNext[r] = done[r] + pend[r]
+		if e.initNext[r] < sizes[r] {
+			allOut = false
+		}
+	}
+	if allOut {
 		// Every design point was handed out: no RNG consumption on restore,
 		// matching the historical Resume trajectory exactly. The phase is
 		// closed only once the outstanding ones are told.
-		if pendLow == 0 && pendHigh == 0 {
+		if pendInit == 0 {
 			e.initDone = true
 		}
 		return e, nil
 	}
-	lows := cfg.InitSampler(rng, st.lo, st.hi, cfg.InitLow)
-	highs := cfg.InitSampler(rng, st.lo, st.hi, cfg.InitHigh)
-	if e.initLowNext < len(lows) {
-		e.initLow = lows[e.initLowNext:]
-	}
-	if e.initHighNext < len(highs) {
-		e.initHigh = highs[e.initHighNext:]
+	for r, n := range sizes {
+		design := cfg.InitSampler(rng, st.lo, st.hi, n)
+		if e.initNext[r] < len(design) {
+			e.initQ[r] = design[e.initNext[r]:]
+		}
 	}
 	return e, nil
 }
@@ -303,10 +361,11 @@ func (e *Engine) adaptiveOutstanding() int {
 func (e *Engine) outstandingCost() float64 {
 	var c float64
 	for _, p := range e.pending {
-		if p.sug.Fid == problem.Low {
-			c += e.st.costLow
-		} else {
+		rung := e.st.rungOf(p.sug.Fid)
+		if rung == e.st.ladder.Target() {
 			c++
+		} else {
+			c += e.st.ladder.Cost(rung)
 		}
 	}
 	return c
@@ -394,7 +453,9 @@ func (e *Engine) fill(ctx context.Context, q int) error {
 			// Match OptimizeCtx: skip the remaining initialization
 			// evaluations, still take the post-init checkpoint, and
 			// report interruption.
-			e.initLow, e.initHigh = nil, nil
+			for r := range e.initQ {
+				e.initQ[r] = nil
+			}
 			e.interrupted = true
 			if err := e.finishInit(); err != nil {
 				return err
@@ -402,16 +463,13 @@ func (e *Engine) fill(ctx context.Context, q int) error {
 			e.termErr = ErrInterrupted
 			return e.termErr
 		}
-		for len(e.pending) < q {
-			if len(e.initLow) > 0 {
-				e.pushInit(problem.Low)
-				continue
+		for len(e.pending) < q && e.initRemaining() > 0 {
+			for r := range e.initQ {
+				if len(e.initQ[r]) > 0 {
+					e.pushInit(r)
+					break
+				}
 			}
-			if len(e.initHigh) > 0 {
-				e.pushInit(problem.High)
-				continue
-			}
-			break
 		}
 		if len(e.pending) > 0 {
 			// Design points outstanding (or just issued): the adaptive
@@ -459,23 +517,23 @@ func (e *Engine) fill(ctx context.Context, q int) error {
 	return nil
 }
 
-// pushInit hands out the next initialization design point at fid.
-func (e *Engine) pushInit(fid problem.Fidelity) {
-	var x []float64
-	var id string
-	if fid == problem.Low {
-		x = e.initLow[0]
-		e.initLow = e.initLow[1:]
-		id = fmt.Sprintf("init-low-%d", e.initLowNext)
-		e.initLowNext++
-	} else {
-		x = e.initHigh[0]
-		e.initHigh = e.initHigh[1:]
-		id = fmt.Sprintf("init-high-%d", e.initHighNext)
-		e.initHighNext++
+// initRemaining counts the design points not yet handed out, across rungs.
+func (e *Engine) initRemaining() int {
+	n := 0
+	for _, q := range e.initQ {
+		n += len(q)
 	}
+	return n
+}
+
+// pushInit hands out the next initialization design point at rung r.
+func (e *Engine) pushInit(r int) {
+	x := e.initQ[r][0]
+	e.initQ[r] = e.initQ[r][1:]
+	id := e.st.initID(r, e.initNext[r])
+	e.initNext[r]++
 	e.pending = append(e.pending, &pendingSug{
-		sug: Suggestion{ID: id, X: append([]float64(nil), x...), Fid: fid, Iter: -1},
+		sug: Suggestion{ID: id, X: append([]float64(nil), x...), Fid: problem.Fidelity(r), Iter: -1},
 	})
 }
 
@@ -496,16 +554,13 @@ func (e *Engine) proposeSlot(ctx context.Context, batch bool) {
 		span.Attr("iter", float64(iter))
 		t0 = time.Now()
 	}
-	nLow, nHigh := len(st.low.X), len(st.high.X)
+	sizes := st.datasetSizes()
 	if batch {
 		for _, p := range e.pending {
 			if p.sug.Iter < 0 || p.fantasy == nil {
 				continue
 			}
-			ds := st.low
-			if p.sug.Fid == problem.High {
-				ds = st.high
-			}
+			ds := st.ds(st.rungOf(p.sug.Fid))
 			// Rows are never mutated downstream, so sharing storage with the
 			// pending suggestion is safe; the append is undone below.
 			ds.X = append(ds.X, p.sug.X)
@@ -513,9 +568,11 @@ func (e *Engine) proposeSlot(ctx context.Context, batch bool) {
 		}
 	}
 	x, fid, fantasy := st.propose(iter, span, batch)
-	st.low.X, st.low.Y = st.low.X[:nLow], st.low.Y[:nLow]
-	st.high.X, st.high.Y = st.high.X[:nHigh], st.high.Y[:nHigh]
-	st.retractCache(nLow, nHigh)
+	for r := range sizes {
+		ds := st.ds(r)
+		ds.X, ds.Y = ds.X[:sizes[r]], ds.Y[:sizes[r]]
+	}
+	st.retract(sizes)
 	if st.telem != nil {
 		span.End()
 		if st.met != nil {
@@ -629,7 +686,7 @@ func (e *Engine) tellAt(ctx context.Context, i int, ev problem.Evaluation) error
 	}
 	e.st.ingest(sug.Iter, sug.X, sug.Fid, ev)
 	if sug.Iter < 0 {
-		if len(e.pending) == 0 && len(e.initLow) == 0 && len(e.initHigh) == 0 {
+		if len(e.pending) == 0 && e.initRemaining() == 0 {
 			return e.finishInitIn(span)
 		}
 		// Initialization observations are checkpointed one by one too: a

@@ -1,0 +1,388 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/gp"
+	"repro/internal/kernel"
+	"repro/internal/problem"
+	"repro/internal/stats"
+	"repro/internal/testfunc"
+)
+
+// TestChooseRungMatchesSelectFidelity pins the K=2 degradation of the
+// generalized rung selector: fed the same standardized low-fidelity variance,
+// chooseRung and the paper's selectFidelity must make bit-identical decisions
+// — same rung, same σ²_max, same threshold — for every nc and γ.
+func TestChooseRungMatchesSelectFidelity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n, d := 20, 2
+	X := stats.UniformInBox(rng, []float64{0, 0}, []float64{1, 1}, n)
+	mkGP := func(f func([]float64) float64) *gp.Model {
+		y := make([]float64, n)
+		for i, x := range X {
+			y[i] = f(x)
+		}
+		m, err := gp.Fit(X, y, gp.Config{Kernel: kernel.NewSEARD(d), Restarts: 1, MaxIter: 40}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	lowGPs := []*gp.Model{
+		mkGP(func(x []float64) float64 { return math.Sin(7*x[0]) + x[1] }),
+		mkGP(func(x []float64) float64 { return x[0]*x[0] - math.Cos(5*x[1]) }),
+	}
+	for _, gamma := range []float64{0.01, 0.05, 0.5} {
+		for nc := 0; nc <= 2; nc++ {
+			cfg := Config{Gamma: gamma}
+			for trial := 0; trial < 200; trial++ {
+				x := stats.UniformInBox(rng, []float64{0, 0}, []float64{1, 1}, 1)[0]
+				legacy := cfg.selectFidelity(lowGPs, x, nc)
+				// The same standardized variance chooseEvalRung would compute.
+				maxVar := 0.0
+				for _, m := range lowGPs {
+					_, va := m.PredictLatent(x)
+					std := m.OutputStd()
+					if v := va / (std * std); v > maxVar {
+						maxVar = v
+					}
+				}
+				dec := chooseRung([]float64{maxVar}, []float64{0.1, 1}, nc, gamma)
+				wantHigh := legacy.fid == problem.High
+				if (dec.rung == 1) != wantHigh {
+					t.Fatalf("γ=%v nc=%d σ²=%v: chooseRung picked rung %d, selectFidelity %v",
+						gamma, nc, maxVar, dec.rung, legacy.fid)
+				}
+				if math.Float64bits(dec.sigma2Max) != math.Float64bits(legacy.sigma2Max) ||
+					math.Float64bits(dec.threshold) != math.Float64bits(legacy.threshold) {
+					t.Fatalf("decision record differs: (%v, %v) vs (%v, %v)",
+						dec.sigma2Max, dec.threshold, legacy.sigma2Max, legacy.threshold)
+				}
+				if !dec.hasSigma2 || dec.forced {
+					t.Fatal("unforced selection must record σ²")
+				}
+			}
+		}
+	}
+	// ForceHighFidelity short-circuits identically on both selectors.
+	cfg := Config{Gamma: 0.01, ForceHighFidelity: true}
+	legacy := cfg.selectFidelity(lowGPs, X[0], 1)
+	if legacy.fid != problem.High || !legacy.forced {
+		t.Fatal("selectFidelity must force high")
+	}
+}
+
+// ingestShared feeds one evaluation into several states identically.
+func ingestShared(iter int, x []float64, fid problem.Fidelity, e problem.Evaluation, sts ...*state) {
+	for _, st := range sts {
+		st.ingest(iter, append([]float64(nil), x...), fid, e)
+	}
+}
+
+// TestProposeLadderMatchesProposeAtK2 is the engine-level oracle for the
+// ladder generalization: on a two-fidelity problem, the K-level proposal path
+// (fitLadder → chooseEvalRung → fantasizeLadder) must reproduce the legacy
+// two-fidelity proposal path bit for bit — same rng consumption, same query
+// point, same fidelity decision, same fantasy — across full refits, the
+// fit-skipping warm schedule, and the incremental rank-1 maintenance path.
+func TestProposeLadderMatchesProposeAtK2(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"full-refit", nil},
+		{"warm-skip", func(c *Config) { c.RefitEvery = 2 }},
+		{"incremental", func(c *Config) { c.Incremental = true; c.RefitEvery = 3 }},
+	}
+	probs := []func() problem.Problem{
+		func() problem.Problem { return testfunc.Forrester() },
+		func() problem.Problem { return testfunc.ConstrainedSynthetic() },
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, mk := range probs {
+				p := mk()
+				mkState := func() *state {
+					cfg := fastCfg(100)
+					cfg.NumSamples = 20
+					if tc.mod != nil {
+						tc.mod(&cfg)
+					}
+					if err := cfg.defaults(); err != nil {
+						t.Fatal(err)
+					}
+					st, err := newState(p, cfg, rand.New(rand.NewSource(17)))
+					if err != nil {
+						t.Fatal(err)
+					}
+					return st
+				}
+				stA, stB := mkState(), mkState()
+				if stA.ladder.Rungs() != 2 {
+					t.Fatalf("problem %q is not two-fidelity", p.Name())
+				}
+
+				// Identical initialization data in both states.
+				initRng := rand.New(rand.NewSource(99))
+				lo, hi := p.Bounds()
+				for _, x := range stats.LatinHypercube(initRng, lo, hi, 8) {
+					ingestShared(-1, x, problem.Low, p.Evaluate(x, problem.Low), stA, stB)
+				}
+				for _, x := range stats.LatinHypercube(initRng, lo, hi, 4) {
+					ingestShared(-1, x, problem.High, p.Evaluate(x, problem.High), stA, stB)
+				}
+
+				for iter := 0; iter < 5; iter++ {
+					xA, fidA, fanA := stA.propose(iter, nil, true)
+					xB, fidB, fanB := stB.proposeLadder(iter, nil, true)
+					if fidA != fidB {
+						t.Fatalf("%s iter %d: fidelity %v vs %v", p.Name(), iter, fidA, fidB)
+					}
+					for j := range xA {
+						if math.Float64bits(xA[j]) != math.Float64bits(xB[j]) {
+							t.Fatalf("%s iter %d: x[%d] %v vs %v", p.Name(), iter, j, xA[j], xB[j])
+						}
+					}
+					if !reflect.DeepEqual(fanA, fanB) {
+						t.Fatalf("%s iter %d: fantasy %v vs %v", p.Name(), iter, fanA, fanB)
+					}
+					ingestShared(iter, xA, fidA, p.Evaluate(xA, fidA), stA, stB)
+				}
+			}
+		})
+	}
+}
+
+// TestLegacyCheckpointRestoresIntoLadderEngine proves two-fidelity snapshots
+// are unchanged by the ladder feature — none of the ladder fields leak into
+// K=2 JSON — and that a snapshot with no rung metadata (as any pre-ladder
+// release would have written) restores into the ladder-aware engine and runs
+// to completion.
+func TestLegacyCheckpointRestoresIntoLadderEngine(t *testing.T) {
+	_, cks := captureCheckpoints(t, 8, 63)
+	ck := cks[len(cks)/2]
+	data, err := ck.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"Rungs", "RungCosts", "InitMid", "NumByRung", "MidX", "MidY", "WarmChain"} {
+		if strings.Contains(string(data), `"`+field+`"`) {
+			t.Fatalf("two-fidelity checkpoint JSON leaks ladder field %q:\n%s", field, data)
+		}
+	}
+	snap, err := UnmarshalCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Resume(context.Background(), testfunc.ConstrainedSynthetic(), fastCfg(8), rand.New(rand.NewSource(7)), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) <= len(snap.History) {
+		t.Fatalf("resume did not continue: %d <= %d observations", len(res.History), len(snap.History))
+	}
+	if res.Interrupted || res.BestX == nil {
+		t.Fatalf("restored run did not complete: interrupted=%v best=%v", res.Interrupted, res.BestX)
+	}
+	if res.NumByRung != nil {
+		t.Fatal("K=2 result must not grow a NumByRung breakdown")
+	}
+}
+
+// ladderCfg is the shared 3-rung run configuration for the K>2 tests.
+func ladderCfg(budget float64) Config {
+	cfg := fastCfg(budget)
+	cfg.InitLow, cfg.InitMid, cfg.InitHigh = 6, 3, 3
+	return cfg
+}
+
+// TestLadderOptimizeForrester3 runs the full K=3 loop end to end: rungs are
+// selected from the whole ladder, the per-rung breakdown is reported, costs
+// are charged by rung, and the optimum matches the two-fidelity engine's.
+func TestLadderOptimizeForrester3(t *testing.T) {
+	p := testfunc.Forrester3()
+	res, err := Optimize(p, ladderCfg(14), rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NumByRung) != 3 {
+		t.Fatalf("NumByRung = %v, want 3 rungs", res.NumByRung)
+	}
+	total := 0
+	for _, n := range res.NumByRung {
+		total += n
+	}
+	if total != len(res.History) {
+		t.Fatalf("per-rung counts sum to %d, history has %d", total, len(res.History))
+	}
+	if res.NumByRung[0] < 6 || res.NumByRung[1] < 3 || res.NumByRung[2] < 3 {
+		t.Fatalf("initialization missing from per-rung counts: %v", res.NumByRung)
+	}
+	// Cost accounting: Σ count·γ over sub-target rungs + target count.
+	want := float64(res.NumByRung[2]) + 0.1*float64(res.NumByRung[0]) + 0.25*float64(res.NumByRung[1])
+	if math.Abs(res.EquivalentSims-want) > 1e-9 {
+		t.Fatalf("EquivalentSims %v, want %v from %v", res.EquivalentSims, want, res.NumByRung)
+	}
+	// The Forrester optimum is x*≈0.757, f*≈−6.02; the ladder run must find
+	// the same basin the two-fidelity engine does.
+	if !res.Feasible || res.Best.Objective > -5.5 {
+		t.Fatalf("ladder run missed the optimum: %+v", res.Best)
+	}
+}
+
+// TestLadderCheckpointRoundTripK3 kills a 3-rung run mid-flight and resumes
+// it from the serialized snapshot: the resumed history must extend the
+// snapshot's exactly and the mid-rung dataset must survive the round trip.
+func TestLadderCheckpointRoundTripK3(t *testing.T) {
+	p := testfunc.Forrester3()
+	const budget = 10.0
+	cfg := ladderCfg(budget)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var last *Checkpoint
+	kcfg := cfg
+	kcfg.Checkpointer = func(ck *Checkpoint) error {
+		last = ck
+		if ck.Iter >= 3 {
+			cancel()
+		}
+		return nil
+	}
+	killed, err := OptimizeCtx(ctx, p, kcfg, rand.New(rand.NewSource(13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !killed.Interrupted || last == nil {
+		t.Fatalf("no usable mid-flight snapshot (interrupted=%v)", killed.Interrupted)
+	}
+	if last.Rungs != 3 || len(last.RungCosts) != 3 {
+		t.Fatalf("K=3 snapshot missing ladder metadata: rungs=%d costs=%v", last.Rungs, last.RungCosts)
+	}
+	if len(last.MidX) != 1 || len(last.MidX[0]) == 0 {
+		t.Fatalf("K=3 snapshot missing mid-rung dataset: %v", last.MidX)
+	}
+
+	data, err := last.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := UnmarshalCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resume := func(seed int64) *Result {
+		r, err := Resume(context.Background(), p, cfg, rand.New(rand.NewSource(seed)), snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	resumed := resume(77)
+	if len(resumed.History) <= len(snap.History) {
+		t.Fatalf("resume did not continue: %d <= %d", len(resumed.History), len(snap.History))
+	}
+	if !reflect.DeepEqual(resumed.History[:len(snap.History)], snap.History) {
+		t.Fatal("resumed history prefix differs from the checkpoint history")
+	}
+	if resumed.EquivalentSims < budget-1 || resumed.EquivalentSims > budget+1 {
+		t.Fatalf("resumed run spent %.2f sims, budget %v", resumed.EquivalentSims, budget)
+	}
+	again := resume(77)
+	if len(again.History) != len(resumed.History) || again.Best.Objective != resumed.Best.Objective {
+		t.Fatal("K=3 resume is not deterministic")
+	}
+
+	// A two-fidelity binary must refuse the ladder snapshot (rung mismatch)
+	// rather than silently mangle the mid-rung data.
+	if _, err := Resume(context.Background(), testfunc.Forrester(), cfg, rand.New(rand.NewSource(1)), snap); err == nil {
+		t.Fatal("resume onto a 2-rung problem must fail")
+	}
+}
+
+// TestLadderAskBatch drives a 3-rung engine through AskBatch with q=3 and
+// maximally out-of-order tells; the run must complete with a coherent
+// per-rung breakdown, and init suggestions must carry mid-rung IDs.
+func TestLadderAskBatch(t *testing.T) {
+	p := testfunc.Forrester3()
+	eng, err := NewEngine(p, ladderCfg(12), rand.New(rand.NewSource(19)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sugs, err := eng.AskBatch(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The full init design is 6 low + 3 mid + 3 high.
+	if len(sugs) != 12 {
+		t.Fatalf("want 12 init suggestions, got %d", len(sugs))
+	}
+	byFid := map[problem.Fidelity]int{}
+	sawMidID := false
+	for _, s := range sugs {
+		byFid[s.Fid]++
+		if strings.HasPrefix(s.ID, "init-mid") {
+			sawMidID = true
+			if s.Fid != problem.Fidelity(1) {
+				t.Fatalf("mid init suggestion %q has fidelity %v", s.ID, s.Fid)
+			}
+		}
+	}
+	if byFid[problem.Fidelity(0)] != 6 || byFid[problem.Fidelity(1)] != 3 || byFid[problem.Fidelity(2)] != 3 {
+		t.Fatalf("init design per rung = %v, want 6/3/3", byFid)
+	}
+	if !sawMidID {
+		t.Fatal("no init-mid suggestion IDs")
+	}
+	for i := len(sugs) - 1; i >= 0; i-- {
+		if err := eng.TellByID(sugs[i].ID, p.Evaluate(sugs[i].X, sugs[i].Fid)); err != nil {
+			t.Fatalf("TellByID(%s): %v", sugs[i].ID, err)
+		}
+	}
+	res := driveBatch(t, eng, p, 3)
+	if len(res.NumByRung) != 3 {
+		t.Fatalf("NumByRung = %v", res.NumByRung)
+	}
+	total := 0
+	for _, n := range res.NumByRung {
+		total += n
+	}
+	if total != len(res.History) {
+		t.Fatalf("per-rung counts sum to %d, history has %d", total, len(res.History))
+	}
+	if res.BestX == nil {
+		t.Fatal("batch ladder run reported no best point")
+	}
+}
+
+// TestLadderIncrementalMatchesFullRefit checks the K=3 incremental
+// maintenance path stays on the same trajectory as its own full-refit
+// schedule would at RefitEvery=1 (where every proposal refits and the cache
+// is rebuilt each time — rank-1 extension never engages, so the two must
+// agree exactly), and that RefitEvery>1 still completes and converges.
+func TestLadderIncrementalMatchesFullRefit(t *testing.T) {
+	run := func(incremental bool, refitEvery int) *Result {
+		cfg := ladderCfg(10)
+		cfg.Incremental = incremental
+		cfg.RefitEvery = refitEvery
+		res, err := Optimize(testfunc.Forrester3(), cfg, rand.New(rand.NewSource(23)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(false, 1)
+	inc := run(true, 1)
+	historiesIdentical(t, ref, inc)
+
+	relaxed := run(true, 4)
+	if !relaxed.Feasible || relaxed.Best.Objective > -5.0 {
+		t.Fatalf("incremental K=3 run (RefitEvery=4) missed the optimum: %+v", relaxed.Best)
+	}
+}

@@ -118,15 +118,27 @@ func (a *AlgoStats) AvgTotalSims() float64 {
 	return s / float64(len(a.Results))
 }
 
+// targetFid returns the run's full-accuracy rung: problem.High on classic
+// two-fidelity runs, the ladder's top rung (len(NumByRung)-1) on K>2 runs.
+// Without this, a mid rung (Fid==1 on a 3-rung ladder) would alias the
+// two-fidelity High constant and corrupt the cost-to-best accounting.
+func targetFid(r *core.Result) problem.Fidelity {
+	if len(r.NumByRung) > 0 {
+		return problem.Fidelity(len(r.NumByRung) - 1)
+	}
+	return problem.High
+}
+
 // SimsToBest returns the cumulative equivalent-simulation cost at the last
 // improvement of the best (feasible-first) observation in the run's history —
 // the point where the reported result was reached.
 func SimsToBest(r *core.Result) float64 {
 	bestCost := r.EquivalentSims
+	target := targetFid(r)
 	var best problem.Evaluation
 	first := true
 	for _, ob := range r.History {
-		if ob.Fid != problem.High {
+		if ob.Fid != target {
 			continue
 		}
 		if first || problem.Better(ob.Eval, best) {
@@ -266,8 +278,9 @@ func (t *Table) Render() string {
 // carry +Inf.
 func ConvergenceTrace(r *core.Result) (cost, best []float64) {
 	cur := math.Inf(1)
+	target := targetFid(r)
 	for _, ob := range r.History {
-		if ob.Fid != problem.High {
+		if ob.Fid != target {
 			continue
 		}
 		if ob.Eval.Feasible() && ob.Eval.Objective < cur {

@@ -23,7 +23,10 @@ const (
 	High
 )
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. Values beyond High are intermediate ladder
+// rungs (see internal/fidelity); without the ladder in hand the best generic
+// label is the rung index. Note that on a K>2 problem the top rung is
+// Fidelity(K-1), not High — use fidelity.Ladder.Name for ladder-aware labels.
 func (f Fidelity) String() string {
 	switch f {
 	case Low:
@@ -31,7 +34,7 @@ func (f Fidelity) String() string {
 	case High:
 		return "high"
 	default:
-		return fmt.Sprintf("Fidelity(%d)", int(f))
+		return fmt.Sprintf("rung%d", int(f))
 	}
 }
 
@@ -162,6 +165,41 @@ func EvaluateRich(p Problem, x []float64, f Fidelity) (Evaluation, error) {
 			fmt.Errorf("problem %s: non-finite evaluation at fidelity %v", p.Name(), f)
 	}
 	return e, nil
+}
+
+// MultiFidelity is an optional extension of Problem for implementations with
+// more than two fidelity rungs. Evaluate and Cost must accept every
+// Fidelity(k) for k in [0, NumFidelities()); rung 0 is the cheapest and rung
+// NumFidelities()-1 is the full-accuracy target. Two-fidelity problems need
+// not implement it.
+type MultiFidelity interface {
+	NumFidelities() int
+}
+
+// Unwrapper is implemented by problem wrappers (robust.SafeProblem,
+// fidelity.TwoFidelityView) that decorate an inner problem. NumFidelities
+// follows the chain so wrapping never hides a ladder.
+type Unwrapper interface {
+	Unwrap() Problem
+}
+
+// NumFidelities reports the number of fidelity rungs p exposes, following
+// wrapper chains; plain problems have the classic two.
+func NumFidelities(p Problem) int {
+	for p != nil {
+		if mf, ok := p.(MultiFidelity); ok {
+			if k := mf.NumFidelities(); k >= 2 {
+				return k
+			}
+			return 2
+		}
+		u, ok := p.(Unwrapper)
+		if !ok {
+			break
+		}
+		p = u.Unwrap()
+	}
+	return 2
 }
 
 // EquivalentSims converts raw evaluation counts into the paper's metric:

@@ -215,6 +215,7 @@ func (s *SafeProblem) EvaluateRich(x []float64, f problem.Fidelity) (problem.Eva
 func (s *SafeProblem) EvaluateCtx(ctx context.Context, x []float64, f problem.Fidelity) (problem.Evaluation, error) {
 	span := s.pol.Telemetry.StartSpan("robust.evaluate")
 	span.Attr("fidelity", float64(f))
+	span.Attr("rung", float64(f))
 	if err := problem.CheckPoint(s.inner, x); err != nil {
 		s.log.recordError(f, err, 0)
 		s.log.recordFailure(f, 0, err)

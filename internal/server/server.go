@@ -51,6 +51,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/dispatch"
+	"repro/internal/fidelity"
 	"repro/internal/optimize"
 	"repro/internal/problem"
 	"repro/internal/session"
@@ -579,6 +580,7 @@ func coreConfig(req *api.CreateSessionRequest) core.Config {
 		Budget:        req.Budget,
 		InitLow:       req.InitLow,
 		InitHigh:      req.InitHigh,
+		InitMid:       req.InitMid,
 		Gamma:         req.Gamma,
 		MSP:           optimize.MSPConfig{Starts: req.MSPStarts, LocalIter: req.MSPLocalIter},
 		GPRestarts:    req.GPRestarts,
@@ -830,7 +832,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 
 	p := e.sess.Problem()
 	lo, hi := p.Bounds()
-	writeJSON(w, http.StatusCreated, api.SessionInfo{
+	info := api.SessionInfo{
 		ID:             id,
 		Problem:        p.Name(),
 		Dim:            p.Dim(),
@@ -839,10 +841,15 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		BoundsHi:       hi,
 		CostLow:        p.Cost(problem.Low),
 		CostHigh:       p.Cost(problem.High),
+		Rungs:          problem.NumFidelities(p),
 		Budget:         e.req.Budget,
 		Seed:           e.req.Seed,
 		Resumed:        resumed,
-	})
+	}
+	if ladder, err := fidelity.OfProblem(p); err == nil {
+		info.RungCosts = ladder.Costs()
+	}
+	writeJSON(w, http.StatusCreated, info)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -1008,7 +1015,19 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleProblems(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, api.ProblemsReply{Problems: catalog.Names()})
+	reply := api.ProblemsReply{Problems: catalog.Names()}
+	if infos, err := catalog.Infos(); err == nil {
+		for _, info := range infos {
+			reply.Details = append(reply.Details, api.ProblemInfo{
+				Name:        info.Name,
+				Dim:         info.Dim,
+				Constraints: info.Constraints,
+				Rungs:       info.Rungs,
+				RungCosts:   info.RungCosts,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, reply)
 }
 
 // handleTelemetry serves the session's buffered event stream: the newest

@@ -28,6 +28,15 @@ type RunEvent struct {
 	InitLow        int     `json:"init_low"`
 	InitHigh       int     `json:"init_high"`
 	Resumed        bool    `json:"resumed,omitempty"`
+
+	// Fidelity-ladder metadata (K>2 runs only; absent on classic two-fidelity
+	// runs so their event logs are byte-identical to earlier releases).
+	// Rungs is the rung count K, RungCosts the per-rung relative costs
+	// (RungCosts[K-1] == 1), InitMid the LHS initialization size per
+	// intermediate rung.
+	Rungs     int       `json:"rungs,omitempty"`
+	RungCosts []float64 `json:"rung_costs,omitempty"`
+	InitMid   int       `json:"init_mid,omitempty"`
 }
 
 // IterationEvent records the decision variables of one optimizer iteration —
@@ -59,6 +68,14 @@ type IterationEvent struct {
 	// with an already-evaluated point and was replaced by a random
 	// exploration point.
 	DuplicateFallback bool `json:"duplicate_fallback,omitempty"`
+
+	// Fidelity-ladder decision record (K>2 runs only — absent on classic
+	// two-fidelity runs). Rung is the selected ladder rung (0 = cheapest,
+	// K-1 = target); RungVars holds the standardized chain posterior variance
+	// per sub-target rung at the query point, the inputs of the generalized
+	// §3.4 cost-weighted selection.
+	Rung     int       `json:"rung,omitempty"`
+	RungVars []float64 `json:"rung_vars,omitempty"`
 
 	// Acquisition values at the argmax. Bootstrap marks the §4.2 first-
 	// feasible mode where the (negated) predicted-feasibility objective

@@ -1,0 +1,146 @@
+// Three-rung fidelity-ladder variants of the paper's workloads. The paper's
+// fidelity knob on both testbenches is naturally graduated — transient length
+// on the power amplifier, corner count on the charge pump — so an
+// intermediate rung costs a fraction of the target simulation while carrying
+// far more information than the cheapest one. These variants exercise the
+// K-level ladder engine on the same simulators as the classic two-fidelity
+// problems, whose behavior they leave untouched.
+package testbench
+
+import "repro/internal/problem"
+
+// rung3 clamps a fidelity value onto a 3-rung ladder.
+func rung3(f problem.Fidelity) int {
+	switch {
+	case f <= problem.Low:
+		return 0
+	case f >= 2:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// PowerAmp3 is the power amplifier with a three-rung transient ladder:
+// rung 0 is the classic short unsettled transient, rung 2 the classic long
+// settled one, and rung 1 a mid-length transient (default 12 carrier periods,
+// 4 measured, 48 steps per period) that resolves the fundamental well but
+// still under-settles the harmonics.
+type PowerAmp3 struct {
+	*PowerAmp
+	// MidPeriods / MidMeasure / MidStepsPer are rung 1's transient knobs
+	// (defaults 12 / 4 / 48).
+	MidPeriods, MidMeasure, MidStepsPer int
+	// MidCost is rung 1's cost in equivalent target simulations
+	// (default 0.25, the mid/high ratio of simulated work).
+	MidCost float64
+}
+
+var _ problem.Problem = (*PowerAmp3)(nil)
+var _ problem.MultiFidelity = (*PowerAmp3)(nil)
+
+// NewPowerAmp3 returns the 3-rung power amplifier with default knobs.
+func NewPowerAmp3() *PowerAmp3 {
+	return &PowerAmp3{
+		PowerAmp:   NewPowerAmp(),
+		MidPeriods: 12, MidMeasure: 4, MidStepsPer: 48,
+		MidCost: 0.25,
+	}
+}
+
+// Name implements problem.Problem.
+func (p *PowerAmp3) Name() string { return "power-amplifier-3r" }
+
+// NumFidelities implements problem.MultiFidelity.
+func (p *PowerAmp3) NumFidelities() int { return 3 }
+
+// Cost implements problem.Problem: the extreme rungs keep the classic 1:20
+// ratio; the mid rung prices its longer transient.
+func (p *PowerAmp3) Cost(f problem.Fidelity) float64 {
+	switch rung3(f) {
+	case 0:
+		return p.PowerAmp.Cost(problem.Low)
+	case 1:
+		return p.MidCost
+	default:
+		return 1
+	}
+}
+
+// Evaluate implements problem.Problem. Rungs 0 and 2 are exactly the classic
+// low/high simulations; rung 1 reruns the testbench with the mid transient
+// knobs installed as its "high" setting.
+func (p *PowerAmp3) Evaluate(x []float64, f problem.Fidelity) problem.Evaluation {
+	switch rung3(f) {
+	case 0:
+		return p.PowerAmp.Evaluate(x, problem.Low)
+	case 1:
+		mid := *p.PowerAmp
+		mid.HighPeriods, mid.HighMeasure, mid.HighStepsPer = p.MidPeriods, p.MidMeasure, p.MidStepsPer
+		return mid.Evaluate(x, problem.High)
+	default:
+		return p.PowerAmp.Evaluate(x, problem.High)
+	}
+}
+
+// CornersMid is the 9-corner mid-fidelity subset of the paper's PVT grid:
+// the full process × supply product at nominal temperature. Process and
+// supply dominate the charge pump's mirror-current spread, so the subset
+// tracks the 27-corner aggregate closely at a third of the cost.
+func CornersMid() []Corner {
+	var out []Corner
+	for _, p := range []string{"SS", "TT", "FF"} {
+		for _, v := range []float64{0.9, 1.0, 1.1} {
+			out = append(out, Corner{Process: p, VddFrac: v, TempC: 27})
+		}
+	}
+	return out
+}
+
+// ChargePump3 is the charge pump with a three-rung corner ladder:
+// rung 0 simulates the nominal corner, rung 1 the 9-corner process × supply
+// subset, rung 2 the full 27-corner grid.
+type ChargePump3 struct {
+	*ChargePump
+	midCorners []Corner
+}
+
+var _ problem.Problem = (*ChargePump3)(nil)
+var _ problem.MultiFidelity = (*ChargePump3)(nil)
+
+// NewChargePump3 returns the 3-rung charge pump with default settings.
+func NewChargePump3() *ChargePump3 {
+	return &ChargePump3{ChargePump: NewChargePump(), midCorners: CornersMid()}
+}
+
+// Name implements problem.Problem.
+func (p *ChargePump3) Name() string { return "charge-pump-3r" }
+
+// NumFidelities implements problem.MultiFidelity.
+func (p *ChargePump3) NumFidelities() int { return 3 }
+
+// Cost implements problem.Problem: corners simulated over 27.
+func (p *ChargePump3) Cost(f problem.Fidelity) float64 {
+	switch rung3(f) {
+	case 0:
+		return p.ChargePump.Cost(problem.Low)
+	case 1:
+		return float64(len(p.midCorners)) / 27
+	default:
+		return 1
+	}
+}
+
+// Evaluate implements problem.Problem.
+func (p *ChargePump3) Evaluate(x []float64, f problem.Fidelity) problem.Evaluation {
+	switch rung3(f) {
+	case 0:
+		return p.ChargePump.Evaluate(x, problem.Low)
+	case 1:
+		mid := *p.ChargePump
+		mid.corners = p.midCorners
+		return mid.Evaluate(x, problem.High)
+	default:
+		return p.ChargePump.Evaluate(x, problem.High)
+	}
+}

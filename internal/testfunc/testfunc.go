@@ -303,3 +303,101 @@ func New(name string, lo, hi []float64, nc int,
 	return &Func{name: name, lo: lo, hi: hi, nc: nc, high: high, low: low,
 		costLow: costLow, costHigh: costHigh}
 }
+
+// LadderFunc is a synthetic problem with K >= 2 fidelity rungs. Rung k is
+// levels[k] with relative cost costs[k]; the last level is the full-accuracy
+// target. It implements problem.MultiFidelity so the engine derives a
+// K-rung ladder from it.
+type LadderFunc struct {
+	name   string
+	lo, hi []float64
+	nc     int
+	levels []func(x []float64) (float64, []float64)
+	costs  []float64
+}
+
+var (
+	_ problem.Problem       = (*LadderFunc)(nil)
+	_ problem.MultiFidelity = (*LadderFunc)(nil)
+)
+
+// NewLadder builds a custom K-rung synthetic problem. levels and costs must
+// have equal length >= 2, with costs ascending and the last equal to the
+// target cost (conventionally 1).
+func NewLadder(name string, lo, hi []float64, nc int,
+	levels []func(x []float64) (float64, []float64), costs []float64) *LadderFunc {
+	if len(levels) < 2 || len(levels) != len(costs) {
+		panic(fmt.Sprintf("testfunc %s: need matching levels/costs with >= 2 rungs, got %d/%d",
+			name, len(levels), len(costs)))
+	}
+	return &LadderFunc{name: name, lo: lo, hi: hi, nc: nc, levels: levels, costs: costs}
+}
+
+// Name implements problem.Problem.
+func (f *LadderFunc) Name() string { return f.name }
+
+// Dim implements problem.Problem.
+func (f *LadderFunc) Dim() int { return len(f.lo) }
+
+// Bounds implements problem.Problem.
+func (f *LadderFunc) Bounds() (lo, hi []float64) {
+	return append([]float64(nil), f.lo...), append([]float64(nil), f.hi...)
+}
+
+// NumConstraints implements problem.Problem.
+func (f *LadderFunc) NumConstraints() int { return f.nc }
+
+// NumFidelities implements problem.MultiFidelity.
+func (f *LadderFunc) NumFidelities() int { return len(f.levels) }
+
+// rung clamps a fidelity to a valid rung index: anything at or above the top
+// rung evaluates at full accuracy (so problem.High still means "accurate"
+// for callers unaware of the ladder), anything below rung 0 at rung 0.
+func (f *LadderFunc) rung(fid problem.Fidelity) int {
+	k := int(fid)
+	if k < 0 {
+		return 0
+	}
+	if k >= len(f.levels) {
+		return len(f.levels) - 1
+	}
+	return k
+}
+
+// Evaluate implements problem.Problem.
+func (f *LadderFunc) Evaluate(x []float64, fid problem.Fidelity) problem.Evaluation {
+	if len(x) != len(f.lo) {
+		panic(fmt.Sprintf("testfunc %s: point dim %d != %d", f.name, len(x), len(f.lo)))
+	}
+	obj, cons := f.levels[f.rung(fid)](x)
+	return problem.Evaluation{Objective: obj, Constraints: cons}
+}
+
+// Cost implements problem.Problem.
+func (f *LadderFunc) Cost(fid problem.Fidelity) float64 { return f.costs[f.rung(fid)] }
+
+// LevelFn returns the objective of rung k at x (test helper).
+func (f *LadderFunc) LevelFn(k int, x []float64) float64 { v, _ := f.levels[k](x); return v }
+
+// Forrester3 returns a 3-rung Forrester ladder on [0, 1]: the classic high
+// and low levels of Forrester() plus a medium level between them,
+//
+//	f_m(x) = 0.75·f_h(x) + 5(x−0.5) − 2,
+//
+// at relative costs 0.1 : 0.25 : 1. The bottom and top rungs are exactly the
+// two-fidelity pair, so a TwoFidelityView of this problem reproduces
+// Forrester() (modulo the name).
+func Forrester3() *LadderFunc {
+	fh := func(x float64) float64 {
+		t := 6*x - 2
+		return t * t * math.Sin(12*x-4)
+	}
+	return NewLadder("forrester3",
+		[]float64{0}, []float64{1}, 0,
+		[]func(x []float64) (float64, []float64){
+			func(x []float64) (float64, []float64) { return 0.5*fh(x[0]) + 10*(x[0]-0.5) - 5, nil },
+			func(x []float64) (float64, []float64) { return 0.75*fh(x[0]) + 5*(x[0]-0.5) - 2, nil },
+			func(x []float64) (float64, []float64) { return fh(x[0]), nil },
+		},
+		[]float64{0.1, 0.25, 1})
+}

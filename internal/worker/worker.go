@@ -285,6 +285,9 @@ func (w *Worker) serve(safe *robust.SafeProblem, lease *api.LeaseReply) {
 
 	span := w.evalSpan(lease)
 	span.Attr("fidelity", float64(lease.Fidelity))
+	// "rung" duplicates the fidelity as an explicit ladder-rung index so span
+	// queries read the same on two-fidelity and K-rung sessions.
+	span.Attr("rung", float64(lease.Fidelity))
 	span.Attr("attempt", float64(lease.Attempt))
 
 	// Evaluation aborts on Kill (never on graceful drain).
